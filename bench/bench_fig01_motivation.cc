@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Fig. 1: the motivational timeline showing that data
+ * preparation caps accelerated analysis.
+ *
+ * Three configurations over one short-read workload:
+ *   Baseline:       software mapper + (N)Spr preparation
+ *   Acc. Analysis:  GEM accelerator + (N)Spr preparation
+ *   Acc.+IdealPrep: GEM accelerator + zero-time preparation
+ *
+ * Expected shape: accelerated analysis is dramatically faster than the
+ * baseline, but most of that benefit is lost to preparation unless
+ * preparation itself is idealized (or handled by SAGe).
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 1: effect of data preparation on analysis performance",
+        "baseline analysis 446 KR/s; accelerated 69200 KR/s; baseline "
+        "prep 2563 KR/s caps the accelerated pipeline");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+    const auto &art = all[1]; // RS2: the deep short-read set.
+
+    SystemConfig sw_system;
+    sw_system.mapper = softwareMapper();
+    SystemConfig acc_system;
+    acc_system.mapper = gemAccelerator();
+
+    const auto baseline =
+        evaluateEndToEnd(art.work, PrepConfig::NSpr, sw_system);
+    const auto accel =
+        evaluateEndToEnd(art.work, PrepConfig::NSpr, acc_system);
+    const auto ideal =
+        evaluateEndToEnd(art.work, PrepConfig::ZeroTimeDec, acc_system);
+
+    auto kreads = [&](double seconds) {
+        return static_cast<double>(art.work.totalReads) / seconds / 1e3;
+    };
+
+    TextTable table;
+    table.setHeader({"configuration", "end-to-end", "prep stage",
+                     "analysis stage", "throughput"});
+    auto row = [&](const char *name, const EndToEndResult &r) {
+        table.addRow({name,
+                      TextTable::num(r.seconds, 4) + " s",
+                      TextTable::num(r.prepSeconds, 4) + " s",
+                      TextTable::num(r.mapSeconds, 4) + " s",
+                      TextTable::num(kreads(r.seconds), 0) + " KR/s"});
+    };
+    row("Baseline (SW mapper)", baseline);
+    row("Acc. Analysis", accel);
+    row("Acc. + Ideal Prep.", ideal);
+    table.print();
+
+    std::printf("\npotential benefit of acceleration: %.1fx\n",
+                baseline.seconds / ideal.seconds);
+    std::printf("benefit actually realized with real prep: %.1fx\n",
+                baseline.seconds / accel.seconds);
+    std::printf("benefit lost to the data preparation bottleneck: "
+                "%.1fx (paper point [2])\n",
+                accel.seconds / ideal.seconds);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Reproduces paper Fig. 4: end-to-end throughput (prep + GEM analysis)
+ * for pigz, (N)Spr and Ideal preparation, normalized to (N)Spr, per
+ * read set plus geometric mean.
+ *
+ * Expected shape: eliminating preparation gives ~12.3x over pigz and
+ * ~4.0x over (N)Spr on average; pigz trails (N)Spr everywhere.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 4: end-to-end throughput, normalized to (N)Spr",
+        "Ideal/(N)Spr avg 4.0x; Ideal/pigz avg 12.3x");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+    SystemConfig system;
+    system.mapper = gemAccelerator();
+
+    TextTable table;
+    table.setHeader({"RS", "pigz", "(N)Spr", "Ideal"});
+    std::vector<double> pigz_norm, ideal_norm;
+    for (const auto &art : all) {
+        const double t_pigz =
+            evaluateEndToEnd(art.work, PrepConfig::Pigz, system).seconds;
+        const double t_spr =
+            evaluateEndToEnd(art.work, PrepConfig::NSpr, system).seconds;
+        const double t_ideal =
+            evaluateEndToEnd(art.work, PrepConfig::ZeroTimeDec, system)
+                .seconds;
+        // Throughput normalized to (N)Spr = t_spr / t_config.
+        pigz_norm.push_back(t_spr / t_pigz);
+        ideal_norm.push_back(t_spr / t_ideal);
+        table.addRow({art.work.name,
+                      TextTable::num(t_spr / t_pigz),
+                      "1.00",
+                      TextTable::num(t_spr / t_ideal)});
+    }
+    table.addRow({"GMean", TextTable::num(bench::geomean(pigz_norm)),
+                  "1.00", TextTable::num(bench::geomean(ideal_norm))});
+    table.print();
+
+    std::printf("\nIdeal vs (N)Spr speedup: %.1fx (paper: 4.0x)\n",
+                bench::geomean(ideal_norm));
+    std::printf("Ideal vs pigz speedup: %.1fx (paper: 12.3x)\n",
+                bench::geomean(ideal_norm)
+                    / bench::geomean(pigz_norm));
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Fig. 7: the dataset-property distributions SAGe's
+ * encodings exploit —
+ *  (a) bits needed for delta-encoded mismatch positions (long reads),
+ *  (b) mismatch counts per read (short reads),
+ *  (c) CDF of indel block lengths (long reads),
+ *  (d) CDF of bases contained in indel blocks by length (long reads).
+ *
+ * Expected shape: (a) concentrated at few bits; (b) dominated by 0;
+ * (c) most blocks length 1; (d) long blocks carry most indel bases.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "consensus/stats.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace sage;
+
+namespace {
+
+PropertyStats
+statsFor(const DatasetSpec &spec)
+{
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    ThreadPool pool;
+    ConsensusMapper mapper(ds.reference);
+    return analyzeProperties(mapper.mapAll(ds.readSet, &pool));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 7: dataset properties behind SAGe's encodings",
+        "(a) few bits per mismatch delta; (b) most reads 0 mismatches; "
+        "(c) indel blocks mostly length 1; (d) long blocks carry most "
+        "indel bases");
+    bench::printScaleNote();
+
+    const PropertyStats long_stats = statsFor(makeRs4Spec());
+    const PropertyStats short_stats = statsFor(makeRs2Spec());
+
+    std::printf("(a) delta-encoded mismatch position bits (RS4, long)\n");
+    {
+        TextTable t;
+        t.setHeader({"#bits", "fraction"});
+        for (size_t b = 1; b < long_stats.mismatchPosDeltaBits.size() &&
+                           b <= 16; b++) {
+            t.addRow({std::to_string(b),
+                      TextTable::percent(
+                          long_stats.mismatchPosDeltaBits.fraction(b))});
+        }
+        t.print();
+    }
+
+    std::printf("\n(b) mismatch counts per read (RS2, short)\n");
+    {
+        TextTable t;
+        t.setHeader({"#mismatches", "fraction"});
+        for (size_t c = 0; c <= 8; c++) {
+            t.addRow({std::to_string(c),
+                      TextTable::percent(
+                          short_stats.mismatchCountPerRead.fraction(c))});
+        }
+        t.print();
+        std::printf("substitution share of short-read events: %s "
+                    "(Property 5)\n",
+                    TextTable::percent(
+                        short_stats.substitutionFraction).c_str());
+    }
+
+    std::printf("\n(c) indel block length CDF (RS4, long)\n");
+    {
+        TextTable t;
+        t.setHeader({"length <=", "CDF blocks", "CDF bases"});
+        const auto &blocks = long_stats.indelBlockLength;
+        const auto &bases = long_stats.indelBasesByLength;
+        for (size_t len : {1, 2, 3, 4, 8, 16, 32, 64}) {
+            t.addRow({std::to_string(len),
+                      TextTable::percent(
+                          static_cast<double>(blocks.cumulative(len))
+                          / std::max<uint64_t>(blocks.total(), 1)),
+                      TextTable::percent(
+                          static_cast<double>(bases.cumulative(len))
+                          / std::max<uint64_t>(bases.total(), 1))});
+        }
+        t.print();
+        std::printf("single-base blocks: %s of blocks but only %s of "
+                    "indel bases (Property 3)\n",
+                    TextTable::percent(blocks.fraction(1)).c_str(),
+                    TextTable::percent(
+                        static_cast<double>(bases.count(1))
+                        / std::max<uint64_t>(bases.total(), 1)).c_str());
+    }
+    return 0;
+}

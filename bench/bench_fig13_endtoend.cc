@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: end-to-end speedup (prep + GEM analysis,
+ * plus SAGeSSD+ISF with GenStore) for all prep configurations across
+ * the five read sets, on both PCIe and SATA SSDs, normalized to (N)Spr.
+ *
+ * Expected shape (PCIe averages from the paper): SAGe beats pigz by
+ * 12.3x, (N)Spr by 3.9x, (N)SprAC by 3.0x; SAGe matches 0TimeDec;
+ * SAGeSSD+ISF beats (N)SprAC by 7.8x and wins everywhere except when
+ * ISF filters little on a slow link (SATA + RS1/RS4).
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+namespace {
+
+void
+runLink(const std::vector<MeasuredArtifacts> &all, bool pcie)
+{
+    SystemConfig base;
+    base.ssd = pcie ? SsdModel::pciePerformance() : SsdModel::sataCost();
+    base.mapper = gemAccelerator();
+
+    const PrepConfig configs[] = {
+        PrepConfig::Pigz,     PrepConfig::NSpr,   PrepConfig::NSprAC,
+        PrepConfig::ZeroTimeDec, PrepConfig::SageSW, PrepConfig::SageHW,
+        PrepConfig::SageSSD,
+    };
+
+    std::printf("\n--- %s SSD ---\n", pcie ? "PCIe" : "SATA");
+    TextTable table;
+    table.setHeader({"RS", "pigz", "(N)Spr", "(N)SprAC", "Ideal",
+                     "SAGeSW", "SAGe", "SAGeSSD", "SAGeSSD+ISF"});
+
+    std::vector<std::vector<double>> speedups(8);
+    for (const auto &art : all) {
+        const double t_spr =
+            evaluateEndToEnd(art.work, PrepConfig::NSpr, base).seconds;
+        std::vector<std::string> row{art.work.name};
+        size_t col = 0;
+        for (PrepConfig config : configs) {
+            const double t =
+                evaluateEndToEnd(art.work, config, base).seconds;
+            const double speedup = t_spr / t;
+            speedups[col].push_back(speedup);
+            row.push_back(TextTable::timesFactor(speedup));
+            col++;
+        }
+        // SAGeSSD + ISF (GenStore pipeline).
+        SystemConfig isf = base;
+        isf.useIsf = true;
+        const double t_isf =
+            evaluateEndToEnd(art.work, PrepConfig::SageSSD, isf).seconds;
+        speedups[col].push_back(t_spr / t_isf);
+        row.push_back(TextTable::timesFactor(t_spr / t_isf));
+        table.addRow(row);
+    }
+    std::vector<std::string> gmean_row{"GMean"};
+    for (const auto &column : speedups)
+        gmean_row.push_back(
+            TextTable::timesFactor(bench::geomean(column)));
+    table.addRow(gmean_row);
+    table.print();
+
+    const double sage = bench::geomean(speedups[5]);
+    std::printf("SAGe avg speedup over pigz (%s): %.1fx "
+                "(paper: %.1fx)\n",
+                pcie ? "PCIe" : "SATA",
+                sage / bench::geomean(speedups[0]),
+                pcie ? 12.3 : 8.1);
+    std::printf("SAGe avg speedup over (N)Spr: %.1fx (paper: %.1fx)\n",
+                sage, pcie ? 3.9 : 2.7);
+    std::printf("SAGe avg speedup over (N)SprAC: %.1fx (paper: %.1fx)\n",
+                sage / bench::geomean(speedups[2]),
+                pcie ? 3.0 : 2.1);
+    std::printf("SAGeSSD+ISF avg speedup over (N)SprAC: %.1fx "
+                "(paper: %.1fx)\n",
+                bench::geomean(speedups[7])
+                    / bench::geomean(speedups[2]),
+                pcie ? 7.8 : 2.5);
+    std::printf("SAGe vs 0TimeDec (should be ~1.0): %.2fx\n",
+                sage / bench::geomean(speedups[3]));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 13: end-to-end speedup, all prep configs, PCIe + SATA",
+        "PCIe averages: 12.3x/3.9x/3.0x over pigz/(N)Spr/(N)SprAC; "
+        "SAGe == 0TimeDec; SAGeSSD+ISF 7.8x over (N)SprAC");
+    bench::printScaleNote();
+    const auto all = bench::measureAllPresets();
+    runLink(all, true);
+    runLink(all, false);
+    return 0;
+}

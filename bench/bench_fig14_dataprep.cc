@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: data-preparation-only throughput speedup
+ * (I/O + decompression pipeline, no analysis stage), normalized to
+ * pigz.
+ *
+ * Expected shape: SAGe 91.3x over pigz, 29.5x over (N)Spr, 22.3x over
+ * (N)SprAC — much larger than the end-to-end numbers because mapping
+ * no longer hides preparation.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 14: data-preparation-only speedup (normalized to pigz)",
+        "SAGe: 91.3x/29.5x/22.3x over pigz/(N)Spr/(N)SprAC");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+    SystemConfig system;
+    system.mapper = gemAccelerator();
+
+    TextTable table;
+    table.setHeader({"RS", "pigz", "(N)Spr", "(N)SprAC", "SAGe"});
+    std::vector<double> spr, sprac, sage;
+    for (const auto &art : all) {
+        const double t_pigz =
+            dataPrepSeconds(art.work, PrepConfig::Pigz, system);
+        const double t_spr =
+            dataPrepSeconds(art.work, PrepConfig::NSpr, system);
+        const double t_sprac =
+            dataPrepSeconds(art.work, PrepConfig::NSprAC, system);
+        const double t_sage =
+            dataPrepSeconds(art.work, PrepConfig::SageHW, system);
+        spr.push_back(t_pigz / t_spr);
+        sprac.push_back(t_pigz / t_sprac);
+        sage.push_back(t_pigz / t_sage);
+        table.addRow({art.work.name, "1.0",
+                      TextTable::timesFactor(t_pigz / t_spr),
+                      TextTable::timesFactor(t_pigz / t_sprac),
+                      TextTable::timesFactor(t_pigz / t_sage)});
+    }
+    table.addRow({"GMean", "1.0",
+                  TextTable::timesFactor(bench::geomean(spr)),
+                  TextTable::timesFactor(bench::geomean(sprac)),
+                  TextTable::timesFactor(bench::geomean(sage))});
+    table.print();
+
+    std::printf("\nSAGe prep speedup over pigz: %.1fx (paper: 91.3x)\n",
+                bench::geomean(sage));
+    std::printf("SAGe prep speedup over (N)Spr: %.1fx (paper: 29.5x)\n",
+                bench::geomean(sage) / bench::geomean(spr));
+    std::printf("SAGe prep speedup over (N)SprAC: %.1fx "
+                "(paper: 22.3x)\n",
+                bench::geomean(sage) / bench::geomean(sprac));
+    return 0;
+}

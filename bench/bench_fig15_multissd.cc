@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: end-to-end speedup over (N)Spr with 1x, 2x
+ * and 4x SSDs, for SAGe and SAGeSSD+ISF.
+ *
+ * Expected shape: SAGe keeps its large speedup as SSDs scale; for read
+ * sets where ISF work sat on the critical path, SAGeSSD+ISF improves
+ * further with more SSDs.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 15: end-to-end speedup vs #SSDs (normalized to (N)Spr)",
+        "SAGe maintains speedup; SAGeSSD+ISF grows for ISF-bound sets");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+
+    TextTable table;
+    table.setHeader({"RS", "#SSDs", "SAGe", "SAGeSSD+ISF"});
+    for (const auto &art : all) {
+        for (unsigned n : {1u, 2u, 4u}) {
+            SystemConfig system;
+            system.mapper = gemAccelerator();
+            system.numSsds = n;
+            const double t_spr =
+                evaluateEndToEnd(art.work, PrepConfig::NSpr, system)
+                    .seconds;
+            const double t_sage =
+                evaluateEndToEnd(art.work, PrepConfig::SageHW, system)
+                    .seconds;
+            SystemConfig isf = system;
+            isf.useIsf = true;
+            const double t_isf =
+                evaluateEndToEnd(art.work, PrepConfig::SageSSD, isf)
+                    .seconds;
+            table.addRow({art.work.name, std::to_string(n) + "x",
+                          TextTable::timesFactor(t_spr / t_sage),
+                          TextTable::timesFactor(t_spr / t_isf)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: end-to-end energy reduction (prep + GEM
+ * analysis), normalized to (N)SprAC (higher is better).
+ *
+ * Expected shape: SAGe reduces energy by ~34x/16.9x/13x vs
+ * pigz/(N)Spr/(N)SprAC on average; SAGeSW sits between (N)Spr and
+ * SAGe.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "accel/mappers.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 16: end-to-end energy reduction vs (N)SprAC",
+        "SAGe avg: 34.0x vs pigz, 16.9x vs (N)Spr, 13.0x vs (N)SprAC");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+    SystemConfig system;
+    system.mapper = gemAccelerator();
+
+    TextTable table;
+    table.setHeader({"RS", "pigz", "(N)Spr", "SAGeSW", "SAGe"});
+    std::vector<double> g_pigz, g_spr, g_sagesw, g_sage;
+    for (const auto &art : all) {
+        const double e_ref =
+            evaluateEndToEnd(art.work, PrepConfig::NSprAC, system)
+                .energy.total();
+        auto reduction = [&](PrepConfig config) {
+            return e_ref
+                / evaluateEndToEnd(art.work, config, system)
+                      .energy.total();
+        };
+        const double pigz = reduction(PrepConfig::Pigz);
+        const double spr = reduction(PrepConfig::NSpr);
+        const double sagesw = reduction(PrepConfig::SageSW);
+        const double sage = reduction(PrepConfig::SageHW);
+        g_pigz.push_back(pigz);
+        g_spr.push_back(spr);
+        g_sagesw.push_back(sagesw);
+        g_sage.push_back(sage);
+        table.addRow({art.work.name, TextTable::timesFactor(pigz),
+                      TextTable::timesFactor(spr),
+                      TextTable::timesFactor(sagesw),
+                      TextTable::timesFactor(sage)});
+    }
+    table.addRow({"GMean",
+                  TextTable::timesFactor(bench::geomean(g_pigz)),
+                  TextTable::timesFactor(bench::geomean(g_spr)),
+                  TextTable::timesFactor(bench::geomean(g_sagesw)),
+                  TextTable::timesFactor(bench::geomean(g_sage))});
+    table.print();
+
+    std::printf("\nSAGe energy reduction vs pigz: %.1fx (paper: 34.0x)\n",
+                bench::geomean(g_sage) / bench::geomean(g_pigz));
+    std::printf("SAGe energy reduction vs (N)Spr: %.1fx "
+                "(paper: 16.9x)\n",
+                bench::geomean(g_sage) / bench::geomean(g_spr));
+    std::printf("SAGe energy reduction vs (N)SprAC: %.1fx "
+                "(paper: 13.0x)\n",
+                bench::geomean(g_sage));
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: size breakdown of the reads' mismatch
+ * information under the optimization ladder NO..O4, for one short
+ * (RS2) and one long (RS4) read set, normalized to NO.
+ *
+ * Expected shape: O1 slashes matching positions for short reads; O2
+ * slashes mismatch counts (short) and mismatch positions (long); O3
+ * cuts bases for long reads (chimeras) while growing positions a bit,
+ * and cuts types everywhere; O4 removes corner-case labeling bits.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+using namespace sage;
+
+namespace {
+
+/** Components of the per-read mismatch information (Fig. 17 legend).
+ *  Quality/headers/consensus excluded — the figure covers mismatch
+ *  information only. */
+struct Breakdown
+{
+    uint64_t matchingPos = 0;   // mpa+mpga+sga+sgga
+    uint64_t mismatchCounts = 0; // mca+mcga
+    uint64_t mismatchPos = 0;   // mmpa+mmpga
+    uint64_t basesAndTypes = 0; // mbta
+    uint64_t readLength = 0;    // rla+rlga
+    uint64_t flags = 0;         // rev + segment + escape-label bits
+    uint64_t escapes = 0;       // unmapped / contains-N payloads
+
+    uint64_t
+    total() const
+    {
+        return matchingPos + mismatchCounts + mismatchPos +
+               basesAndTypes + readLength + flags + escapes;
+    }
+};
+
+Breakdown
+breakdownOf(const std::map<std::string, uint64_t> &sizes)
+{
+    auto get = [&](const char *name) -> uint64_t {
+        auto it = sizes.find(name);
+        return it == sizes.end() ? 0 : it->second;
+    };
+    Breakdown b;
+    b.matchingPos = get("mpa") + get("mpga") + get("sga") + get("sgga");
+    b.mismatchCounts = get("mca") + get("mcga");
+    b.mismatchPos = get("mmpa") + get("mmpga");
+    b.basesAndTypes = get("mbta");
+    b.readLength = get("rla") + get("rlga");
+    b.flags = get("flags");
+    b.escapes = get("escape");
+    return b;
+}
+
+void
+runReadSet(const DatasetSpec &spec)
+{
+    std::printf("\n--- %s (%s reads) ---\n", spec.name.c_str(),
+                spec.sequencer.longRead ? "long" : "short");
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    ThreadPool pool;
+
+    TextTable table;
+    table.setHeader({"level", "MatchPos", "MMCounts", "MMPos",
+                     "Bases+Types", "ReadLen", "Flags", "Escape",
+                     "total(norm)"});
+    double base_total = 0.0;
+    for (unsigned level = 0; level <= 4; level++) {
+        const SageConfig config = SageConfig::atLevel(level);
+        const SageArchive archive =
+            sageCompress(ds.readSet, ds.reference, config, &pool);
+        const Breakdown b = breakdownOf(archive.streamSizes);
+        if (level == 0)
+            base_total = static_cast<double>(b.total());
+        auto norm = [&](uint64_t v) {
+            return TextTable::num(static_cast<double>(v) / base_total,
+                                  3);
+        };
+        const char *names[] = {"NO", "O1", "O2", "O3", "O4"};
+        table.addRow({names[level], norm(b.matchingPos),
+                      norm(b.mismatchCounts), norm(b.mismatchPos),
+                      norm(b.basesAndTypes), norm(b.readLength),
+                      norm(b.flags), norm(b.escapes),
+                      norm(b.total())});
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 17: effect of SAGe optimizations on mismatch-info size",
+        "O1 cuts matching positions (short); O2 cuts counts (short) "
+        "and positions (long); O3 cuts bases/types (long); O4 cuts "
+        "corner labels");
+    bench::printScaleNote();
+
+    runReadSet(makeRs2Spec()); // Short.
+    runReadSet(makeRs4Spec()); // Long.
+    return 0;
+}

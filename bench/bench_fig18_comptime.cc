@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Fig. 18: compression time, split into "finding
+ * mismatches" vs "encoding", normalized per read set, plus the §8.6
+ * observation that Algorithm 1's tuning cost is negligible.
+ *
+ * Expected shape: genomic compressors ((N)Spr, SAGe) are much slower
+ * than pigz because of mapping; SAGe is slightly faster than (N)Spr
+ * (no backend compression); encoding is a small share for both.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Fig. 18: normalized compression time (find vs encode)",
+        "SAGe slightly faster than (N)Spr; both dominated by mismatch "
+        "finding; pigz much faster but compresses much worse");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+
+    TextTable table;
+    table.setHeader({"RS", "tool", "find-mm", "encode", "total",
+                     "norm"});
+    for (const auto &art : all) {
+        const double norm = std::max(
+            {art.pigzCompressSeconds, art.springCompressSeconds,
+             art.sageCompressSeconds});
+        auto row = [&](const char *tool, double find, double encode) {
+            table.addRow({art.work.name, tool,
+                          TextTable::num(find, 2) + " s",
+                          TextTable::num(encode, 2) + " s",
+                          TextTable::num(find + encode, 2) + " s",
+                          TextTable::num((find + encode) / norm, 2)});
+        };
+        row("pigz", 0.0, art.pigzCompressSeconds);
+        row("(N)Spr", art.springMapSeconds,
+            art.springCompressSeconds - art.springMapSeconds);
+        row("SAGe", art.sageMapSeconds,
+            art.sageCompressSeconds - art.sageMapSeconds);
+    }
+    table.print();
+
+    std::printf("\nAlgorithm 1 tuning share of SAGe compression "
+                "(paper §8.6: very small):\n");
+    for (const auto &art : all) {
+        std::printf("  %s: %.3f s of %.2f s (%.2f%%)\n",
+                    art.work.name.c_str(), art.sageTuneSeconds,
+                    art.sageCompressSeconds,
+                    100.0 * art.sageTuneSeconds
+                        / art.sageCompressSeconds);
+    }
+    return 0;
+}

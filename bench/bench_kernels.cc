@@ -1,0 +1,161 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels: bit I/O, tuned
+ * field decode, gpzip round trips, SAGe software decode, banded
+ * alignment and the quality range coder. These quantify the per-kernel
+ * costs behind the Fig. 13/14 stage times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "compress/gpzip.hh"
+#include "compress/quality.hh"
+#include "consensus/align.hh"
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/bitio.hh"
+#include "util/rng.hh"
+
+namespace sage {
+namespace {
+
+void
+BM_BitWriterPack(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<std::pair<uint64_t, unsigned>> fields;
+    for (int i = 0; i < 4096; i++) {
+        const unsigned width = 1 + rng.nextBelow(16);
+        fields.emplace_back(rng.next() & ((1u << width) - 1), width);
+    }
+    for (auto _ : state) {
+        BitWriter bw;
+        for (const auto &[value, width] : fields)
+            bw.writeBits(value, width);
+        benchmark::DoNotOptimize(bw.bitCount());
+    }
+    state.SetItemsProcessed(state.iterations() * fields.size());
+}
+BENCHMARK(BM_BitWriterPack);
+
+void
+BM_BitReaderUnpack(benchmark::State &state)
+{
+    Rng rng(2);
+    BitWriter bw;
+    std::vector<unsigned> widths;
+    for (int i = 0; i < 4096; i++) {
+        const unsigned width = 1 + rng.nextBelow(16);
+        widths.push_back(width);
+        bw.writeBits(rng.next(), width);
+    }
+    const auto bytes = bw.take();
+    for (auto _ : state) {
+        BitReader br(bytes);
+        uint64_t sum = 0;
+        for (unsigned width : widths)
+            sum += br.readBits(width);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * widths.size());
+}
+BENCHMARK(BM_BitReaderUnpack);
+
+void
+BM_TunedFieldDecode(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 8192; i++)
+        values.push_back(rng.nextGeometric(0.3));
+    const AssociationTable table = TunedFieldCodec::tuneFor(values);
+    TunedArrayEncoder enc(table);
+    for (uint64_t v : values)
+        enc.append(v);
+    const auto array = enc.takeArray();
+    const auto guide = enc.takeGuide();
+    for (auto _ : state) {
+        TunedArrayDecoder dec(table, BitReader(array),
+                              BitReader(guide));
+        uint64_t sum = 0;
+        for (size_t i = 0; i < values.size(); i++)
+            sum += dec.next();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_TunedFieldDecode);
+
+void
+BM_GpzipDecompress(benchmark::State &state)
+{
+    Rng rng(4);
+    std::string text;
+    for (int i = 0; i < 1 << 20; i++)
+        text.push_back("ACGT"[rng.nextBelow(4)]);
+    const auto archive = gpzip::compress(text);
+    for (auto _ : state) {
+        auto out = gpzip::decompress(archive);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_GpzipDecompress);
+
+void
+BM_SageDecode(benchmark::State &state)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    const SageArchive archive = sageCompress(ds.readSet, ds.reference);
+    for (auto _ : state) {
+        ReadSet rs = sageDecompress(archive.bytes);
+        benchmark::DoNotOptimize(rs.reads.data());
+    }
+    state.SetBytesProcessed(state.iterations()
+                            * ds.readSet.totalBases());
+}
+BENCHMARK(BM_SageDecode);
+
+void
+BM_BandedAlign(benchmark::State &state)
+{
+    Rng rng(5);
+    std::string target;
+    for (int i = 0; i < 1000; i++)
+        target.push_back("ACGT"[rng.nextBelow(4)]);
+    std::string query = target;
+    for (int i = 0; i < 10; i++)
+        query[rng.nextBelow(query.size())] = "ACGT"[rng.nextBelow(4)];
+    for (auto _ : state) {
+        auto result = bandedAlign(target, query,
+                                  static_cast<uint32_t>(state.range(0)));
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandedAlign)->Arg(16)->Arg(64)->Arg(128);
+
+void
+BM_QualityRoundTrip(benchmark::State &state)
+{
+    Rng rng(6);
+    std::vector<std::string> quals;
+    for (int r = 0; r < 200; r++) {
+        std::string q;
+        for (int i = 0; i < 150; i++)
+            q.push_back(static_cast<char>('A' + rng.nextBelow(8)));
+        quals.push_back(std::move(q));
+    }
+    for (auto _ : state) {
+        const QualityArchive archive = compressQuality(quals);
+        auto out = decompressQuality(archive);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * quals.size() * 150);
+}
+BENCHMARK(BM_QualityRoundTrip);
+
+} // namespace
+} // namespace sage
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table 1: area and power of SAGe's logic units at
+ * 1 GHz, 22 nm, per channel and summed for an 8-channel SSD, plus the
+ * §8.1 claim that the total is ~0.7% of the three SSD-controller
+ * cores.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "hw/sage_hw.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 1: area and power of SAGe's logic (22 nm, 1 GHz)",
+        "totals: 0.002 mm^2, 0.49 mW (+0.28 mW for in-storage mode)");
+
+    TextTable table;
+    table.setHeader({"logic unit", "instances", "area [mm^2]",
+                     "power [mW]"});
+    auto row = [&](const char *name, const SageHwUnitSpec &spec) {
+        table.addRow({name, "1 per channel",
+                      TextTable::num(spec.areaMm2, 6),
+                      TextTable::num(spec.powerMw, 3)});
+    };
+    row("Scan Unit", SageHwModel::scanUnit());
+    row("Read Construction Unit", SageHwModel::readConstructionUnit());
+    row("Double Registers (mode 3)", SageHwModel::doubleRegisters());
+    row("Control Unit", SageHwModel::controlUnit());
+
+    SageHwModel host_attached;
+    SageHwConfig mode3_config;
+    mode3_config.inStorageRegisters = true;
+    SageHwModel mode3(mode3_config);
+    table.addRow({"Total (8-channel SSD)", "-",
+                  TextTable::num(host_attached.totalAreaMm2(), 4),
+                  TextTable::num(host_attached.totalPowerMw(), 2) +
+                      " (+" +
+                      TextTable::num(mode3.totalPowerMw()
+                                     - host_attached.totalPowerMw(), 2) +
+                      " mode 3)"});
+    table.print();
+
+    std::printf("\nfraction of three SSD-controller cores: %.2f%% "
+                "(paper: 0.7%%)\n",
+                host_attached.fractionOfControllerCores() * 100.0);
+    std::printf("FPGA framing (paper §6): the logic is ~2.5%% of LUTs "
+                "/ 0.8%% of FFs of a mid-range FPGA.\n");
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reproduces paper Table 2: compression ratios (DNA and quality) of
+ * pigz, (N)Spr and SAGe across the five read sets.
+ *
+ * Expected shape: SAGe's DNA ratio ~3x pigz's and within a few percent
+ * of (N)Spr's; quality ratios identical between SAGe and (N)Spr (same
+ * quality codec, paper §5.1.5).
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 2: compression ratios per read set",
+        "SAGe DNA ratio: 2.9x pigz avg; -4.6% vs (N)Spr avg; "
+        "quality same as (N)Spr");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+
+    // Paper Table 2 values for reference (DNA ratio columns).
+    const double paper_pigz_dna[] = {3.39, 12.5, 3.41, 3.93, 3.5};
+    const double paper_spring_dna[] = {24.8, 40.2, 7.2, 4.8, 7.6};
+
+    TextTable table;
+    table.setHeader({"RS", "uncomp", "pigz-DNA", "pigz-Q", "Spr-DNA",
+                     "Spr-Q", "SAGe-DNA", "SAGe-Q", "paper(pigz/Spr)"});
+    std::vector<double> r_pigz, r_spring, r_sage, sage_vs_spring;
+    for (size_t i = 0; i < all.size(); i++) {
+        const auto &art = all[i];
+        const double dna =
+            static_cast<double>(art.dnaBytesUncompressed);
+        const double qual =
+            static_cast<double>(art.qualBytesUncompressed);
+        const double pigz_dna = dna / art.pigzDnaBytes;
+        const double pigz_q = qual / art.pigzQualBytes;
+        const double spr_dna = dna / art.springDnaBytes;
+        const double spr_q = qual / art.springQualBytes;
+        const double sage_dna = dna / art.sageDnaBytes;
+        const double sage_q = qual / art.sageQualBytes;
+        r_pigz.push_back(pigz_dna);
+        r_spring.push_back(spr_dna);
+        r_sage.push_back(sage_dna);
+        sage_vs_spring.push_back(sage_dna / spr_dna);
+        table.addRow({art.work.name,
+                      TextTable::bytesHuman(
+                          static_cast<double>(art.work.fastqBytes)),
+                      TextTable::num(pigz_dna), TextTable::num(pigz_q),
+                      TextTable::num(spr_dna), TextTable::num(spr_q),
+                      TextTable::num(sage_dna), TextTable::num(sage_q),
+                      TextTable::num(paper_pigz_dna[i], 1) + "/" +
+                          TextTable::num(paper_spring_dna[i], 1)});
+    }
+    table.addRow({"GMean", "",
+                  TextTable::num(bench::geomean(r_pigz)), "",
+                  TextTable::num(bench::geomean(r_spring)), "",
+                  TextTable::num(bench::geomean(r_sage)), "", ""});
+    table.print();
+
+    std::printf("\nSAGe DNA ratio vs pigz: %.2fx larger "
+                "(paper: 2.9x)\n",
+                bench::geomean(r_sage) / bench::geomean(r_pigz));
+    std::printf("SAGe DNA ratio vs (N)Spr: %.1f%% "
+                "(paper: -4.6%% on average)\n",
+                (bench::geomean(sage_vs_spring) - 1.0) * 100.0);
+    return 0;
+}

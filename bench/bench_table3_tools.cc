@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Reproduces paper Table 3: decompression-tool comparison — genomic
+ * specificity, average compression ratio, end-to-end capability,
+ * hardware requirements, memory footprint, and decompression
+ * throughput.
+ *
+ * Expected shape: SAGe pairs a genomic-class ratio with a near-zero
+ * working set and the highest decompression throughput; the general-
+ * purpose tool has a low ratio; the Spring-class tool has the ratio
+ * but a large footprint and low throughput.
+ */
+
+#include <cstdio>
+
+#include "common/bench_common.hh"
+#include "hw/sage_hw.hh"
+#include "util/table.hh"
+
+using namespace sage;
+
+int
+main()
+{
+    bench::printHeader(
+        "Table 3: decompression tool comparison",
+        "SAGe: genomic ratio (15.8 avg), 128 B footprint, 75.4 GB/s; "
+        "Spring-class: 16.9 ratio, 26 GB footprint, 0.7 GB/s; "
+        "general-purpose: ~5x ratio");
+    bench::printScaleNote();
+
+    const auto all = bench::measureAllPresets();
+
+    // Average DNA ratios and throughputs across read sets.
+    std::vector<double> r_pigz, r_spring, r_sage;
+    double pigz_bytes_per_sec = 0, spring_bps = 0, sage_sw_bps = 0;
+    uint64_t spring_ws = 0, sage_ws = 0;
+    double sage_hw_bps = 0;
+    for (const auto &art : all) {
+        const double dna =
+            static_cast<double>(art.dnaBytesUncompressed);
+        r_pigz.push_back(dna / art.pigzDnaBytes);
+        r_spring.push_back(dna / art.springDnaBytes);
+        r_sage.push_back(dna / art.sageDnaBytes);
+        pigz_bytes_per_sec +=
+            static_cast<double>(art.work.fastqBytes)
+            / art.work.pigzDecompSeconds / all.size();
+        spring_bps += static_cast<double>(art.work.fastqBytes)
+            / art.work.springDecompSeconds / all.size();
+        sage_sw_bps += static_cast<double>(art.work.fastqBytes)
+            / art.work.sageSwDecompSeconds / all.size();
+        spring_ws = std::max(spring_ws, art.springWorkingSetBytes);
+        sage_ws = std::max(sage_ws, art.sageWorkingSetBytes);
+
+        // Hardware decompression rate: decompressed bytes per second
+        // at NAND-bound streaming.
+        SageHwModel hw;
+        const SsdModel ssd = SsdModel::pciePerformance();
+        const double sec = hw.decompressSeconds(
+            ssd, art.work.sageDnaStreamBytes, art.work.totalBases);
+        sage_hw_bps += static_cast<double>(art.work.fastqBytes) / sec
+            / all.size();
+    }
+
+    TextTable table;
+    table.setHeader({"tool", "genomic", "avg ratio", "end-to-end",
+                     "hardware", "mem footprint", "decomp GB/s"});
+    table.addRow({"gpzip (pigz-class)", "no",
+                  TextTable::num(bench::geomean(r_pigz), 1), "yes",
+                  "CPU (serial decode)", "O(window) 32 KiB",
+                  TextTable::num(pigz_bytes_per_sec / 1e9, 2)});
+    table.addRow({"SpringLike ((N)Spr-class)", "yes",
+                  TextTable::num(bench::geomean(r_spring), 1), "yes",
+                  "CPU (parallel)",
+                  TextTable::bytesHuman(
+                      static_cast<double>(spring_ws)),
+                  TextTable::num(spring_bps / 1e9, 2) + " (1 thread)"});
+    table.addRow({"SAGe (software)", "yes",
+                  TextTable::num(bench::geomean(r_sage), 1), "yes",
+                  "CPU (parallel)",
+                  TextTable::bytesHuman(static_cast<double>(sage_ws)),
+                  TextTable::num(sage_sw_bps / 1e9, 2) + " (1 thread)"});
+    table.addRow({"SAGe (hardware model)", "yes",
+                  TextTable::num(bench::geomean(r_sage), 1), "yes",
+                  "ASIC 0.0023 mm^2 @22nm", "128 B registers",
+                  TextTable::num(sage_hw_bps / 1e9, 2)});
+    table.print();
+
+    std::printf("\nkey shape: SAGe-HW throughput / Spring-class "
+                "throughput = %.0fx; footprint ratio = %.0e\n",
+                sage_hw_bps / spring_bps,
+                static_cast<double>(spring_ws) / 128.0);
+    return 0;
+}

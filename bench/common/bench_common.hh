@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared benchmark-harness support: preset measurement with a disk
+ * cache (measuring all five read sets takes minutes; every bench
+ * binary reuses one measurement pass), geometric means, and the
+ * paper's reference numbers for side-by-side shape comparison.
+ */
+
+#ifndef SAGE_BENCH_COMMON_HH
+#define SAGE_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "pipeline/measure.hh"
+#include "pipeline/pipeline.hh"
+
+namespace sage {
+namespace bench {
+
+/** Bump when any format/measurement change invalidates cached runs. */
+constexpr int kCacheVersion = 6;
+
+/**
+ * Measure all five RS presets (synthesize + compress with every tool +
+ * time decompression), caching results in ./sage_bench_cache_v*.txt so
+ * subsequent bench binaries skip the ~minutes-long measurement pass.
+ */
+std::vector<MeasuredArtifacts> measureAllPresets(bool verbose = true);
+
+/** Force re-measurement (ignores and rewrites the cache). */
+std::vector<MeasuredArtifacts> remeasureAllPresets(bool verbose = true);
+
+/** Geometric mean (ignores non-positive entries). */
+double geomean(const std::vector<double> &values);
+
+/** Standard banner for a bench binary. */
+void printHeader(const std::string &experiment,
+                 const std::string &paper_summary);
+
+/** Scale note: our datasets are ~1000x smaller than the paper's. */
+void printScaleNote();
+
+} // namespace bench
+} // namespace sage
+
+#endif // SAGE_BENCH_COMMON_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Dataset profiler: maps a read set against its reference and reports
+ * the statistical properties SAGe's encodings exploit (paper §5.1,
+ * Properties 1-6) — the analysis a practitioner would run to decide
+ * how well a new dataset will compress.
+ *
+ * Run:  ./examples/dataset_profiler [short|long]
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "consensus/stats.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace sage;
+
+    const bool long_reads = argc > 1 && std::strcmp(argv[1], "long") == 0;
+    const DatasetSpec spec =
+        long_reads ? makeRs4Spec() : makeRs2Spec();
+    std::printf("profiling %s (%s reads)...\n", spec.name.c_str(),
+                long_reads ? "long" : "short");
+
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    ThreadPool pool;
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet, &pool);
+    const MappingStats map_stats =
+        ConsensusMapper::summarize(mappings, ds.readSet);
+    const PropertyStats props = analyzeProperties(mappings);
+
+    std::printf("\nmapping summary\n");
+    std::printf("  reads:        %llu\n",
+                static_cast<unsigned long long>(map_stats.totalReads));
+    std::printf("  mapped:       %llu (%.1f%%)\n",
+                static_cast<unsigned long long>(map_stats.mappedReads),
+                100.0 * map_stats.mappedReads / map_stats.totalReads);
+    std::printf("  reverse:      %llu\n",
+                static_cast<unsigned long long>(map_stats.reverseReads));
+    std::printf("  chimeric:     %llu (Property 4)\n",
+                static_cast<unsigned long long>(
+                    map_stats.chimericReads));
+    std::printf("  edit events:  %llu over %llu aligned bases "
+                "(%.3f%%)\n",
+                static_cast<unsigned long long>(map_stats.totalEdits),
+                static_cast<unsigned long long>(
+                    map_stats.totalAlignedBases),
+                100.0 * map_stats.totalEdits
+                    / std::max<uint64_t>(map_stats.totalAlignedBases,
+                                         1));
+
+    std::printf("\nmismatch-position delta bits (Property 1)\n");
+    TextTable pos_table;
+    pos_table.setHeader({"#bits", "fraction"});
+    for (size_t b = 1; b <= 12 &&
+                       b < props.mismatchPosDeltaBits.size(); b++) {
+        pos_table.addRow({std::to_string(b),
+                          TextTable::percent(
+                              props.mismatchPosDeltaBits.fraction(b))});
+    }
+    pos_table.print();
+
+    std::printf("\nmismatch counts per read (Property 2)\n");
+    TextTable count_table;
+    count_table.setHeader({"#events", "fraction"});
+    for (size_t c = 0; c <= 6; c++) {
+        count_table.addRow({std::to_string(c),
+                            TextTable::percent(
+                                props.mismatchCountPerRead.fraction(c))});
+    }
+    count_table.print();
+
+    std::printf("\nsubstitution share of events: %s (Property 5)\n",
+                TextTable::percent(props.substitutionFraction).c_str());
+    if (props.indelBlockLength.total() > 0) {
+        std::printf("indel blocks of length 1: %s of blocks, "
+                    "%s of indel bases (Property 3)\n",
+                    TextTable::percent(
+                        props.indelBlockLength.fraction(1)).c_str(),
+                    TextTable::percent(
+                        static_cast<double>(
+                            props.indelBasesByLength.count(1))
+                        / std::max<uint64_t>(
+                              props.indelBasesByLength.total(), 1))
+                        .c_str());
+    }
+    std::printf("matching-position deltas needing <= 6 bits: %s "
+                "(Property 6)\n",
+                TextTable::percent(
+                    static_cast<double>(
+                        props.matchingPosDeltaBits.cumulative(6))
+                    / std::max<uint64_t>(
+                          props.matchingPosDeltaBits.total(), 1))
+                    .c_str());
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * End-to-end read-mapping scenario: a read set is stored compressed on
+ * an SSD, prepared (decompressed + formatted) with different tools,
+ * and mapped with a GEM-class accelerator. Mirrors the workload the
+ * paper's intro motivates (Fig. 1) on one dataset, with real codec
+ * runs feeding the pipeline model.
+ *
+ * Run:  ./examples/end_to_end_mapping
+ */
+
+#include <cstdio>
+
+#include "accel/mappers.hh"
+#include "pipeline/measure.hh"
+#include "pipeline/pipeline.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace sage;
+
+    std::printf("synthesizing and measuring RS1-like workload...\n");
+    const MeasuredArtifacts art = measurePreset(makeRs1Spec());
+    const WorkloadMeasurement &work = art.work;
+    std::printf("  %llu reads, FASTQ %.1f MB; compressed: pigz %.2f MB,"
+                " (N)Spr %.2f MB, SAGe %.2f MB\n\n",
+                static_cast<unsigned long long>(work.totalReads),
+                work.fastqBytes / 1e6, work.pigzBytes / 1e6,
+                work.springBytes / 1e6, work.sageBytes / 1e6);
+
+    SystemConfig system;
+    system.mapper = gemAccelerator();
+
+    TextTable table;
+    table.setHeader({"preparation", "end-to-end", "prep", "I/O", "map",
+                     "KReads/s", "energy [J]"});
+    for (PrepConfig config :
+         {PrepConfig::Pigz, PrepConfig::NSpr, PrepConfig::NSprAC,
+          PrepConfig::SageSW, PrepConfig::SageHW,
+          PrepConfig::ZeroTimeDec}) {
+        const EndToEndResult result =
+            evaluateEndToEnd(work, config, system);
+        table.addRow({prepConfigName(config),
+                      TextTable::num(result.seconds, 4) + " s",
+                      TextTable::num(result.prepSeconds, 4) + " s",
+                      TextTable::num(result.ioSeconds, 4) + " s",
+                      TextTable::num(result.mapSeconds, 4) + " s",
+                      TextTable::num(
+                          result.readsPerSec(work.totalReads) / 1e3, 0),
+                      TextTable::num(result.energy.total(), 2)});
+    }
+    table.print();
+
+    std::printf("\nthe takeaway the paper leads with: once mapping is "
+                "accelerated,\npreparation throughput decides the "
+                "pipeline -- SAGe restores the\naccelerator's benefit "
+                "and matches the zero-time-decompression ideal.\n");
+    return 0;
+}

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * sage_cli: a command-line front end over the library — the shape of
+ * tool a downstream genomics user would actually invoke.
+ *
+ *   sage_cli compress   <in.fastq> <reference.txt> <out.sage> [--drop-quality] [--keep-order]
+ *   sage_cli decompress <in.sage> <out.fastq>
+ *   sage_cli inspect    <in.sage>
+ *   sage_cli demo       <workdir>      (generates inputs, runs all three)
+ *
+ * The reference file is plain text of A/C/G/T (one consensus sequence).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/sage.hh"
+#include "genomics/fastq.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+
+namespace {
+
+using namespace sage;
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    std::string text = oss.str();
+    // Strip whitespace/newlines from reference files.
+    std::string clean;
+    clean.reserve(text.size());
+    for (char c : text) {
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            clean.push_back(c);
+    }
+    return clean;
+}
+
+std::vector<uint8_t>
+readBinaryFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeBinaryFile(const std::string &path, const std::vector<uint8_t> &data)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+}
+
+int
+cmdCompress(int argc, char **argv)
+{
+    if (argc < 5) {
+        std::fprintf(stderr, "usage: sage_cli compress <in.fastq> "
+                             "<reference.txt> <out.sage> "
+                             "[--drop-quality] [--keep-order]\n");
+        return 1;
+    }
+    SageConfig config;
+    for (int i = 5; i < argc; i++) {
+        if (std::strcmp(argv[i], "--drop-quality") == 0)
+            config.keepQuality = false;
+        else if (std::strcmp(argv[i], "--keep-order") == 0)
+            config.preserveOrder = true;
+    }
+    const ReadSet rs = readFastqFile(argv[2]);
+    const std::string reference = readTextFile(argv[3]);
+    const SageArchive archive = sageCompress(rs, reference, config);
+    writeBinaryFile(argv[4], archive.bytes);
+    std::printf("%s: %llu B -> %zu B (%.2fx); DNA %.2fx, quality %s\n",
+                argv[4],
+                static_cast<unsigned long long>(rs.fastqBytes()),
+                archive.bytes.size(),
+                static_cast<double>(rs.fastqBytes())
+                    / archive.bytes.size(),
+                static_cast<double>(rs.dnaBytes()) / archive.dnaBytes,
+                archive.qualityBytes == 0
+                    ? "dropped"
+                    : TextTable::num(
+                          static_cast<double>(rs.qualityBytes())
+                          / archive.qualityBytes).c_str());
+    return 0;
+}
+
+int
+cmdDecompress(int argc, char **argv)
+{
+    if (argc < 4) {
+        std::fprintf(stderr,
+                     "usage: sage_cli decompress <in.sage> <out.fastq>\n");
+        return 1;
+    }
+    const auto archive = readBinaryFile(argv[2]);
+    const ReadSet rs = sageDecompress(archive);
+    writeFastqFile(rs, argv[3]);
+    std::printf("%s: %zu reads restored\n", argv[3], rs.reads.size());
+    return 0;
+}
+
+int
+cmdInspect(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: sage_cli inspect <in.sage>\n");
+        return 1;
+    }
+    const auto archive = readBinaryFile(argv[2]);
+    SageDecoder decoder(archive, /*dna_only=*/true);
+    const ArchiveInfo &info = decoder.info();
+    std::printf("SAGe archive %s\n", argv[2]);
+    std::printf("  reads:            %llu\n",
+                static_cast<unsigned long long>(info.params.numReads));
+    std::printf("  consensus length: %llu\n",
+                static_cast<unsigned long long>(
+                    info.params.consensusLength));
+    std::printf("  quality stream:   %s\n",
+                info.params.hasQuality ? "yes" : "no");
+    std::printf("  order preserved:  %s\n",
+                info.params.preservedOrder ? "yes" : "no");
+    std::printf("  modal read len:   %llu%s\n",
+                static_cast<unsigned long long>(
+                    info.params.modalReadLength),
+                info.params.constantReadLength ? " (constant)" : "");
+    std::printf("  optimizations:    reorder=%d tuned=%d segments=%u "
+                "infer-types=%d corner-trick=%d\n",
+                info.params.reorderReads, info.params.tuneArrays,
+                info.params.maxSegments, info.params.inferTypes,
+                info.params.cornerTrick);
+    std::printf("  matching-pos widths (bits):");
+    for (uint8_t width : info.params.matchPos.widthByRank)
+        std::printf(" %u", width);
+    std::printf("\n  mismatch-pos widths (bits):");
+    for (uint8_t width : info.params.mismatchPos.widthByRank)
+        std::printf(" %u", width);
+    std::printf("\n  streams:\n");
+    for (const auto &[name, size] : info.streamSizes) {
+        std::printf("    %-10s %10llu B\n", name.c_str(),
+                    static_cast<unsigned long long>(size));
+    }
+    return 0;
+}
+
+int
+cmdDemo(int argc, char **argv)
+{
+    const std::string dir = argc > 2 ? argv[2] : "/tmp";
+    const std::string fastq = dir + "/cli_demo.fastq";
+    const std::string ref = dir + "/cli_demo.ref.txt";
+    const std::string archive = dir + "/cli_demo.sage";
+    const std::string restored = dir + "/cli_demo.out.fastq";
+
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    writeFastqFile(ds.readSet, fastq);
+    {
+        std::ofstream out(ref);
+        out << ds.reference;
+    }
+    std::printf("generated %s and %s\n", fastq.c_str(), ref.c_str());
+
+    char prog[] = "sage_cli";
+    char c0[] = "compress";
+    std::vector<char *> cargs = {prog, c0,
+                                 const_cast<char *>(fastq.c_str()),
+                                 const_cast<char *>(ref.c_str()),
+                                 const_cast<char *>(archive.c_str())};
+    cmdCompress(static_cast<int>(cargs.size()), cargs.data());
+
+    char c1[] = "inspect";
+    std::vector<char *> iargs = {prog, c1,
+                                 const_cast<char *>(archive.c_str())};
+    cmdInspect(static_cast<int>(iargs.size()), iargs.data());
+
+    char c2[] = "decompress";
+    std::vector<char *> dargs = {prog, c2,
+                                 const_cast<char *>(archive.c_str()),
+                                 const_cast<char *>(restored.c_str())};
+    return cmdDecompress(static_cast<int>(dargs.size()), dargs.data());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: sage_cli <compress|decompress|inspect|demo> "
+                     "...\n");
+        return 1;
+    }
+    if (std::strcmp(argv[1], "compress") == 0)
+        return cmdCompress(argc, argv);
+    if (std::strcmp(argv[1], "decompress") == 0)
+        return cmdDecompress(argc, argv);
+    if (std::strcmp(argv[1], "inspect") == 0)
+        return cmdInspect(argc, argv);
+    if (std::strcmp(argv[1], "demo") == 0)
+        return cmdDemo(argc, argv);
+    std::fprintf(stderr, "unknown command: %s\n", argv[1]);
+    return 1;
+}

@@ -1,0 +1,74 @@
+#include "accel/genstore.hh"
+
+#include <algorithm>
+
+#include "genomics/alphabet.hh"
+#include "genomics/kmer.hh"
+
+namespace sage {
+
+InStorageFilter::InStorageFilter(std::string_view reference)
+    : reference_(reference), index_(reference)
+{
+}
+
+bool
+InStorageFilter::matchesExactly(std::string_view bases) const
+{
+    if (bases.size() < index_.config().k || !isAcgtOnly(bases))
+        return false;
+
+    auto check_orientation = [&](std::string_view oriented) {
+        // Anchor with the read's minimizers, then verify bytewise.
+        const auto seeds = extractMinimizers(oriented,
+                                             index_.config().k,
+                                             index_.config().w);
+        for (size_t s = 0; s < std::min<size_t>(seeds.size(), 4); s++) {
+            for (uint32_t cpos : index_.lookup(seeds[s].kmer)) {
+                if (cpos < seeds[s].pos)
+                    continue;
+                const uint64_t start = cpos - seeds[s].pos;
+                if (start + oriented.size() > reference_.size())
+                    continue;
+                if (reference_.substr(start, oriented.size()) == oriented)
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    if (check_orientation(bases))
+        return true;
+    const std::string rc = reverseComplement(bases);
+    return check_orientation(rc);
+}
+
+IsfResult
+InStorageFilter::filter(const ReadSet &rs) const
+{
+    IsfResult result;
+    result.totalReads = rs.reads.size();
+    for (const auto &read : rs.reads) {
+        result.totalBases += read.bases.size();
+        if (matchesExactly(read.bases)) {
+            result.filteredReads++;
+            result.filteredBases += read.bases.size();
+        }
+    }
+    return result;
+}
+
+double
+InStorageFilter::filterSeconds(const SsdModel &ssd, uint64_t bases) const
+{
+    // GenStore's filter keeps up with NAND delivery; model its
+    // throughput as in-SSD streaming over 2-bit-packed reads with a
+    // modest logic efficiency factor.
+    const double packed_bytes = static_cast<double>(bases) / 4.0;
+    const double stream_sec =
+        packed_bytes / ssd.internalReadBandwidth();
+    constexpr double kLogicEfficiency = 0.85;
+    return stream_sec / kLogicEfficiency;
+}
+
+} // namespace sage

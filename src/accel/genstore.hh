@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GenStore-like in-storage filter (ISF) model (paper §7, [145]).
+ *
+ * GenStore filters, inside the SSD, reads that do not need expensive
+ * mapping — for read sets with high reference similarity that means
+ * exactly-matching reads — and sends only the remainder to the mapper.
+ * The resulting pipeline is prep -> ISF -> mapping; its benefit scales
+ * with the filtered fraction, which is workload-dependent (paper §8.1
+ * notes RS-dependent ISF behaviour).
+ *
+ * We implement the filter functionally (an exact-match check against
+ * the consensus via a k-mer anchor + verification) plus a timing model
+ * for its in-SSD execution.
+ */
+
+#ifndef SAGE_ACCEL_GENSTORE_HH
+#define SAGE_ACCEL_GENSTORE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "consensus/index.hh"
+#include "genomics/read.hh"
+#include "ssd/nand.hh"
+
+namespace sage {
+
+/** Outcome of running the ISF over a read set. */
+struct IsfResult
+{
+    uint64_t totalReads = 0;
+    uint64_t filteredReads = 0;   ///< Exact matches, dropped in-SSD.
+    uint64_t totalBases = 0;
+    uint64_t filteredBases = 0;
+
+    /** Fraction of reads the ISF removed. */
+    double
+    filterFraction() const
+    {
+        return totalReads == 0 ? 0.0
+            : static_cast<double>(filteredReads) / totalReads;
+    }
+
+    /** Bases that still need mapping on the host/accelerator side. */
+    uint64_t
+    remainingBases() const
+    {
+        return totalBases - filteredBases;
+    }
+};
+
+/** In-storage exact-match filter. */
+class InStorageFilter
+{
+  public:
+    /** Build over the reference the read set will be mapped against.
+     *  @p reference must outlive the filter. */
+    explicit InStorageFilter(std::string_view reference);
+
+    /** True if @p bases occurs exactly in the reference (either
+     *  strand) — i.e. the read needs no alignment. */
+    bool matchesExactly(std::string_view bases) const;
+
+    /** Run the filter over a read set. */
+    IsfResult filter(const ReadSet &rs) const;
+
+    /**
+     * In-SSD filtering seconds for @p bases of (already decompressed)
+     * reads: the filter streams reads at near-NAND bandwidth with
+     * lightweight per-base hashing (GenStore's design point).
+     */
+    double filterSeconds(const SsdModel &ssd, uint64_t bases) const;
+
+    /** Active power of the ISF logic in watts. */
+    double activePowerWatts() const { return 0.8; }
+
+  private:
+    std::string_view reference_;
+    MinimizerIndex index_;
+};
+
+} // namespace sage
+
+#endif // SAGE_ACCEL_GENSTORE_HH

@@ -1,0 +1,27 @@
+#include "accel/mappers.hh"
+
+namespace sage {
+
+MapperModel
+gemAccelerator()
+{
+    MapperModel model;
+    model.readsPerSec = 69.2e6;         // 69200 KReads/s (paper Fig. 1).
+    model.referenceReadLength = 100.0;
+    model.activePowerWatts = 8.0;       // Near-memory accelerator class.
+    model.idlePowerWatts = 1.0;
+    return model;
+}
+
+MapperModel
+softwareMapper()
+{
+    MapperModel model;
+    model.readsPerSec = 446e3;          // 446 KReads/s (paper Fig. 1).
+    model.referenceReadLength = 100.0;
+    model.activePowerWatts = 180.0;     // 128-core host under load.
+    model.idlePowerWatts = 70.0;
+    return model;
+}
+
+} // namespace sage

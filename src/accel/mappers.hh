@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Genome analysis accelerator models (paper §7).
+ *
+ *  - GemModel: the GEM read-mapping accelerator. The paper itself uses
+ *    the throughput reported by the GEM paper (69,200 KReads/s on short
+ *    reads, Fig. 1); we do the same and convert to bases/s so long
+ *    reads are handled consistently.
+ *  - SoftwareMapperModel: the minimap2-class software baseline
+ *    (446 KReads/s in Fig. 1).
+ *
+ * Both are throughput/power servers for the pipeline model; mapping
+ * *results* are not needed by any reproduced experiment (the paper
+ * reports end-to-end throughput, not mapping accuracy).
+ */
+
+#ifndef SAGE_ACCEL_MAPPERS_HH
+#define SAGE_ACCEL_MAPPERS_HH
+
+#include <cstdint>
+
+namespace sage {
+
+/** A mapping-stage throughput/power model. */
+struct MapperModel
+{
+    /** Reads per second on the reference short-read length. */
+    double readsPerSec = 69.2e6;
+    /** Short-read length the figure was reported for. */
+    double referenceReadLength = 100.0;
+    /** Active power in watts. */
+    double activePowerWatts = 8.0;
+    /** Idle power in watts. */
+    double idlePowerWatts = 1.0;
+
+    /** Bases mapped per second (length-normalized throughput). */
+    double
+    basesPerSec() const
+    {
+        return readsPerSec * referenceReadLength;
+    }
+
+    /** Seconds to map @p bases of reads. */
+    double
+    mapSeconds(uint64_t bases) const
+    {
+        return static_cast<double>(bases) / basesPerSec();
+    }
+
+    /** Energy for a window of @p seconds with @p busy busy-seconds. */
+    double
+    energyJoules(double seconds, double busy) const
+    {
+        return idlePowerWatts * seconds + activePowerWatts * busy;
+    }
+};
+
+/** GEM hardware read-mapping accelerator (paper [150], Fig. 1). */
+MapperModel gemAccelerator();
+
+/** Software mapper on the high-end host (Fig. 1 "Baseline"). */
+MapperModel softwareMapper();
+
+} // namespace sage
+
+#endif // SAGE_ACCEL_MAPPERS_HH

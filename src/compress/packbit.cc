@@ -1,0 +1,171 @@
+#include "compress/packbit.hh"
+
+#include "util/bitio.hh"
+#include "util/crc32.hh"
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+#include "genomics/alphabet.hh"
+
+namespace sage {
+namespace packbit {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x31424b50; // "PKB1"
+constexpr unsigned kMinRun = 3;
+constexpr unsigned kMaxRun = kMinRun + 15;
+
+/** Encode one read's bases into the bit stream. */
+void
+encodeBases(BitWriter &bw, const std::string &bases)
+{
+    size_t i = 0;
+    while (i < bases.size()) {
+        const char c = bases[i];
+        const uint8_t code = baseToCode(c);
+        if (code >= 4) {
+            bw.writeBits(0b011, 3); // N marker (read LSB-first: 1,1,0).
+            i++;
+            continue;
+        }
+        // Count the run of equal bases.
+        size_t run = 1;
+        while (i + run < bases.size() && bases[i + run] == c &&
+               run < kMaxRun) {
+            run++;
+        }
+        if (run >= kMinRun) {
+            bw.writeBit(true);
+            bw.writeBit(false);
+            bw.writeBits(code, 2);
+            bw.writeBits(run - kMinRun, 4);
+            i += run;
+        } else {
+            bw.writeBit(false);
+            bw.writeBits(code, 2);
+            i++;
+        }
+    }
+}
+
+/** Decode @p length bases from the bit stream. */
+std::string
+decodeBases(BitReader &br, uint64_t length)
+{
+    std::string out;
+    out.reserve(length);
+    while (out.size() < length) {
+        if (!br.readBit()) {
+            out.push_back(codeToBase(
+                static_cast<uint8_t>(br.readBits(2))));
+        } else if (!br.readBit()) {
+            const char c = codeToBase(
+                static_cast<uint8_t>(br.readBits(2)));
+            const uint64_t run = kMinRun + br.readBits(4);
+            out.append(run, c);
+        } else {
+            sage_assert(!br.readBit(), "bad packbit token");
+            out.push_back('N');
+        }
+    }
+    sage_assert(out.size() == length, "packbit length overrun");
+    return out;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+compress(const ReadSet &rs)
+{
+    std::vector<uint8_t> out;
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<uint8_t>(kMagic >> (8 * i)));
+    putVarint(out, rs.reads.size());
+
+    // Lengths, then the packed DNA stream, then raw quality/headers.
+    for (const auto &read : rs.reads)
+        putVarint(out, read.bases.size());
+
+    BitWriter bw;
+    for (const auto &read : rs.reads)
+        encodeBases(bw, read.bases);
+    const auto dna = bw.take();
+    putVarint(out, dna.size());
+    out.insert(out.end(), dna.begin(), dna.end());
+
+    std::vector<uint8_t> tail;
+    for (const auto &read : rs.reads) {
+        putVarint(tail, read.quals.size());
+        tail.insert(tail.end(), read.quals.begin(), read.quals.end());
+        putVarint(tail, read.header.size());
+        tail.insert(tail.end(), read.header.begin(), read.header.end());
+    }
+    putVarint(out, tail.size());
+    out.insert(out.end(), tail.begin(), tail.end());
+
+    const uint32_t crc = Crc32::of(out);
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    return out;
+}
+
+ReadSet
+decompress(const std::vector<uint8_t> &archive)
+{
+    sage_assert(archive.size() >= 8, "packbit archive too small");
+    const size_t body = archive.size() - 4;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; i++)
+        crc |= static_cast<uint32_t>(archive[body + i]) << (8 * i);
+    if (Crc32::of(archive.data(), body) != crc)
+        sage_fatal("packbit CRC mismatch (corrupt archive)");
+
+    size_t pos = 0;
+    uint32_t magic = 0;
+    for (int i = 0; i < 4; i++)
+        magic |= static_cast<uint32_t>(archive[pos++]) << (8 * i);
+    if (magic != kMagic)
+        sage_fatal("not a packbit archive");
+
+    ReadSet rs;
+    const uint64_t num_reads = getVarint(archive, pos);
+    std::vector<uint64_t> lengths(num_reads);
+    for (auto &len : lengths)
+        len = getVarint(archive, pos);
+
+    const uint64_t dna_size = getVarint(archive, pos);
+    BitReader br(archive.data() + pos, dna_size);
+    pos += dna_size;
+
+    rs.reads.resize(num_reads);
+    for (uint64_t r = 0; r < num_reads; r++)
+        rs.reads[r].bases = decodeBases(br, lengths[r]);
+
+    const uint64_t tail_size = getVarint(archive, pos);
+    const size_t tail_end = pos + tail_size;
+    for (uint64_t r = 0; r < num_reads && pos < tail_end; r++) {
+        const uint64_t qlen = getVarint(archive, pos);
+        rs.reads[r].quals.assign(archive.begin() + pos,
+                                 archive.begin() + pos + qlen);
+        pos += qlen;
+        const uint64_t hlen = getVarint(archive, pos);
+        rs.reads[r].header.assign(archive.begin() + pos,
+                                  archive.begin() + pos + hlen);
+        pos += hlen;
+    }
+    return rs;
+}
+
+uint64_t
+dnaBytes(const std::vector<uint8_t> &archive)
+{
+    size_t pos = 4;
+    const uint64_t num_reads = getVarint(archive, pos);
+    for (uint64_t r = 0; r < num_reads; r++)
+        getVarint(archive, pos);
+    return getVarint(archive, pos);
+}
+
+} // namespace packbit
+} // namespace sage

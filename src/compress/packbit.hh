@@ -1,0 +1,43 @@
+/**
+ * @file
+ * packbit: a DNABIT-class lightweight genomic compressor.
+ *
+ * The paper (§3.2, footnote 5) discusses this tool class: genomic
+ * (de)compression algorithms that avoid expensive resources — plain
+ * fixed-width packing with run-length shortcuts — but achieve ~5.3x
+ * lower compression ratios than consensus-based genomic compressors.
+ * It completes the design space in Table 3: lightweight like SAGe,
+ * but without the co-designed consensus encoding, the ratio collapses
+ * toward the 2-bit floor.
+ *
+ * Format: per read, varint length, then a token stream of
+ *   0 + 2-bit base                 (literal A/C/G/T)
+ *   1 0 + 2-bit base + 4-bit run   (run of 3-18 equal bases)
+ *   1 1 0                          (N base)
+ * Quality and headers are stored raw (these tools target DNA only).
+ */
+
+#ifndef SAGE_COMPRESS_PACKBIT_HH
+#define SAGE_COMPRESS_PACKBIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "genomics/read.hh"
+
+namespace sage {
+namespace packbit {
+
+/** Compress a read set (DNA stream only; quality/headers raw). */
+std::vector<uint8_t> compress(const ReadSet &rs);
+
+/** Decompress a packbit archive. */
+ReadSet decompress(const std::vector<uint8_t> &archive);
+
+/** Compressed size of the DNA portion alone. */
+uint64_t dnaBytes(const std::vector<uint8_t> &archive);
+
+} // namespace packbit
+} // namespace sage
+
+#endif // SAGE_COMPRESS_PACKBIT_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * SpringLike: the repository's stand-in for Spring / NanoSpring, the
+ * state-of-the-art software genomic compressors the paper baselines
+ * against (§7: "(N)Spr").
+ *
+ * Architecture matches the class of tools the paper describes (§2.2):
+ * consensus-based mismatch encoding with read reordering, followed by a
+ * *backend general-purpose compression stage* (our gpzip) over the typed
+ * streams. That backend stage is what gives these tools their ratio and
+ * what makes their decompression heavyweight — table-driven entropy
+ * decoding with large working sets — which is the property SAGe's
+ * co-design removes.
+ */
+
+#ifndef SAGE_COMPRESS_SPRINGLIKE_HH
+#define SAGE_COMPRESS_SPRINGLIKE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/gpzip.hh"
+#include "compress/quality.hh"
+#include "consensus/mapper.hh"
+#include "genomics/read.hh"
+
+namespace sage {
+
+class ThreadPool;
+
+namespace springlike {
+
+/** Compressor configuration. */
+struct Config
+{
+    MapperConfig mapper;
+    gpzip::Config backend;
+    QualityConfig quality;
+    /** Store the original read order (costs ~2-4 B/read). */
+    bool preserveOrder = false;
+    /** Compress quality scores (NanoSpring-style tools drop them). */
+    bool keepQuality = true;
+};
+
+/** Compression output plus the accounting the benches need. */
+struct CompressResult
+{
+    std::vector<uint8_t> archive;
+    /** Per-stream compressed sizes (bytes). */
+    std::map<std::string, uint64_t> streamSizes;
+    /** Wall-clock split: mapping ("finding mismatches") vs encoding. */
+    double mapSeconds = 0.0;
+    double encodeSeconds = 0.0;
+    /** Compressed size of the DNA-only portion (consensus + mismatch). */
+    uint64_t dnaBytes = 0;
+    /** Compressed size of the quality portion. */
+    uint64_t qualityBytes = 0;
+};
+
+/** Compress @p rs against @p consensus (stored inside the archive). */
+CompressResult compress(const ReadSet &rs, std::string_view consensus,
+                        const Config &config = {},
+                        ThreadPool *pool = nullptr);
+
+/** Decompression output plus working-set accounting (Table 3). */
+struct DecompressResult
+{
+    ReadSet readSet;
+    /** Peak bytes of decode-side structures (consensus + streams). */
+    uint64_t workingSetBytes = 0;
+    /**
+     * Wall-clock share spent in the backend general-purpose decode
+     * stage (entropy decoding). This is the share an idealized
+     * BWT/backend accelerator removes in the paper's "(N)SprAC"
+     * configuration (§7).
+     */
+    double backendSeconds = 0.0;
+    /** Wall-clock share spent reconstructing reads from mismatches. */
+    double reconstructSeconds = 0.0;
+};
+
+/** Decompress an archive produced by compress(). */
+DecompressResult decompress(const std::vector<uint8_t> &archive,
+                            ThreadPool *pool = nullptr);
+
+} // namespace springlike
+} // namespace sage
+
+#endif // SAGE_COMPRESS_SPRINGLIKE_HH

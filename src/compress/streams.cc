@@ -1,0 +1,94 @@
+#include "compress/streams.hh"
+
+#include "util/crc32.hh"
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace sage {
+
+std::vector<uint8_t> &
+StreamBundle::stream(const std::string &name)
+{
+    return streams_[name];
+}
+
+const std::vector<uint8_t> &
+StreamBundle::stream(const std::string &name) const
+{
+    auto it = streams_.find(name);
+    if (it == streams_.end())
+        sage_fatal("missing stream: ", name);
+    return it->second;
+}
+
+bool
+StreamBundle::has(const std::string &name) const
+{
+    return streams_.count(name) > 0;
+}
+
+uint64_t
+StreamBundle::totalBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[name, data] : streams_)
+        total += data.size();
+    return total;
+}
+
+std::map<std::string, uint64_t>
+StreamBundle::sizes() const
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, data] : streams_)
+        out[name] = data.size();
+    return out;
+}
+
+std::vector<uint8_t>
+StreamBundle::serialize() const
+{
+    std::vector<uint8_t> out;
+    putVarint(out, streams_.size());
+    for (const auto &[name, data] : streams_) {
+        putVarint(out, name.size());
+        out.insert(out.end(), name.begin(), name.end());
+        putVarint(out, data.size());
+        out.insert(out.end(), data.begin(), data.end());
+    }
+    const uint32_t crc = Crc32::of(out);
+    for (int i = 0; i < 4; i++)
+        out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    return out;
+}
+
+StreamBundle
+StreamBundle::deserialize(const std::vector<uint8_t> &bytes)
+{
+    sage_assert(bytes.size() >= 4, "stream bundle too small");
+    const size_t body = bytes.size() - 4;
+    uint32_t crc = 0;
+    for (int i = 0; i < 4; i++)
+        crc |= static_cast<uint32_t>(bytes[body + i]) << (8 * i);
+    if (Crc32::of(bytes.data(), body) != crc)
+        sage_fatal("stream bundle CRC mismatch (corrupt data)");
+
+    StreamBundle bundle;
+    size_t pos = 0;
+    const uint64_t count = getVarint(bytes, pos);
+    for (uint64_t i = 0; i < count; i++) {
+        const uint64_t name_len = getVarint(bytes, pos);
+        sage_assert(pos + name_len <= body, "stream bundle truncated");
+        std::string name(bytes.begin() + pos,
+                         bytes.begin() + pos + name_len);
+        pos += name_len;
+        const uint64_t data_len = getVarint(bytes, pos);
+        sage_assert(pos + data_len <= body, "stream bundle truncated");
+        bundle.streams_[name].assign(bytes.begin() + pos,
+                                     bytes.begin() + pos + data_len);
+        pos += data_len;
+    }
+    return bundle;
+}
+
+} // namespace sage

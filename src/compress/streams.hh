@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Named-stream container: a simple serialized bundle of byte streams with
+ * CRC integrity, shared by the SpringLike baseline and the SAGe container
+ * (both formats are "a handful of typed streams plus a header").
+ */
+
+#ifndef SAGE_COMPRESS_STREAMS_HH
+#define SAGE_COMPRESS_STREAMS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sage {
+
+/** An ordered collection of named byte streams. */
+class StreamBundle
+{
+  public:
+    /** Access (creating if absent) the stream named @p name. */
+    std::vector<uint8_t> &stream(const std::string &name);
+
+    /** Read-only access; fatal if the stream is missing. */
+    const std::vector<uint8_t> &stream(const std::string &name) const;
+
+    /** True if a stream with this name exists. */
+    bool has(const std::string &name) const;
+
+    /** Total payload bytes across all streams. */
+    uint64_t totalBytes() const;
+
+    /** Per-stream sizes (for breakdown reporting, e.g. Fig. 17). */
+    std::map<std::string, uint64_t> sizes() const;
+
+    /** Serialize to one byte vector (with CRC). */
+    std::vector<uint8_t> serialize() const;
+
+    /** Parse a serialized bundle; verifies CRC. */
+    static StreamBundle deserialize(const std::vector<uint8_t> &bytes);
+
+  private:
+    std::map<std::string, std::vector<uint8_t>> streams_;
+};
+
+} // namespace sage
+
+#endif // SAGE_COMPRESS_STREAMS_HH

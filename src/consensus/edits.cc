@@ -1,0 +1,72 @@
+#include "consensus/edits.hh"
+
+#include "util/logging.hh"
+
+namespace sage {
+
+std::string
+reconstructSegment(std::string_view consensus, const AlignedSegment &seg)
+{
+    std::string out;
+    out.reserve(seg.readLength);
+    size_t read_i = 0;                 // Offset within the segment.
+    uint64_t cons_j = seg.consensusPos;
+
+    auto copy_until = [&](size_t target) {
+        while (read_i < target) {
+            sage_assert(cons_j < consensus.size(),
+                        "reconstruct ran off consensus end");
+            out.push_back(consensus[cons_j++]);
+            read_i++;
+        }
+    };
+
+    for (const auto &op : seg.ops) {
+        sage_assert(op.readPos >= read_i,
+                    "edit ops must be sorted by read position");
+        copy_until(op.readPos);
+        switch (op.type) {
+          case EditType::Sub:
+            sage_assert(op.bases.size() == 1, "substitution needs 1 base");
+            out.push_back(op.bases[0]);
+            read_i++;
+            cons_j++;
+            break;
+          case EditType::Ins:
+            sage_assert(op.bases.size() == op.length,
+                        "insertion bases/length mismatch");
+            out.append(op.bases);
+            read_i += op.length;
+            break;
+          case EditType::Del:
+            cons_j += op.length;
+            break;
+        }
+    }
+    copy_until(seg.readLength);
+    return out;
+}
+
+std::string
+reconstructRead(std::string_view consensus, const ReadMapping &mapping)
+{
+    sage_assert(mapping.mapped, "cannot reconstruct an unmapped read");
+    std::string out;
+    for (const auto &seg : mapping.segments) {
+        sage_assert(seg.readStart == out.size(),
+                    "segments must tile the read contiguously");
+        out += reconstructSegment(consensus, seg);
+    }
+    return out;
+}
+
+size_t
+storedBaseCount(const std::vector<EditOp> &ops)
+{
+    size_t n = 0;
+    for (const auto &op : ops)
+        n += op.bases.size();
+    return n;
+}
+
+} // namespace sage

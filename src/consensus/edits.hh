@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Edit scripts: the mismatch information genomic compressors store
+ * (paper §2.2, Fig. 3) — matching position, mismatch positions, mismatch
+ * bases and types, and read length.
+ *
+ * Semantics are defined by reconstructSegment(): an edit script is exact
+ * by construction (it is an alignment traceback), so a compressor that
+ * stores it losslessly can always rebuild the original read.
+ */
+
+#ifndef SAGE_CONSENSUS_EDITS_HH
+#define SAGE_CONSENSUS_EDITS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sage {
+
+/** Kind of one mismatch event. */
+enum class EditType : uint8_t {
+    Sub = 0,  ///< Single-base substitution.
+    Ins = 1,  ///< Insertion block (bases present in read only).
+    Del = 2,  ///< Deletion block (consensus bases absent from read).
+};
+
+/**
+ * One mismatch event in read coordinates.
+ *
+ * readPos is the read offset where the event applies; for a deletion it
+ * is the offset of the first read base *after* the deleted consensus run.
+ * Events are kept sorted by (readPos, order of application); a Del sorts
+ * before an Ins/Sub at the same readPos.
+ */
+struct EditOp
+{
+    uint32_t readPos = 0;
+    EditType type = EditType::Sub;
+    uint32_t length = 1;     ///< Block length (1 for substitutions).
+    std::string bases;       ///< Sub: 1 base; Ins: `length` bases; Del: "".
+};
+
+/** A contiguous chunk of a read aligned to one consensus location. */
+struct AlignedSegment
+{
+    uint64_t consensusPos = 0;  ///< Consensus offset of the first base.
+    uint32_t readStart = 0;     ///< First read offset covered.
+    uint32_t readLength = 0;    ///< Number of read bases covered.
+    std::vector<EditOp> ops;    ///< Events within the segment,
+                                ///< readPos relative to readStart.
+};
+
+/**
+ * Mapping of one full read: one segment normally, up to N segments for
+ * chimeric reads (paper §5.1.2, Property 4). Unmapped reads have
+ * mapped == false and are handled by the compressors' escape paths.
+ */
+struct ReadMapping
+{
+    bool mapped = false;
+    bool reverse = false;        ///< Read aligned as reverse complement.
+    std::vector<AlignedSegment> segments;
+
+    /** Total number of mismatch events across segments. */
+    size_t
+    totalEdits() const
+    {
+        size_t n = 0;
+        for (const auto &seg : segments)
+            n += seg.ops.size();
+        return n;
+    }
+
+    /** Matching position of the read (first segment's consensus pos). */
+    uint64_t
+    primaryPosition() const
+    {
+        return segments.empty() ? 0 : segments.front().consensusPos;
+    }
+};
+
+/**
+ * Rebuild the read bases covered by @p seg from @p consensus.
+ * This function *defines* edit-script semantics; every decoder
+ * (software, hardware model) must agree with it.
+ */
+std::string reconstructSegment(std::string_view consensus,
+                               const AlignedSegment &seg);
+
+/** Rebuild a full (oriented) read from all segments of a mapping. */
+std::string reconstructRead(std::string_view consensus,
+                            const ReadMapping &mapping);
+
+/** Sum of inserted/substituted bases stored explicitly by the script. */
+size_t storedBaseCount(const std::vector<EditOp> &ops);
+
+} // namespace sage
+
+#endif // SAGE_CONSENSUS_EDITS_HH

@@ -1,0 +1,42 @@
+#include "consensus/index.hh"
+
+namespace sage {
+
+MinimizerIndex::MinimizerIndex(std::string_view consensus,
+                               IndexConfig config)
+    : consensus_(consensus), config_(config)
+{
+    const auto minimizers =
+        extractMinimizers(consensus, config_.k, config_.w);
+    table_.reserve(minimizers.size());
+    for (const auto &hit : minimizers)
+        table_[hit.kmer].push_back(hit.pos);
+
+    // Cap repetitive seeds: long position lists blow up candidate sets
+    // without adding placement information. Truncating (rather than
+    // dropping) keeps reads from repeat regions mappable to *some*
+    // repeat copy — any copy yields a valid consensus encoding.
+    for (auto &[kmer, positions] : table_) {
+        if (positions.size() > config_.maxOccurrence)
+            positions.resize(config_.maxOccurrence);
+    }
+}
+
+const std::vector<uint32_t> &
+MinimizerIndex::lookup(uint64_t kmer) const
+{
+    auto it = table_.find(kmer);
+    return it == table_.end() ? empty_ : it->second;
+}
+
+size_t
+MinimizerIndex::memoryBytes() const
+{
+    size_t bytes = table_.size()
+        * (sizeof(uint64_t) + sizeof(std::vector<uint32_t>) + 16);
+    for (const auto &[kmer, positions] : table_)
+        bytes += positions.size() * sizeof(uint32_t);
+    return bytes;
+}
+
+} // namespace sage

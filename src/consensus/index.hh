@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimizer index over a consensus sequence.
+ *
+ * Compressors map reads against the consensus to find mismatch
+ * information (paper §5.1); this index supplies the seed hits.
+ */
+
+#ifndef SAGE_CONSENSUS_INDEX_HH
+#define SAGE_CONSENSUS_INDEX_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/kmer.hh"
+
+namespace sage {
+
+/** Index build parameters. */
+struct IndexConfig
+{
+    unsigned k = 15;         ///< K-mer length.
+    unsigned w = 5;          ///< Minimizer window (k-mers per window).
+    unsigned maxOccurrence = 64;  ///< Drop seeds more frequent than this.
+};
+
+/** Hash index from minimizer k-mer to consensus positions. */
+class MinimizerIndex
+{
+  public:
+    /** Build an index over @p consensus. The string must outlive us. */
+    MinimizerIndex(std::string_view consensus, IndexConfig config = {});
+
+    /** All indexed positions of @p kmer (empty if absent/masked). */
+    const std::vector<uint32_t> &lookup(uint64_t kmer) const;
+
+    const IndexConfig &config() const { return config_; }
+    std::string_view consensus() const { return consensus_; }
+
+    /** Number of distinct indexed minimizers. */
+    size_t distinctSeeds() const { return table_.size(); }
+
+    /** Approximate index memory footprint in bytes (for Table 3). */
+    size_t memoryBytes() const;
+
+  private:
+    std::string_view consensus_;
+    IndexConfig config_;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> table_;
+    std::vector<uint32_t> empty_;
+};
+
+} // namespace sage
+
+#endif // SAGE_CONSENSUS_INDEX_HH

@@ -1,0 +1,286 @@
+#include "consensus/mapper.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "genomics/alphabet.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace sage {
+
+/** One anchor chain: co-linear seed matches on a shared diagonal band. */
+struct ConsensusMapper::Chain
+{
+    /** Anchor (read offset, consensus offset) pairs, read-sorted. */
+    std::vector<std::pair<uint32_t, uint32_t>> anchors;
+    uint32_t score = 0;  ///< Read span covered (proxy for quality).
+
+    uint32_t readStart() const { return anchors.front().first; }
+    uint32_t readEnd() const { return anchors.back().first; }
+};
+
+ConsensusMapper::ConsensusMapper(std::string_view consensus,
+                                 MapperConfig config)
+    : consensus_(consensus), config_(config),
+      index_(consensus, config.index)
+{
+}
+
+std::vector<ConsensusMapper::Chain>
+ConsensusMapper::buildChains(std::string_view bases) const
+{
+    const unsigned k = config_.index.k;
+    const auto seeds = extractMinimizers(bases, k, config_.index.w);
+
+    // Collect anchors.
+    std::vector<std::pair<uint32_t, uint32_t>> anchors;
+    for (const auto &seed : seeds) {
+        for (uint32_t cpos : index_.lookup(seed.kmer))
+            anchors.emplace_back(seed.pos, cpos);
+    }
+    std::sort(anchors.begin(), anchors.end());
+
+    // Greedy chaining: attach each anchor to the chain with the closest
+    // compatible diagonal; otherwise start a new chain.
+    std::vector<Chain> chains;
+    for (const auto &[rpos, cpos] : anchors) {
+        const int64_t diag = static_cast<int64_t>(cpos)
+                             - static_cast<int64_t>(rpos);
+        Chain *best = nullptr;
+        int64_t best_gap = -1;
+        for (auto &chain : chains) {
+            const auto &[lr, lc] = chain.anchors.back();
+            if (rpos <= lr || cpos <= lc)
+                continue; // Must advance in both coordinates.
+            const uint32_t gap = rpos - lr;
+            const int64_t last_diag = static_cast<int64_t>(lc)
+                                      - static_cast<int64_t>(lr);
+            if (std::llabs(diag - last_diag) >
+                static_cast<int64_t>(config_.chainSlack(gap))) {
+                continue;
+            }
+            if (best == nullptr || gap < best_gap) {
+                best = &chain;
+                best_gap = gap;
+            }
+        }
+        if (best != nullptr) {
+            best->anchors.emplace_back(rpos, cpos);
+        } else {
+            Chain chain;
+            chain.anchors.emplace_back(rpos, cpos);
+            chains.push_back(std::move(chain));
+        }
+    }
+
+    // Score and prune.
+    std::vector<Chain> kept;
+    for (auto &chain : chains) {
+        if (chain.anchors.size() < config_.minChainAnchors)
+            continue;
+        chain.score = chain.readEnd() - chain.readStart() + k;
+        kept.push_back(std::move(chain));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Chain &a, const Chain &b)
+              { return a.score > b.score; });
+    return kept;
+}
+
+bool
+ConsensusMapper::alignChain(std::string_view bases, const Chain &chain,
+                            uint32_t read_start, uint32_t read_end,
+                            AlignedSegment &out) const
+{
+    // Keep only anchors inside the assigned read interval.
+    std::vector<std::pair<uint32_t, uint32_t>> anchors;
+    for (const auto &a : chain.anchors) {
+        if (a.first >= read_start && a.first < read_end)
+            anchors.push_back(a);
+    }
+    if (anchors.empty())
+        return false;
+
+    // Project the segment's consensus start from the first anchor.
+    const int64_t first_diag = static_cast<int64_t>(anchors[0].second)
+                               - static_cast<int64_t>(anchors[0].first);
+    int64_t cons_start = static_cast<int64_t>(read_start) + first_diag;
+    cons_start = std::clamp<int64_t>(
+        cons_start, 0, static_cast<int64_t>(consensus_.size()) - 1);
+
+    out.consensusPos = static_cast<uint64_t>(cons_start);
+    out.readStart = read_start;
+    out.readLength = read_end - read_start;
+    out.ops.clear();
+
+    // Piecewise alignment between anchor waypoints. Waypoints tile the
+    // consensus contiguously, so the concatenated edit scripts form one
+    // valid segment script (see reconstructSegment).
+    struct Piece { uint32_t rBegin, rEnd; int64_t cBegin, cEnd; };
+    std::vector<Piece> pieces;
+
+    uint32_t cur_r = read_start;
+    int64_t cur_c = cons_start;
+    for (const auto &[ar, ac] : anchors) {
+        if (ar <= cur_r || static_cast<int64_t>(ac) <= cur_c)
+            continue; // Skip anchors that do not advance.
+        pieces.push_back({cur_r, ar, cur_c, static_cast<int64_t>(ac)});
+        cur_r = ar;
+        cur_c = static_cast<int64_t>(ac);
+    }
+    // Tail piece: project an equal-length consensus window.
+    {
+        const int64_t want = static_cast<int64_t>(read_end) - cur_r;
+        const int64_t c_end = std::min<int64_t>(
+            cur_c + want, static_cast<int64_t>(consensus_.size()));
+        pieces.push_back({cur_r, read_end, cur_c, c_end});
+    }
+
+    for (const auto &piece : pieces) {
+        if (piece.rBegin == piece.rEnd && piece.cBegin == piece.cEnd)
+            continue;
+        std::string_view query =
+            bases.substr(piece.rBegin, piece.rEnd - piece.rBegin);
+        std::string_view target = consensus_.substr(
+            static_cast<size_t>(piece.cBegin),
+            static_cast<size_t>(piece.cEnd - piece.cBegin));
+
+        const int64_t diff = static_cast<int64_t>(target.size())
+                             - static_cast<int64_t>(query.size());
+        uint32_t band = config_.basePad
+            + static_cast<uint32_t>(std::llabs(diff));
+        std::optional<AlignResult> aligned;
+        while (true) {
+            aligned = bandedAlign(target, query, band);
+            if (aligned || band >= config_.maxBand)
+                break;
+            band = std::min(config_.maxBand, band * 2);
+        }
+        if (!aligned)
+            return false;
+
+        const uint32_t offset = piece.rBegin - read_start;
+        for (auto &op : aligned->ops) {
+            op.readPos += offset;
+            out.ops.push_back(std::move(op));
+        }
+    }
+    return true;
+}
+
+ReadMapping
+ConsensusMapper::mapSequence(std::string_view bases) const
+{
+    ReadMapping mapping;
+    if (bases.size() < config_.index.k)
+        return mapping;
+
+    // Try both strands and keep the better chain set.
+    std::vector<Chain> fwd = buildChains(bases);
+    const std::string rc = reverseComplement(bases);
+    std::vector<Chain> rev = buildChains(rc);
+
+    const uint32_t fwd_score = fwd.empty() ? 0 : fwd.front().score;
+    const uint32_t rev_score = rev.empty() ? 0 : rev.front().score;
+    const bool use_rev = rev_score > fwd_score;
+    const std::vector<Chain> &chains = use_rev ? rev : fwd;
+    const std::string_view oriented = use_rev
+        ? std::string_view(rc) : bases;
+    if (chains.empty())
+        return mapping;
+
+    // Select up to maxSegments chains with limited read overlap
+    // (chimeric reads map in pieces; paper §5.1.2, N = 3).
+    struct Pick { uint32_t start, end; const Chain *chain; };
+    std::vector<Pick> picks;
+    for (const auto &chain : chains) {
+        if (picks.size() >= config_.maxSegments)
+            break;
+        const uint32_t start = chain.readStart();
+        const uint32_t end = chain.readEnd() + config_.index.k;
+        bool overlaps = false;
+        for (const auto &pick : picks) {
+            const uint32_t lo = std::max(start, pick.start);
+            const uint32_t hi = std::min(end, pick.end);
+            if (hi > lo && (hi - lo) * 2 > (end - start))
+                overlaps = true;
+        }
+        if (!overlaps)
+            picks.push_back({start, end, &chain});
+    }
+    std::sort(picks.begin(), picks.end(),
+              [](const Pick &a, const Pick &b)
+              { return a.start < b.start; });
+
+    // Partition the full read across the picked chains at midpoints.
+    std::vector<uint32_t> bounds;
+    bounds.push_back(0);
+    for (size_t i = 0; i + 1 < picks.size(); i++) {
+        uint32_t mid = (picks[i].end + picks[i + 1].start) / 2;
+        mid = std::clamp<uint32_t>(mid, bounds.back() + 1,
+                                   static_cast<uint32_t>(bases.size()) - 1);
+        bounds.push_back(mid);
+    }
+    bounds.push_back(static_cast<uint32_t>(bases.size()));
+
+    mapping.reverse = use_rev;
+    uint64_t edits = 0;
+    for (size_t i = 0; i < picks.size(); i++) {
+        AlignedSegment seg;
+        if (!alignChain(oriented, *picks[i].chain, bounds[i],
+                        bounds[i + 1], seg)) {
+            return ReadMapping{}; // Escape path handles this read.
+        }
+        for (const auto &op : seg.ops)
+            edits += op.length;
+        mapping.segments.push_back(std::move(seg));
+    }
+
+    if (static_cast<double>(edits) >
+        config_.maxEditFraction * static_cast<double>(bases.size())) {
+        return ReadMapping{};
+    }
+    mapping.mapped = true;
+    return mapping;
+}
+
+std::vector<ReadMapping>
+ConsensusMapper::mapAll(const ReadSet &rs, ThreadPool *pool) const
+{
+    std::vector<ReadMapping> mappings(rs.reads.size());
+    auto work = [&](size_t i) {
+        mappings[i] = mapSequence(rs.reads[i].bases);
+    };
+    if (pool != nullptr) {
+        pool->parallelFor(rs.reads.size(), work);
+    } else {
+        for (size_t i = 0; i < rs.reads.size(); i++)
+            work(i);
+    }
+    return mappings;
+}
+
+MappingStats
+ConsensusMapper::summarize(const std::vector<ReadMapping> &maps,
+                           const ReadSet &rs)
+{
+    MappingStats stats;
+    stats.totalReads = maps.size();
+    for (size_t i = 0; i < maps.size(); i++) {
+        const auto &mapping = maps[i];
+        if (!mapping.mapped)
+            continue;
+        stats.mappedReads++;
+        if (mapping.reverse)
+            stats.reverseReads++;
+        if (mapping.segments.size() > 1)
+            stats.chimericReads++;
+        for (const auto &seg : mapping.segments)
+            stats.totalEdits += seg.ops.size();
+        stats.totalAlignedBases += rs.reads[i].bases.size();
+    }
+    return stats;
+}
+
+} // namespace sage

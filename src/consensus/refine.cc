@@ -1,0 +1,94 @@
+#include "consensus/refine.hh"
+
+#include <array>
+
+#include "genomics/alphabet.hh"
+
+namespace sage {
+
+std::string
+refineConsensus(std::string_view draft, const ReadSet &rs,
+                const std::vector<ReadMapping> &mappings,
+                const RefineConfig &config, RefineStats *stats)
+{
+    // Per-position vote counters for A/C/G/T (N never wins a vote).
+    std::vector<std::array<uint32_t, 4>> votes(
+        draft.size(), std::array<uint32_t, 4>{0, 0, 0, 0});
+
+    for (size_t i = 0; i < mappings.size() && i < rs.reads.size(); i++) {
+        const ReadMapping &mapping = mappings[i];
+        if (!mapping.mapped)
+            continue;
+        const std::string oriented = mapping.reverse
+            ? reverseComplement(rs.reads[i].bases)
+            : rs.reads[i].bases;
+
+        // Walk the alignment exactly as reconstruction does, crediting
+        // the read base at each consensus position it covers (copies
+        // and substitutions vote; insertions/deletions do not).
+        for (const AlignedSegment &seg : mapping.segments) {
+            uint64_t cons_j = seg.consensusPos;
+            uint32_t read_i = 0;
+            auto vote_until = [&](uint32_t target) {
+                while (read_i < target && cons_j < draft.size()) {
+                    const uint8_t code = baseToCode(
+                        oriented[seg.readStart + read_i]);
+                    if (code < 4)
+                        votes[cons_j][code]++;
+                    cons_j++;
+                    read_i++;
+                }
+            };
+            for (const EditOp &op : seg.ops) {
+                vote_until(op.readPos);
+                switch (op.type) {
+                  case EditType::Sub:
+                    if (cons_j < draft.size()) {
+                        const uint8_t code = baseToCode(op.bases[0]);
+                        if (code < 4)
+                            votes[cons_j][code]++;
+                    }
+                    cons_j++;
+                    read_i++;
+                    break;
+                  case EditType::Ins:
+                    read_i += op.length;
+                    break;
+                  case EditType::Del:
+                    cons_j += op.length;
+                    break;
+                }
+            }
+            vote_until(seg.readLength);
+        }
+    }
+
+    std::string refined(draft);
+    RefineStats local;
+    for (size_t pos = 0; pos < draft.size(); pos++) {
+        uint32_t depth = 0;
+        unsigned best = 0;
+        for (unsigned b = 0; b < 4; b++) {
+            depth += votes[pos][b];
+            if (votes[pos][b] > votes[pos][best])
+                best = b;
+        }
+        if (depth == 0)
+            continue;
+        local.positionsVoted++;
+        if (depth < config.minDepth)
+            continue;
+        const double share =
+            static_cast<double>(votes[pos][best]) / depth;
+        const char winner = codeToBase(static_cast<uint8_t>(best));
+        if (share >= config.majority && winner != draft[pos]) {
+            refined[pos] = winner;
+            local.positionsChanged++;
+        }
+    }
+    if (stats != nullptr)
+        *stats = local;
+    return refined;
+}
+
+} // namespace sage

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Consensus refinement: polish a draft consensus by majority vote over
+ * mapped reads.
+ *
+ * The paper (§2.2) notes the consensus can be "a user-provided
+ * reference or a de-duplicated string derived from the reads,
+ * representing the most likely character at each location". Our
+ * compressors default to reference mode; this module supplies the
+ * derived mode: after a first mapping pass, positions where the reads
+ * consistently disagree with the draft (true variants of the sequenced
+ * individual) are rewritten, which removes those mismatches from every
+ * overlapping read's encoding on the second pass.
+ */
+
+#ifndef SAGE_CONSENSUS_REFINE_HH
+#define SAGE_CONSENSUS_REFINE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "consensus/mapper.hh"
+#include "genomics/read.hh"
+
+namespace sage {
+
+/** Refinement parameters. */
+struct RefineConfig
+{
+    /** Minimum read depth at a position to consider rewriting it. */
+    unsigned minDepth = 3;
+    /** Minimum fraction of votes the winning base needs. */
+    double majority = 0.7;
+};
+
+/** Outcome counters. */
+struct RefineStats
+{
+    uint64_t positionsVoted = 0;   ///< Positions with any coverage.
+    uint64_t positionsChanged = 0; ///< Draft bases rewritten.
+};
+
+/**
+ * Majority-vote polish of @p draft using the reads' alignments
+ * (substitution-level; indel polishing would require realignment and
+ * is unnecessary for the compression-ratio use case).
+ *
+ * @param mappings one entry per read (from ConsensusMapper::mapAll
+ *                 against @p draft); unmapped entries are skipped.
+ */
+std::string refineConsensus(std::string_view draft, const ReadSet &rs,
+                            const std::vector<ReadMapping> &mappings,
+                            const RefineConfig &config = {},
+                            RefineStats *stats = nullptr);
+
+} // namespace sage
+
+#endif // SAGE_CONSENSUS_REFINE_HH

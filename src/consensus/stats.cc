@@ -1,0 +1,54 @@
+#include "consensus/stats.hh"
+
+#include <algorithm>
+
+namespace sage {
+
+PropertyStats
+analyzeProperties(const std::vector<ReadMapping> &mappings)
+{
+    PropertyStats stats;
+    uint64_t subs = 0, events = 0;
+
+    std::vector<uint64_t> matching_positions;
+    for (const auto &mapping : mappings) {
+        if (!mapping.mapped)
+            continue;
+        matching_positions.push_back(mapping.primaryPosition());
+
+        size_t read_events = 0;
+        for (const auto &seg : mapping.segments) {
+            uint32_t prev_pos = 0;
+            for (const auto &op : seg.ops) {
+                read_events++;
+                events++;
+                const uint32_t delta = op.readPos - prev_pos;
+                prev_pos = op.readPos;
+                stats.mismatchPosDeltaBits.add(bitsNeeded(delta));
+                if (op.type == EditType::Sub) {
+                    subs++;
+                } else {
+                    stats.indelBlockLength.add(op.length);
+                    stats.indelBasesByLength.add(op.length, op.length);
+                }
+            }
+        }
+        stats.mismatchCountPerRead.add(read_events);
+    }
+
+    // Matching positions are reorderable (Property 6): sort, then measure
+    // the bits needed for consecutive deltas.
+    std::sort(matching_positions.begin(), matching_positions.end());
+    uint64_t prev = 0;
+    for (uint64_t pos : matching_positions) {
+        stats.matchingPosDeltaBits.add(bitsNeeded(pos - prev));
+        prev = pos;
+    }
+
+    stats.substitutionFraction =
+        events == 0 ? 0.0 : static_cast<double>(subs)
+                            / static_cast<double>(events);
+    return stats;
+}
+
+} // namespace sage

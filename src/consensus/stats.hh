@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Dataset-property analyses over mappings: the distributions the paper
+ * reports in Fig. 7 (mismatch-position bit counts, mismatch counts per
+ * read, indel-block statistics) and Fig. 10 (matching-position delta bit
+ * counts after read reordering).
+ */
+
+#ifndef SAGE_CONSENSUS_STATS_HH
+#define SAGE_CONSENSUS_STATS_HH
+
+#include <vector>
+
+#include "consensus/mapper.hh"
+#include "util/histogram.hh"
+
+namespace sage {
+
+/** Bits needed to represent @p v (v=0 needs 1 bit). */
+inline unsigned
+bitsNeeded(uint64_t v)
+{
+    unsigned bits = 1;
+    while (v >>= 1)
+        bits++;
+    return bits;
+}
+
+/** Property distributions extracted from a mapped read set. */
+struct PropertyStats
+{
+    /** Fig. 7(a): bits for delta-encoded mismatch positions. */
+    Histogram mismatchPosDeltaBits;
+    /** Fig. 7(b): mismatch (event) counts per read. */
+    Histogram mismatchCountPerRead;
+    /** Fig. 7(c): indel block lengths. */
+    Histogram indelBlockLength;
+    /** Fig. 7(d) input: bases contained in blocks of each length. */
+    Histogram indelBasesByLength;
+    /** Fig. 10: bits for delta-encoded sorted matching positions. */
+    Histogram matchingPosDeltaBits;
+    /** Share of mismatch events that are substitutions (Property 5). */
+    double substitutionFraction = 0.0;
+};
+
+/** Compute all property distributions for a mapped read set. */
+PropertyStats analyzeProperties(const std::vector<ReadMapping> &mappings);
+
+} // namespace sage
+
+#endif // SAGE_CONSENSUS_STATS_HH

@@ -1,0 +1,360 @@
+#include "core/decoder.hh"
+
+#include <memory>
+
+#include "compress/gpzip.hh"
+#include "compress/streams.hh"
+#include "core/tuned_array.hh"
+#include "util/bitio.hh"
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace sage {
+
+uint64_t
+ArchiveInfo::dnaStreamBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &[name, size] : streamSizes) {
+        if (name != "quality" && name != "headers" && name != "order")
+            total += size;
+    }
+    return total;
+}
+
+/** All sequential stream cursors, bundled so next() stays readable. */
+struct SageDecoder::Cursors
+{
+    Cursors(const SageDecoder &d, const SageParams &p)
+        : flags(d.flags_), mpa(d.mpa_), mpga(d.mpga_), rla(d.rla_),
+          rlga(d.rlga_), sga(d.sga_), sgga(d.sgga_), mca(d.mca_),
+          mcga(d.mcga_), mmpa(d.mmpa_), mmpga(d.mmpga_), mbta(d.mbta_),
+          escape(d.escape_),
+          matchCodec(p.matchPos), lenCodec(p.readLen),
+          countCodec(p.mismatchCount), posCodec(p.mismatchPos),
+          segposCodec(p.segPos), seglenCodec(p.segLen)
+    {}
+
+    BitReader flags, mpa, mpga, rla, rlga, sga, sgga, mca, mcga,
+        mmpa, mmpga, mbta, escape;
+    TunedFieldCodec matchCodec, lenCodec, countCodec, posCodec,
+        segposCodec, seglenCodec;
+};
+
+SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
+                         bool dna_only)
+    : archiveBytes_(&archive)
+{
+    StreamBundle bundle = StreamBundle::deserialize(archive);
+    info_.params = SageParams::deserialize(bundle.stream("params"));
+    info_.streamSizes = bundle.sizes();
+    info_.totalCompressedBytes = archive.size();
+
+    const SageParams &params = info_.params;
+    consensus_ = unpackSequence(
+        bundle.stream("consensus"), params.consensusLength,
+        params.consensusTwoBit ? OutputFormat::TwoBit
+                               : OutputFormat::ThreeBit);
+
+    flags_ = bundle.stream("flags");
+    mpa_ = bundle.stream("mpa");
+    mpga_ = bundle.stream("mpga");
+    rla_ = bundle.stream("rla");
+    rlga_ = bundle.stream("rlga");
+    sga_ = bundle.stream("sga");
+    sgga_ = bundle.stream("sgga");
+    mca_ = bundle.stream("mca");
+    mcga_ = bundle.stream("mcga");
+    mmpa_ = bundle.stream("mmpa");
+    mmpga_ = bundle.stream("mmpga");
+    mbta_ = bundle.stream("mbta");
+    escape_ = bundle.stream("escape");
+
+    // Host-side streams (skipped entirely in DNA-only mode).
+    if (!dna_only) {
+        const auto header_bytes = gpzip::decompress(
+            bundle.stream("headers"));
+        std::string cur;
+        for (uint8_t byte : header_bytes) {
+            if (byte == '\n') {
+                headers_.push_back(cur);
+                cur.clear();
+            } else {
+                cur.push_back(static_cast<char>(byte));
+            }
+        }
+    }
+    if (bundle.has("order")) {
+        const auto &order_raw = bundle.stream("order");
+        size_t pos = 0;
+        while (pos < order_raw.size())
+            order_.push_back(
+                static_cast<uint32_t>(getVarint(order_raw, pos)));
+    }
+    if (!dna_only && params.hasQuality && bundle.has("quality")) {
+        const auto &packed = bundle.stream("quality");
+        QualityArchive qa;
+        size_t pos = 0;
+        const uint64_t alpha_len = getVarint(packed, pos);
+        qa.alphabet.assign(packed.begin() + pos,
+                           packed.begin() + pos + alpha_len);
+        pos += alpha_len;
+        const uint64_t reads = getVarint(packed, pos);
+        for (uint64_t i = 0; i < reads; i++)
+            qa.readLengths.push_back(
+                static_cast<uint32_t>(getVarint(packed, pos)));
+        const uint64_t blocks = getVarint(packed, pos);
+        for (uint64_t b = 0; b < blocks; b++) {
+            qa.blockChars.push_back(getVarint(packed, pos));
+            const uint64_t size = getVarint(packed, pos);
+            qa.blocks.emplace_back(packed.begin() + pos,
+                                   packed.begin() + pos + size);
+            pos += size;
+        }
+        quals_ = decompressQuality(qa);
+    }
+
+    cursors_ = std::make_unique<Cursors>(*this, params);
+}
+
+SageDecoder::~SageDecoder() = default;
+
+Read
+SageDecoder::next()
+{
+    sage_assert(hasNext(), "decoder exhausted");
+    const SageParams &params = info_.params;
+    Cursors &cur = *cursors_;
+
+    Read read;
+    if (emitted_ < headers_.size())
+        read.header = headers_[emitted_];
+
+    // ---- Flags --------------------------------------------------------
+    const bool reverse = cur.flags.readBit();
+    unsigned extra_segments = 0;
+    if (params.maxSegments > 1)
+        extra_segments = cur.flags.readUnary();
+    bool escaped = false;
+    if (!params.cornerTrick)
+        escaped = cur.flags.readBit();
+
+    // ---- Read length ----------------------------------------------------
+    uint64_t length = params.modalReadLength;
+    if (!params.constantReadLength) {
+        const int64_t len_delta =
+            zigzagDecode(cur.lenCodec.decode(cur.rla, cur.rlga));
+        length = static_cast<uint64_t>(
+            static_cast<int64_t>(params.modalReadLength) + len_delta);
+    }
+
+    // ---- Matching position ---------------------------------------------
+    const uint64_t match_field = cur.matchCodec.decode(cur.mpa, cur.mpga);
+    const uint64_t primary = params.reorderReads
+        ? prevPrimary_ + match_field : match_field;
+
+    if (!params.cornerTrick && escaped) {
+        // Pre-O4 escape: payload only.
+        const size_t packed_bytes = (length * 3 + 7) / 8;
+        std::vector<uint8_t> packed(packed_bytes);
+        for (size_t b = 0; b < packed_bytes; b++)
+            packed[b] = static_cast<uint8_t>(cur.escape.readBits(8));
+        read.bases = unpackSequence(packed, length,
+                                    OutputFormat::ThreeBit);
+        if (!quals_.empty())
+            read.quals = quals_[emitted_];
+        emitted_++;
+        return read;
+    }
+
+    // ---- Segment table ---------------------------------------------------
+    struct SegInfo { uint64_t consPos; uint64_t readLen; };
+    std::vector<SegInfo> segs(1 + extra_segments);
+    segs[0].consPos = primary;
+    uint64_t other_len = 0;
+    for (unsigned s = 1; s <= extra_segments; s++) {
+        const int64_t delta =
+            zigzagDecode(cur.segposCodec.decode(cur.sga, cur.sgga));
+        segs[s].consPos = static_cast<uint64_t>(
+            static_cast<int64_t>(primary) + delta);
+        segs[s].readLen = cur.seglenCodec.decode(cur.sga, cur.sgga);
+        other_len += segs[s].readLen;
+    }
+    segs[0].readLen = length - other_len;
+
+    // ---- Events + reconstruction (the RCU walk) --------------------------
+    std::string oriented;
+    oriented.reserve(length);
+    bool first_event_of_read = true;
+
+    for (const SegInfo &seg : segs) {
+        const uint64_t count = cur.countCodec.decode(cur.mca, cur.mcga);
+        uint64_t cons_j = seg.consPos;
+        uint64_t read_i = 0;   // Position within this segment.
+        uint32_t prev_pos = 0;
+
+        for (uint64_t e = 0; e < count; e++) {
+            const uint64_t delta = cur.posCodec.decode(cur.mmpa,
+                                                       cur.mmpga);
+            const uint64_t event_pos = e == 0 ? delta : prev_pos + delta;
+            prev_pos = static_cast<uint32_t>(event_pos);
+
+            // Corner-case disambiguation (paper §5.1.4): a first event
+            // at position 0 carries one MBTA bit.
+            if (params.cornerTrick && first_event_of_read &&
+                event_pos == 0) {
+                first_event_of_read = false;
+                if (cur.mbta.readBit()) {
+                    // Corner case: whole read comes from the escape
+                    // stream, 3-bit packed.
+                    const size_t packed_bytes = (length * 3 + 7) / 8;
+                    std::vector<uint8_t> packed(packed_bytes);
+                    for (size_t b = 0; b < packed_bytes; b++)
+                        packed[b] = static_cast<uint8_t>(
+                            cur.escape.readBits(8));
+                    read.bases = unpackSequence(
+                        packed, length, OutputFormat::ThreeBit);
+                    if (!quals_.empty())
+                        read.quals = quals_[emitted_];
+                    emitted_++;
+                    return read;
+                }
+            }
+            first_event_of_read = false;
+            events_++;
+
+            // Copy consensus bases up to the event position.
+            while (read_i < event_pos) {
+                sage_assert(cons_j < consensus_.size(),
+                            "decoder ran off consensus");
+                oriented.push_back(consensus_[cons_j++]);
+                read_i++;
+            }
+
+            const uint64_t marker_j =
+                std::min<uint64_t>(cons_j, consensus_.size() - 1);
+
+            EditType type;
+            char sub_base = 0;
+            if (params.inferTypes) {
+                const uint8_t code =
+                    static_cast<uint8_t>(cur.mbta.readBits(2));
+                const char base = codeToBase(code);
+                if (base != consensus_[marker_j]) {
+                    type = EditType::Sub;
+                    sub_base = base;
+                } else {
+                    type = cur.mbta.readBit() ? EditType::Ins
+                                              : EditType::Del;
+                }
+            } else {
+                type = static_cast<EditType>(cur.mbta.readBits(2));
+                if (type == EditType::Sub) {
+                    sub_base = codeToBase(
+                        static_cast<uint8_t>(cur.mbta.readBits(2)));
+                }
+            }
+
+            uint64_t block_len = 1;
+            if (type != EditType::Sub && params.tuneArrays) {
+                const bool single = cur.mmpga.readBit();
+                if (!single) {
+                    block_len = 0;
+                    uint64_t chunk;
+                    do {
+                        chunk = cur.mmpa.readBits(8);
+                        block_len += chunk;
+                    } while (chunk == 255);
+                }
+            }
+
+            switch (type) {
+              case EditType::Sub:
+                oriented.push_back(sub_base);
+                read_i++;
+                cons_j++;
+                break;
+              case EditType::Ins:
+                // Inserted bases follow in MBTA in both layouts: after
+                // the indel marker (inferTypes) or after the explicit
+                // type code (pre-O3).
+                for (uint64_t b = 0; b < block_len; b++) {
+                    oriented.push_back(codeToBase(
+                        static_cast<uint8_t>(cur.mbta.readBits(2))));
+                }
+                read_i += block_len;
+                break;
+              case EditType::Del:
+                cons_j += block_len;
+                break;
+            }
+        }
+        // Copy the segment's tail.
+        while (read_i < seg.readLen) {
+            sage_assert(cons_j < consensus_.size(),
+                        "decoder ran off consensus at tail");
+            oriented.push_back(consensus_[cons_j++]);
+            read_i++;
+        }
+    }
+
+    prevPrimary_ = primary;
+    read.bases = reverse ? reverseComplement(oriented)
+                         : std::move(oriented);
+    if (!quals_.empty())
+        read.quals = quals_[emitted_];
+    emitted_++;
+    return read;
+}
+
+ReadSet
+SageDecoder::decodeAll()
+{
+    ReadSet rs;
+    rs.reads.reserve(info_.params.numReads);
+    while (hasNext())
+        rs.reads.push_back(next());
+    if (!order_.empty()) {
+        std::vector<Read> restored(rs.reads.size());
+        for (size_t i = 0; i < rs.reads.size(); i++) {
+            sage_assert(order_[i] < restored.size(), "bad order index");
+            restored[order_[i]] = std::move(rs.reads[i]);
+        }
+        rs.reads = std::move(restored);
+    }
+    return rs;
+}
+
+std::vector<std::vector<uint8_t>>
+SageDecoder::decodeAllPacked(OutputFormat fmt)
+{
+    std::vector<std::vector<uint8_t>> out;
+    out.reserve(info_.params.numReads);
+    while (hasNext()) {
+        const Read read = next();
+        const OutputFormat effective =
+            fmt == OutputFormat::TwoBit && !isAcgtOnly(read.bases)
+                ? OutputFormat::ThreeBit : fmt;
+        out.push_back(packSequence(read.bases, effective));
+    }
+    return out;
+}
+
+uint64_t
+SageDecoder::workingSetBytes() const
+{
+    // The software decoder keeps the consensus resident plus per-stream
+    // cursors; the paper's hardware needs only registers (Table 3 lists
+    // 128 B for SAGe): byte-sized array registers, the 150-bp
+    // reconstruction register and two 64-bit double-buffer registers.
+    return consensus_.size() + 13 * sizeof(BitReader);
+}
+
+ReadSet
+sageDecompress(const std::vector<uint8_t> &archive)
+{
+    SageDecoder decoder(archive);
+    return decoder.decodeAll();
+}
+
+} // namespace sage

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * SAGe streaming decompressor.
+ *
+ * Mirrors the hardware datapath (paper §5.2): a Scan Unit walk over the
+ * position arrays/guide arrays and a Read Construction Unit walk over
+ * the consensus and MBTA, emitting one read at a time with only
+ * sequential accesses. The same functional core backs:
+ *   - SAGeSW (host software decompression, paper §7 config v), and
+ *   - the hardware timing model (hw/), which replays the stream sizes
+ *     and event counts this decoder reports.
+ */
+
+#ifndef SAGE_CORE_DECODER_HH
+#define SAGE_CORE_DECODER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/format.hh"
+#include "genomics/alphabet.hh"
+#include "genomics/read.hh"
+
+namespace sage {
+
+/** Per-archive structural info used by the hardware timing model. */
+struct ArchiveInfo
+{
+    SageParams params;
+    std::map<std::string, uint64_t> streamSizes;
+    uint64_t totalCompressedBytes = 0;
+
+    /** DNA-path bytes the accelerator must stream (no host streams). */
+    uint64_t dnaStreamBytes() const;
+};
+
+/** Streaming decoder over a SAGe archive. */
+class SageDecoder
+{
+  public:
+    /**
+     * Parse headers; cheap. The archive bytes must outlive us.
+     *
+     * @param dna_only skip the host-side quality/header streams: the
+     *        read-mapping pipeline never touches quality scores (paper
+     *        §5.1.5 — they are decoded lazily, per block, only around
+     *        mismatches during later variant calling), so the prep
+     *        stage feeding an accelerator decodes DNA alone.
+     */
+    explicit SageDecoder(const std::vector<uint8_t> &archive,
+                         bool dna_only = false);
+    ~SageDecoder();
+
+    /** Structural info (sizes, params). */
+    const ArchiveInfo &info() const { return info_; }
+
+    /** True while reads remain. */
+    bool hasNext() const { return emitted_ < info_.params.numReads; }
+
+    /**
+     * Decode the next read's bases (and quality if present).
+     * Reads come out in stored order (matching-position order).
+     */
+    Read next();
+
+    /** Decode everything into a ReadSet (restores original order when
+     *  the archive preserved it). */
+    ReadSet decodeAll();
+
+    /**
+     * Decode everything into packed analysis format — what SAGe_Read
+     * hands to an accelerator (paper §5.4): per-read packed bases.
+     */
+    std::vector<std::vector<uint8_t>> decodeAllPacked(OutputFormat fmt);
+
+    /** Decoder working-set bytes: registers + consensus window model.
+     *  (The HW streams the consensus; software keeps it resident.) */
+    uint64_t workingSetBytes() const;
+
+    /** Total mismatch events decoded so far (HW model input). */
+    uint64_t eventsDecoded() const { return events_; }
+
+  private:
+    struct Cursors;
+
+    const std::vector<uint8_t> *archiveBytes_;
+    ArchiveInfo info_;
+    std::string consensus_;
+
+    // Stream storage (owned copies from the bundle).
+    std::vector<uint8_t> flags_, mpa_, mpga_, rla_, rlga_, sga_, sgga_,
+        mca_, mcga_, mmpa_, mmpga_, mbta_, escape_;
+    std::vector<std::string> headers_;
+    std::vector<std::string> quals_;
+    std::vector<uint32_t> order_;
+
+    std::unique_ptr<Cursors> cursors_;
+    uint64_t emitted_ = 0;
+    uint64_t events_ = 0;
+    uint64_t prevPrimary_ = 0;
+};
+
+/** One-call convenience: decode a SAGe archive into a ReadSet. */
+ReadSet sageDecompress(const std::vector<uint8_t> &archive);
+
+} // namespace sage
+
+#endif // SAGE_CORE_DECODER_HH

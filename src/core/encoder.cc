@@ -1,0 +1,457 @@
+#include "core/encoder.hh"
+
+#include <algorithm>
+
+#include "compress/gpzip.hh"
+#include "compress/prep.hh"
+#include "compress/streams.hh"
+#include "genomics/alphabet.hh"
+#include "util/logging.hh"
+#include "util/timing.hh"
+#include "util/varint.hh"
+
+namespace sage {
+
+namespace {
+
+/** Fixed widths used when Algorithm-1 tuning is disabled (pre-O2). */
+constexpr unsigned kFixedMatchPosBits = 32;
+constexpr unsigned kFixedReadLenBits = 32;
+constexpr unsigned kFixedCountBits = 16;
+constexpr unsigned kFixedMismatchPosBits = 16;
+
+/** A degenerate association table: one class of @p width bits. */
+AssociationTable
+fixedTable(unsigned width)
+{
+    AssociationTable table;
+    table.widthByRank.push_back(static_cast<uint8_t>(width));
+    return table;
+}
+
+/**
+ * Pre-O2 representation: expand indel blocks into single-base mismatch
+ * events ("raw mismatch information", Fig. 17 NO/O1 bars).
+ */
+std::vector<EditOp>
+expandBlocks(const std::vector<EditOp> &ops)
+{
+    std::vector<EditOp> out;
+    for (const auto &op : ops) {
+        if (op.type == EditType::Sub || op.length == 1) {
+            out.push_back(op);
+            continue;
+        }
+        for (uint32_t i = 0; i < op.length; i++) {
+            EditOp single;
+            single.type = op.type;
+            single.length = 1;
+            if (op.type == EditType::Ins) {
+                single.readPos = op.readPos + i;
+                single.bases = std::string(1, op.bases[i]);
+            } else {
+                single.readPos = op.readPos;
+            }
+            out.push_back(std::move(single));
+        }
+    }
+    return out;
+}
+
+/** Sampled value sets feeding Algorithm 1 (one histogram per array). */
+struct TuningSamples
+{
+    std::vector<uint64_t> matchDeltas;
+    std::vector<uint64_t> readLenDeltas;
+    std::vector<uint64_t> counts;
+    std::vector<uint64_t> posDeltas;
+    std::vector<uint64_t> segPosDeltas;
+    std::vector<uint64_t> segLens;
+};
+
+/** Writer set for the SAGe bit arrays. */
+struct Arrays
+{
+    BitWriter flags;
+    BitWriter mpa, mpga;
+    BitWriter rla, rlga;
+    BitWriter sga, sgga;
+    BitWriter mca, mcga;
+    BitWriter mmpa, mmpga;
+    BitWriter mbta;
+};
+
+/** Chained 8-bit indel length encoding (paper §5.1.1 layout). */
+void
+writeIndelLength(BitWriter &mmpa, uint32_t length)
+{
+    uint32_t remaining = length;
+    while (remaining >= 255) {
+        mmpa.writeBits(255, 8);
+        remaining -= 255;
+    }
+    mmpa.writeBits(remaining, 8);
+}
+
+} // namespace
+
+SageArchive
+sageCompress(const ReadSet &rs, std::string_view consensus,
+             const SageConfig &config, ThreadPool *pool)
+{
+    SageArchive archive;
+
+    // ---- Find mismatch information (mapping) -------------------------
+    Stopwatch map_clock;
+    MapperConfig mapper_config = config.mapper;
+    mapper_config.maxSegments = std::max(1u, config.maxSegments);
+    PreppedReads prep = prepareReads(rs, consensus, mapper_config, pool);
+    archive.mapSeconds = map_clock.seconds();
+
+    if (!config.reorderReads) {
+        // Pre-O1: keep original order.
+        prep.order.resize(rs.reads.size());
+        for (uint32_t i = 0; i < prep.order.size(); i++)
+            prep.order[i] = i;
+    }
+
+    Stopwatch encode_clock;
+
+    // Pre-O2 representation drops indel blocks; pre-O3 drops chimeras
+    // (the mapper already produced maxSegments=1 mappings in that case).
+    auto ops_of = [&](const AlignedSegment &seg) {
+        return config.tuneArrays ? seg.ops : expandBlocks(seg.ops);
+    };
+
+    // ---- Pass 1: collect value samples and tune (Algorithm 1) --------
+    Stopwatch tune_clock;
+    TuningSamples samples;
+    Histogram length_hist;
+    for (const Read &read : rs.reads)
+        length_hist.add(read.bases.size());
+    uint64_t modal_len = 0, modal_count = 0;
+    for (size_t len = 0; len < length_hist.size(); len++) {
+        if (length_hist.count(len) > modal_count) {
+            modal_count = length_hist.count(len);
+            modal_len = len;
+        }
+    }
+
+    uint64_t prev_primary = 0;
+    for (uint32_t src : prep.order) {
+        const Read &read = rs.reads[src];
+        const ReadClass &cls = prep.classes[src];
+        samples.readLenDeltas.push_back(zigzagEncode(
+            static_cast<int64_t>(read.bases.size())
+            - static_cast<int64_t>(modal_len)));
+
+        if (cls.escape != EscapeReason::None) {
+            samples.matchDeltas.push_back(0);
+            if (config.cornerTrick) {
+                samples.counts.push_back(1);
+                samples.posDeltas.push_back(0);
+            }
+            continue;
+        }
+        const uint64_t primary = cls.mapping.primaryPosition();
+        samples.matchDeltas.push_back(
+            config.reorderReads ? primary - prev_primary : primary);
+        prev_primary = primary;
+
+        for (size_t s = 0; s < cls.mapping.segments.size(); s++) {
+            const AlignedSegment &seg = cls.mapping.segments[s];
+            if (s > 0) {
+                samples.segPosDeltas.push_back(zigzagEncode(
+                    static_cast<int64_t>(seg.consensusPos)
+                    - static_cast<int64_t>(primary)));
+                samples.segLens.push_back(seg.readLength);
+            }
+            const auto ops = ops_of(seg);
+            samples.counts.push_back(ops.size());
+            uint32_t prev_pos = 0;
+            for (const EditOp &op : ops) {
+                samples.posDeltas.push_back(op.readPos - prev_pos);
+                prev_pos = op.readPos;
+            }
+        }
+    }
+
+    SageParams params;
+    params.numReads = rs.reads.size();
+    params.consensusLength = consensus.size();
+    params.consensusTwoBit = isAcgtOnly(consensus);
+    params.hasQuality = config.keepQuality && rs.hasQualityScores();
+    params.preservedOrder = config.preserveOrder;
+    params.reorderReads = config.reorderReads;
+    params.tuneArrays = config.tuneArrays;
+    params.maxSegments = std::max(1u, config.maxSegments);
+    params.inferTypes = config.inferTypes;
+    params.cornerTrick = config.cornerTrick;
+    params.tuneMatchArrays = config.tuneMatchArrays;
+    params.modalReadLength = modal_len;
+    // Fixed-length short-read sets need no per-read length fields.
+    params.constantReadLength = !rs.reads.empty();
+    for (const Read &read : rs.reads) {
+        if (read.bases.size() != modal_len) {
+            params.constantReadLength = false;
+            break;
+        }
+    }
+
+    // O1 (§5.1.3) tunes the matching-position and segment arrays; O2
+    // (§5.1.1) tunes the mismatch-side arrays. Pre-optimization levels
+    // fall back to fixed widths ("raw mismatch information").
+    if (config.tuneMatchArrays) {
+        params.matchPos =
+            TunedFieldCodec::tuneFor(samples.matchDeltas, config.tuner);
+        params.segPos =
+            TunedFieldCodec::tuneFor(samples.segPosDeltas, config.tuner);
+        params.segLen =
+            TunedFieldCodec::tuneFor(samples.segLens, config.tuner);
+    } else {
+        params.matchPos = fixedTable(kFixedMatchPosBits);
+        params.segPos = fixedTable(kFixedMatchPosBits);
+        params.segLen = fixedTable(kFixedReadLenBits);
+    }
+    if (config.tuneArrays) {
+        params.readLen =
+            TunedFieldCodec::tuneFor(samples.readLenDeltas, config.tuner);
+        params.mismatchCount =
+            TunedFieldCodec::tuneFor(samples.counts, config.tuner);
+        params.mismatchPos =
+            TunedFieldCodec::tuneFor(samples.posDeltas, config.tuner);
+    } else {
+        params.readLen = fixedTable(kFixedReadLenBits);
+        params.mismatchCount = fixedTable(kFixedCountBits);
+        params.mismatchPos = fixedTable(kFixedMismatchPosBits);
+    }
+    archive.tuneSeconds = tune_clock.seconds();
+
+    const TunedFieldCodec match_codec(params.matchPos);
+    const TunedFieldCodec len_codec(params.readLen);
+    const TunedFieldCodec count_codec(params.mismatchCount);
+    const TunedFieldCodec pos_codec(params.mismatchPos);
+    const TunedFieldCodec segpos_codec(params.segPos);
+    const TunedFieldCodec seglen_codec(params.segLen);
+
+    // ---- Pass 2: emit arrays ------------------------------------------
+    Arrays arrays;
+    std::vector<uint8_t> escape_stream;
+    prev_primary = 0;
+
+    for (uint32_t src : prep.order) {
+        const Read &read = rs.reads[src];
+        const ReadClass &cls = prep.classes[src];
+        const bool escaped = cls.escape != EscapeReason::None;
+
+        // Flags: reverse bit, segment count (unary), pre-O4 escape bit.
+        arrays.flags.writeBit(!escaped && cls.mapping.reverse);
+        if (params.maxSegments > 1) {
+            arrays.flags.writeUnary(
+                escaped ? 0
+                        : static_cast<unsigned>(
+                              cls.mapping.segments.size() - 1));
+        }
+        if (!params.cornerTrick)
+            arrays.flags.writeBit(escaped);
+
+        // Read length (omitted entirely for fixed-length sets).
+        if (!params.constantReadLength) {
+            len_codec.encode(arrays.rla, arrays.rlga, zigzagEncode(
+                static_cast<int64_t>(read.bases.size())
+                - static_cast<int64_t>(modal_len)));
+        }
+
+        if (escaped) {
+            // Matching-position placeholder keeps the stream aligned.
+            match_codec.encode(arrays.mpa, arrays.mpga, 0);
+            if (params.cornerTrick) {
+                // Corner-case marker: one mismatch at position 0, with
+                // the disambiguation bit set (paper §5.1.4).
+                count_codec.encode(arrays.mca, arrays.mcga, 1);
+                pos_codec.encode(arrays.mmpa, arrays.mmpga, 0);
+                arrays.mbta.writeBit(true); // Corner case, not mismatch.
+            }
+            const auto packed =
+                packSequence(read.bases, OutputFormat::ThreeBit);
+            escape_stream.insert(escape_stream.end(), packed.begin(),
+                                 packed.end());
+            continue;
+        }
+
+        const std::string oriented = cls.mapping.reverse
+            ? reverseComplement(read.bases) : read.bases;
+        const uint64_t primary = cls.mapping.primaryPosition();
+        match_codec.encode(arrays.mpa, arrays.mpga,
+                           config.reorderReads ? primary - prev_primary
+                                               : primary);
+        prev_primary = primary;
+
+        // Extra segment descriptors.
+        for (size_t s = 1; s < cls.mapping.segments.size(); s++) {
+            const AlignedSegment &seg = cls.mapping.segments[s];
+            segpos_codec.encode(arrays.sga, arrays.sgga, zigzagEncode(
+                static_cast<int64_t>(seg.consensusPos)
+                - static_cast<int64_t>(primary)));
+            seglen_codec.encode(arrays.sga, arrays.sgga, seg.readLength);
+        }
+
+        bool first_event_of_read = true;
+        for (const AlignedSegment &seg : cls.mapping.segments) {
+            const auto ops = ops_of(seg);
+            count_codec.encode(arrays.mca, arrays.mcga, ops.size());
+
+            uint32_t prev_pos = 0;
+            uint64_t cons_j = seg.consensusPos;
+            uint32_t read_i = 0;
+            for (const EditOp &op : ops) {
+                pos_codec.encode(arrays.mmpa, arrays.mmpga,
+                                 op.readPos - prev_pos);
+                prev_pos = op.readPos;
+
+                // Advance the consensus walk to the event position so
+                // the type-inference marker is well defined.
+                cons_j += op.readPos - read_i;
+                read_i = op.readPos;
+
+                if (params.cornerTrick && first_event_of_read &&
+                    op.readPos == 0) {
+                    arrays.mbta.writeBit(false); // Real mismatch at 0.
+                }
+                first_event_of_read = false;
+
+                const uint64_t marker_j =
+                    std::min<uint64_t>(cons_j, consensus.size() - 1);
+                if (params.inferTypes) {
+                    if (op.type == EditType::Sub) {
+                        const uint8_t code = baseToCode(op.bases[0]);
+                        sage_assert(code < 4, "N base in mapped read");
+                        sage_assert(op.bases[0] != consensus[marker_j],
+                                    "substitution equals consensus");
+                        arrays.mbta.writeBits(code, 2);
+                    } else {
+                        // Indel marker: the consensus base itself.
+                        arrays.mbta.writeBits(
+                            baseToCode(consensus[marker_j]) & 3, 2);
+                        arrays.mbta.writeBit(op.type == EditType::Ins);
+                    }
+                } else {
+                    arrays.mbta.writeBits(
+                        static_cast<uint64_t>(op.type), 2);
+                    if (op.type != EditType::Del) {
+                        for (char c : op.bases) {
+                            const uint8_t code = baseToCode(c);
+                            sage_assert(code < 4, "N base in mapped read");
+                            arrays.mbta.writeBits(code, 2);
+                        }
+                    }
+                }
+
+                if (op.type != EditType::Sub) {
+                    if (params.tuneArrays) {
+                        // Single-base flag in MMPGA; longer lengths as
+                        // chained 8-bit fields in MMPA (paper §5.1.1).
+                        arrays.mmpga.writeBit(op.length == 1);
+                        if (op.length != 1)
+                            writeIndelLength(arrays.mmpa, op.length);
+                    }
+                    if (params.inferTypes &&
+                        op.type == EditType::Ins) {
+                        for (char c : op.bases)
+                            arrays.mbta.writeBits(baseToCode(c) & 3, 2);
+                    }
+                }
+
+                // Update walk state past the event.
+                if (op.type == EditType::Sub) {
+                    cons_j++;
+                    read_i++;
+                } else if (op.type == EditType::Ins) {
+                    read_i += op.length;
+                } else {
+                    cons_j += op.length;
+                }
+            }
+        }
+    }
+
+    // ---- Assemble container -------------------------------------------
+    StreamBundle bundle;
+    bundle.stream("params") = params.serialize();
+    {
+        std::vector<uint8_t> cons;
+        auto packed = packSequence(
+            consensus, params.consensusTwoBit ? OutputFormat::TwoBit
+                                              : OutputFormat::ThreeBit);
+        cons.insert(cons.end(), packed.begin(), packed.end());
+        bundle.stream("consensus") = std::move(cons);
+    }
+    bundle.stream("flags") = arrays.flags.take();
+    bundle.stream("mpa") = arrays.mpa.take();
+    bundle.stream("mpga") = arrays.mpga.take();
+    bundle.stream("rla") = arrays.rla.take();
+    bundle.stream("rlga") = arrays.rlga.take();
+    bundle.stream("sga") = arrays.sga.take();
+    bundle.stream("sgga") = arrays.sgga.take();
+    bundle.stream("mca") = arrays.mca.take();
+    bundle.stream("mcga") = arrays.mcga.take();
+    bundle.stream("mmpa") = arrays.mmpa.take();
+    bundle.stream("mmpga") = arrays.mmpga.take();
+    bundle.stream("mbta") = arrays.mbta.take();
+    bundle.stream("escape") = std::move(escape_stream);
+
+    // Host-side streams: headers (gpzip), order, quality (paper §5.1.5).
+    {
+        std::vector<uint8_t> headers;
+        for (uint32_t src : prep.order) {
+            const std::string &h = rs.reads[src].header;
+            headers.insert(headers.end(), h.begin(), h.end());
+            headers.push_back('\n');
+        }
+        bundle.stream("headers") =
+            gpzip::compress(headers.data(), headers.size(), {}, pool);
+    }
+    if (config.preserveOrder) {
+        std::vector<uint8_t> order;
+        for (uint32_t src : prep.order)
+            putVarint(order, src);
+        bundle.stream("order") = std::move(order);
+    }
+    if (params.hasQuality) {
+        std::vector<std::string> quals;
+        quals.reserve(prep.order.size());
+        for (uint32_t src : prep.order)
+            quals.push_back(rs.reads[src].quals);
+        const QualityArchive qa = compressQuality(quals, config.quality);
+        std::vector<uint8_t> packed;
+        putVarint(packed, qa.alphabet.size());
+        packed.insert(packed.end(), qa.alphabet.begin(),
+                      qa.alphabet.end());
+        putVarint(packed, qa.readLengths.size());
+        for (uint32_t len : qa.readLengths)
+            putVarint(packed, len);
+        putVarint(packed, qa.blocks.size());
+        for (size_t b = 0; b < qa.blocks.size(); b++) {
+            putVarint(packed, qa.blockChars[b]);
+            putVarint(packed, qa.blocks[b].size());
+            packed.insert(packed.end(), qa.blocks[b].begin(),
+                          qa.blocks[b].end());
+        }
+        bundle.stream("quality") = std::move(packed);
+    }
+
+    archive.bytes = bundle.serialize();
+    archive.streamSizes = bundle.sizes();
+    archive.encodeSeconds = encode_clock.seconds();
+    for (const auto &[name, size] : archive.streamSizes) {
+        if (name == "quality")
+            archive.qualityBytes += size;
+        else if (name == "headers" || name == "order")
+            archive.metaBytes += size;
+        else
+            archive.dnaBytes += size;
+    }
+    return archive;
+}
+
+} // namespace sage

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * SAGe compressor (paper §5.1): encodes a read set into the tuned
+ * array/guide-array container defined in format.hh.
+ *
+ * Compression runs on the host and is not on the analysis critical path
+ * (paper Fig. 5b, §8.6); decompression is the latency-critical side and
+ * lives in decoder.hh (software) and hw/ (hardware model).
+ */
+
+#ifndef SAGE_CORE_ENCODER_HH
+#define SAGE_CORE_ENCODER_HH
+
+#include <string_view>
+
+#include "core/format.hh"
+#include "genomics/read.hh"
+
+namespace sage {
+
+class ThreadPool;
+
+/**
+ * Compress @p rs against @p consensus.
+ *
+ * The consensus (an approximation of the organism's genome — here a
+ * user-provided reference, paper §2.2) is stored inside the archive so
+ * the output is self-contained.
+ */
+SageArchive sageCompress(const ReadSet &rs, std::string_view consensus,
+                         const SageConfig &config = {},
+                         ThreadPool *pool = nullptr);
+
+} // namespace sage
+
+#endif // SAGE_CORE_ENCODER_HH

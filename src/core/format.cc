@@ -1,0 +1,90 @@
+#include "core/format.hh"
+
+#include "util/logging.hh"
+#include "util/varint.hh"
+
+namespace sage {
+
+SageConfig
+SageConfig::atLevel(unsigned level)
+{
+    SageConfig config;
+    config.reorderReads = level >= 1;
+    config.tuneMatchArrays = level >= 1;
+    config.tuneArrays = level >= 2;
+    config.maxSegments = level >= 3 ? 3 : 1;
+    config.inferTypes = level >= 3;
+    config.cornerTrick = level >= 4;
+    return config;
+}
+
+std::vector<uint8_t>
+SageParams::serialize() const
+{
+    std::vector<uint8_t> out;
+    putVarint(out, version);
+    putVarint(out, numReads);
+    putVarint(out, consensusLength);
+
+    uint8_t flags = 0;
+    flags |= consensusTwoBit ? 1 : 0;
+    flags |= hasQuality ? 2 : 0;
+    flags |= preservedOrder ? 4 : 0;
+    flags |= reorderReads ? 8 : 0;
+    flags |= tuneArrays ? 16 : 0;
+    flags |= inferTypes ? 32 : 0;
+    flags |= cornerTrick ? 64 : 0;
+    flags |= constantReadLength ? 128 : 0;
+    out.push_back(flags);
+    uint8_t flags2 = 0;
+    flags2 |= tuneMatchArrays ? 1 : 0;
+    out.push_back(flags2);
+    out.push_back(static_cast<uint8_t>(maxSegments));
+    putVarint(out, modalReadLength);
+
+    matchPos.serialize(out);
+    readLen.serialize(out);
+    mismatchCount.serialize(out);
+    mismatchPos.serialize(out);
+    segPos.serialize(out);
+    segLen.serialize(out);
+    return out;
+}
+
+SageParams
+SageParams::deserialize(const std::vector<uint8_t> &bytes)
+{
+    SageParams params;
+    size_t pos = 0;
+    params.version = static_cast<uint32_t>(getVarint(bytes, pos));
+    if (params.version != 1)
+        sage_fatal("unsupported SAGe container version ", params.version);
+    params.numReads = getVarint(bytes, pos);
+    params.consensusLength = getVarint(bytes, pos);
+
+    sage_assert(pos + 2 <= bytes.size(), "params truncated");
+    const uint8_t flags = bytes[pos++];
+    params.consensusTwoBit = flags & 1;
+    params.hasQuality = flags & 2;
+    params.preservedOrder = flags & 4;
+    params.reorderReads = flags & 8;
+    params.tuneArrays = flags & 16;
+    params.inferTypes = flags & 32;
+    params.cornerTrick = flags & 64;
+    params.constantReadLength = flags & 128;
+    sage_assert(pos + 1 <= bytes.size(), "params truncated");
+    const uint8_t flags2 = bytes[pos++];
+    params.tuneMatchArrays = flags2 & 1;
+    params.maxSegments = bytes[pos++];
+    params.modalReadLength = getVarint(bytes, pos);
+
+    params.matchPos = AssociationTable::deserialize(bytes, pos);
+    params.readLen = AssociationTable::deserialize(bytes, pos);
+    params.mismatchCount = AssociationTable::deserialize(bytes, pos);
+    params.mismatchPos = AssociationTable::deserialize(bytes, pos);
+    params.segPos = AssociationTable::deserialize(bytes, pos);
+    params.segLen = AssociationTable::deserialize(bytes, pos);
+    return params;
+}
+
+} // namespace sage

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Umbrella header for the SAGe core library: everything a downstream
+ * user needs to compress, store and decompress genomic read sets with
+ * the SAGe format.
+ *
+ * Quickstart:
+ * @code
+ *   sage::SageArchive ar = sage::sageCompress(read_set, reference);
+ *   sage::ReadSet back = sage::sageDecompress(ar.bytes);
+ * @endcode
+ *
+ * For storage/accelerator integration see ssd/sage_device.hh
+ * (SAGe_Read / SAGe_Write interface commands) and hw/sage_hw.hh
+ * (decompression hardware model).
+ */
+
+#ifndef SAGE_CORE_SAGE_HH
+#define SAGE_CORE_SAGE_HH
+
+#include "core/decoder.hh"
+#include "core/encoder.hh"
+#include "core/format.hh"
+#include "core/tuned_array.hh"
+
+#endif // SAGE_CORE_SAGE_HH

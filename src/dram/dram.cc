@@ -1,0 +1,29 @@
+#include "dram/dram.hh"
+
+namespace sage {
+
+DramModel
+DramModel::hostDdr4()
+{
+    DramConfig config;
+    config.bandwidthBytesPerSec = 25.6e9; // DDR4-3200 per channel.
+    config.channels = 8;                   // EPYC 7742 host (paper §7).
+    config.randomAccessEfficiency = 0.30;
+    config.idlePowerWatts = 4.0;
+    config.activePowerWatts = 30.0;
+    return DramModel(config);
+}
+
+DramModel
+DramModel::ssdInternal()
+{
+    DramConfig config;
+    config.bandwidthBytesPerSec = 4.8e9;  // Single low-power channel.
+    config.channels = 1;                   // Paper §3.2 / §6.
+    config.randomAccessEfficiency = 0.25;
+    config.idlePowerWatts = 0.3;
+    config.activePowerWatts = 1.2;
+    return DramModel(config);
+}
+
+} // namespace sage

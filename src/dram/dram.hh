@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DRAM bandwidth/latency/power model (Ramulator stand-in; DESIGN.md §2).
+ *
+ * The pipeline simulator treats DRAM as a bandwidth server with
+ * idle/active power — the level of detail the end-to-end model needs:
+ * the paper's argument rests on *bandwidth laws* (a host with 8 channels
+ * vs an SSD-internal single-channel DRAM), not on bank timing.
+ */
+
+#ifndef SAGE_DRAM_DRAM_HH
+#define SAGE_DRAM_DRAM_HH
+
+#include <cstdint>
+
+namespace sage {
+
+/** One DRAM subsystem (host memory or SSD-internal buffer). */
+struct DramConfig
+{
+    /** Peak sequential bandwidth in bytes/second. */
+    double bandwidthBytesPerSec = 25.6e9;
+    /** Number of independent channels. */
+    unsigned channels = 8;
+    /** Efficiency factor for random (pattern-matching) access streams:
+     *  fraction of peak bandwidth actually achieved. */
+    double randomAccessEfficiency = 0.30;
+    /** Idle (background + refresh) power in watts. */
+    double idlePowerWatts = 2.0;
+    /** Additional active power at full bandwidth in watts. */
+    double activePowerWatts = 10.0;
+};
+
+/** Bandwidth-server DRAM model. */
+class DramModel
+{
+  public:
+    explicit DramModel(DramConfig config = {}) : config_(config) {}
+
+    /** Total peak bandwidth across channels (bytes/s). */
+    double
+    peakBandwidth() const
+    {
+        return config_.bandwidthBytesPerSec * config_.channels;
+    }
+
+    /** Seconds to move @p bytes sequentially. */
+    double
+    sequentialSeconds(uint64_t bytes) const
+    {
+        return static_cast<double>(bytes) / peakBandwidth();
+    }
+
+    /** Seconds to move @p bytes with a random access pattern (the
+     *  pattern-matching decompression workload the paper describes). */
+    double
+    randomSeconds(uint64_t bytes) const
+    {
+        return static_cast<double>(bytes)
+            / (peakBandwidth() * config_.randomAccessEfficiency);
+    }
+
+    /** Energy (joules) for an interval of @p seconds with the memory
+     *  busy for @p busy_seconds of it. */
+    double
+    energyJoules(double seconds, double busy_seconds) const
+    {
+        return config_.idlePowerWatts * seconds
+            + config_.activePowerWatts * busy_seconds;
+    }
+
+    const DramConfig &config() const { return config_; }
+
+    /** Host DDR4 x8-channel configuration (EPYC-class, paper §7). */
+    static DramModel hostDdr4();
+
+    /** SSD-internal single-channel DRAM (paper §3.2: small, one
+     *  channel, mostly occupied by mapping metadata). */
+    static DramModel ssdInternal();
+
+  private:
+    DramConfig config_;
+};
+
+} // namespace sage
+
+#endif // SAGE_DRAM_DRAM_HH

@@ -1,0 +1,42 @@
+#include "genomics/alphabet.hh"
+
+#include "util/bitio.hh"
+
+namespace sage {
+
+std::vector<uint8_t>
+packSequence(std::string_view seq, OutputFormat fmt)
+{
+    if (fmt == OutputFormat::Ascii)
+        return std::vector<uint8_t>(seq.begin(), seq.end());
+
+    const unsigned width = bitsPerBase(fmt);
+    BitWriter bw;
+    for (char c : seq) {
+        const uint8_t code = baseToCode(c);
+        if (fmt == OutputFormat::TwoBit) {
+            sage_assert(code < 4,
+                        "2-bit packing requires ACGT-only sequence");
+        }
+        bw.writeBits(code, width);
+    }
+    return bw.take();
+}
+
+std::string
+unpackSequence(const std::vector<uint8_t> &packed, size_t num_bases,
+               OutputFormat fmt)
+{
+    if (fmt == OutputFormat::Ascii)
+        return std::string(packed.begin(), packed.end());
+
+    const unsigned width = bitsPerBase(fmt);
+    BitReader br(packed);
+    std::string out;
+    out.reserve(num_bases);
+    for (size_t i = 0; i < num_bases; i++)
+        out.push_back(codeToBase(static_cast<uint8_t>(br.readBits(width))));
+    return out;
+}
+
+} // namespace sage

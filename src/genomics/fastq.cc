@@ -1,0 +1,90 @@
+#include "genomics/fastq.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+std::string
+toFastq(const ReadSet &rs)
+{
+    std::string out;
+    out.reserve(rs.fastqBytes());
+    for (const auto &read : rs.reads) {
+        out.push_back('@');
+        out.append(read.header);
+        out.push_back('\n');
+        out.append(read.bases);
+        out.push_back('\n');
+        out.append("+\n");
+        out.append(read.quals);
+        out.push_back('\n');
+    }
+    return out;
+}
+
+ReadSet
+fromFastq(std::string_view text, const std::string &name)
+{
+    ReadSet rs;
+    rs.name = name;
+
+    size_t pos = 0;
+    auto next_line = [&](std::string_view &line) -> bool {
+        if (pos >= text.size())
+            return false;
+        size_t end = text.find('\n', pos);
+        if (end == std::string_view::npos)
+            end = text.size();
+        line = text.substr(pos, end - pos);
+        pos = end + 1;
+        return true;
+    };
+
+    std::string_view header, bases, plus, quals;
+    while (next_line(header)) {
+        if (header.empty())
+            continue;
+        if (header[0] != '@')
+            sage_fatal("FASTQ record does not start with '@': ", header);
+        if (!next_line(bases) || !next_line(plus) || !next_line(quals))
+            sage_fatal("truncated FASTQ record: ", header);
+        if (plus.empty() || plus[0] != '+')
+            sage_fatal("FASTQ separator line missing '+': ", plus);
+        if (!quals.empty() && quals.size() != bases.size()) {
+            sage_fatal("FASTQ quality length ", quals.size(),
+                       " != base length ", bases.size());
+        }
+        Read read;
+        read.header = std::string(header.substr(1));
+        read.bases = std::string(bases);
+        read.quals = std::string(quals);
+        rs.reads.push_back(std::move(read));
+    }
+    return rs;
+}
+
+void
+writeFastqFile(const ReadSet &rs, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        sage_fatal("cannot open for writing: ", path);
+    const std::string text = toFastq(rs);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+}
+
+ReadSet
+readFastqFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sage_fatal("cannot open for reading: ", path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return fromFastq(oss.str(), path);
+}
+
+} // namespace sage

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * FASTQ serialization: the text format read sets are delivered in
+ * (paper §2.1) and the format the data-preparation stage must produce for
+ * analysis tools that want ASCII input.
+ */
+
+#ifndef SAGE_GENOMICS_FASTQ_HH
+#define SAGE_GENOMICS_FASTQ_HH
+
+#include <string>
+#include <string_view>
+
+#include "genomics/read.hh"
+
+namespace sage {
+
+/** Render a read set as FASTQ text. */
+std::string toFastq(const ReadSet &rs);
+
+/**
+ * Parse FASTQ text into a ReadSet.
+ *
+ * Tolerates '+' comment repetition and missing trailing newline; rejects
+ * structurally broken records (mismatched quality length) via sage_fatal.
+ */
+ReadSet fromFastq(std::string_view text, const std::string &name = "");
+
+/** Write a read set to a FASTQ file on disk. */
+void writeFastqFile(const ReadSet &rs, const std::string &path);
+
+/** Read a FASTQ file from disk. */
+ReadSet readFastqFile(const std::string &path);
+
+} // namespace sage
+
+#endif // SAGE_GENOMICS_FASTQ_HH

@@ -1,0 +1,82 @@
+#include "genomics/kmer.hh"
+
+#include <algorithm>
+#include <deque>
+
+namespace sage {
+
+std::vector<KmerHit>
+extractKmers(std::string_view seq, unsigned k)
+{
+    std::vector<KmerHit> hits;
+    if (seq.size() < k || k == 0 || k > 31)
+        return hits;
+
+    const uint64_t mask = (uint64_t(1) << (2 * k)) - 1;
+    uint64_t kmer = 0;
+    unsigned valid = 0; // Number of consecutive non-N bases accumulated.
+    for (size_t i = 0; i < seq.size(); i++) {
+        const uint8_t code = baseToCode(seq[i]);
+        if (code >= 4) {
+            valid = 0;
+            kmer = 0;
+            continue;
+        }
+        kmer = ((kmer << 2) | code) & mask;
+        if (++valid >= k) {
+            hits.push_back({kmer,
+                            static_cast<uint32_t>(i + 1 - k)});
+        }
+    }
+    return hits;
+}
+
+std::vector<KmerHit>
+extractMinimizers(std::string_view seq, unsigned k, unsigned w)
+{
+    std::vector<KmerHit> all = extractKmers(seq, k);
+    std::vector<KmerHit> out;
+    if (all.empty())
+        return out;
+    if (w <= 1)
+        return all;
+
+    // Sliding-window minimum over hash values using a monotonic deque.
+    std::deque<size_t> window; // Indices into `all`, hashes increasing.
+    uint32_t last_emitted_pos = UINT32_MAX;
+    for (size_t i = 0; i < all.size(); i++) {
+        const uint64_t h = hashKmer(all[i].kmer);
+        while (!window.empty() &&
+               hashKmer(all[window.back()].kmer) >= h) {
+            window.pop_back();
+        }
+        window.push_back(i);
+        // Evict k-mers that left the window of w consecutive positions.
+        while (all[window.front()].pos + w <= all[i].pos)
+            window.pop_front();
+        if (i + 1 >= w) {
+            const KmerHit &min_hit = all[window.front()];
+            if (min_hit.pos != last_emitted_pos) {
+                out.push_back(min_hit);
+                last_emitted_pos = min_hit.pos;
+            }
+        }
+    }
+    return out;
+}
+
+uint64_t
+canonicalKmer(uint64_t kmer, unsigned k)
+{
+    // Reverse complement in 2-bit space: complement is XOR 3, then
+    // reverse base order.
+    uint64_t rc = 0;
+    uint64_t x = kmer;
+    for (unsigned i = 0; i < k; i++) {
+        rc = (rc << 2) | ((x & 3) ^ 3);
+        x >>= 2;
+    }
+    return std::min(kmer, rc);
+}
+
+} // namespace sage

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Read and ReadSet: the central data model of the repository.
+ *
+ * A Read is one sequenced fragment (bases + optional per-base quality
+ * scores + header); a ReadSet is the collection produced from one sample,
+ * the unit that gets compressed, stored and analyzed (paper §2.1).
+ */
+
+#ifndef SAGE_GENOMICS_READ_HH
+#define SAGE_GENOMICS_READ_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sage {
+
+/** One sequencing read. */
+struct Read
+{
+    std::string header;  ///< FASTQ header line without the leading '@'.
+    std::string bases;   ///< A/C/G/T/N characters.
+    std::string quals;   ///< Phred+33 ASCII; empty if not recorded.
+
+    size_t length() const { return bases.size(); }
+};
+
+/** Sequencing technology class a read set was produced with. */
+enum class Technology : uint8_t {
+    ShortAccurate,  ///< Illumina-like: 75-300 bp, ~99.9% accuracy.
+    LongNoisy,      ///< Nanopore/PacBio-like: 500 bp-2 Mbp, ~99% accuracy.
+};
+
+/** A collection of reads from one sample. */
+struct ReadSet
+{
+    std::string name;
+    Technology technology = Technology::ShortAccurate;
+    std::vector<Read> reads;
+
+    size_t readCount() const { return reads.size(); }
+
+    /** Total DNA bases across all reads. */
+    uint64_t
+    totalBases() const
+    {
+        uint64_t total = 0;
+        for (const auto &read : reads)
+            total += read.bases.size();
+        return total;
+    }
+
+    /** True if any read carries quality scores. */
+    bool
+    hasQualityScores() const
+    {
+        for (const auto &read : reads) {
+            if (!read.quals.empty())
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Uncompressed FASTQ byte size (header + bases + '+' line + quality
+     * + newlines), the denominator of every compression ratio we report.
+     */
+    uint64_t fastqBytes() const;
+
+    /** Uncompressed size of the DNA stream alone (bases + newlines). */
+    uint64_t
+    dnaBytes() const
+    {
+        uint64_t total = 0;
+        for (const auto &read : reads)
+            total += read.bases.size() + 1;
+        return total;
+    }
+
+    /** Uncompressed size of the quality stream alone. */
+    uint64_t
+    qualityBytes() const
+    {
+        uint64_t total = 0;
+        for (const auto &read : reads)
+            total += read.quals.size() + 1;
+        return total;
+    }
+};
+
+} // namespace sage
+
+#endif // SAGE_GENOMICS_READ_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * SAGe decompression hardware model (paper §5.2, Table 1).
+ *
+ * Per SSD channel, SAGe instantiates a Scan Unit (SU) that walks the
+ * position arrays / guide arrays, a Read Construction Unit (RCU) that
+ * plugs mismatches into the consensus stream, a Control Unit (CU), and
+ * — for the in-storage integration (Fig. 12 mode 3) — a pair of 64-bit
+ * double-buffer registers per channel.
+ *
+ * Functionally the hardware computes exactly what core/decoder.hh
+ * computes (the bit layout is shared); this model supplies the *timing,
+ * area, power and energy* the end-to-end pipeline needs. Area/power
+ * constants are the paper's Design Compiler results at 22 nm, 1 GHz
+ * (Table 1); we reuse them and scale by instance count (DESIGN.md §2).
+ */
+
+#ifndef SAGE_HW_SAGE_HW_HH
+#define SAGE_HW_SAGE_HW_HH
+
+#include <cstdint>
+
+#include "core/decoder.hh"
+#include "ssd/nand.hh"
+
+namespace sage {
+
+/** Per-unit area/power constants (paper Table 1, 22 nm, 1 GHz). */
+struct SageHwUnitSpec
+{
+    double areaMm2 = 0.0;
+    double powerMw = 0.0;
+};
+
+/** Hardware configuration. */
+struct SageHwConfig
+{
+    unsigned channels = 8;          ///< One SU/RCU/CU per channel.
+    double clockHz = 1e9;           ///< Paper synthesizes at 1 GHz.
+    bool inStorageRegisters = false; ///< Mode 3 double registers.
+
+    /** Bases reconstructed per RCU cycle: the RCU copies consensus
+     *  through a 64-bit datapath (2-bit bases -> 32 bases/cycle) and
+     *  only slows to patch mismatches, which are rare. */
+    double basesPerCycle = 32.0;
+    /** Array+guide bits scanned per SU cycle: the SU consumes one
+     *  guide code plus one value field per cycle (~16 bits). */
+    double bitsPerCycle = 16.0;
+};
+
+/** Area, power, energy and throughput model of SAGe's logic. */
+class SageHwModel
+{
+  public:
+    explicit SageHwModel(SageHwConfig config = {}) : config_(config) {}
+
+    // Table 1 per-instance constants.
+    static SageHwUnitSpec scanUnit();
+    static SageHwUnitSpec readConstructionUnit();
+    static SageHwUnitSpec controlUnit();
+    static SageHwUnitSpec doubleRegisters();
+
+    /** Total logic area (mm^2) across channels. */
+    double totalAreaMm2() const;
+
+    /** Total logic power (mW) across channels. */
+    double totalPowerMw() const;
+
+    /**
+     * Decompression-compute seconds for an archive: the SU must scan
+     * every array bit and the RCU must emit every base. In practice the
+     * result is far below the NAND streaming time, which is the paper's
+     * point ("bottlenecked by the NAND flash read throughput", §8.2).
+     */
+    double computeSeconds(uint64_t dna_stream_bytes,
+                          uint64_t total_bases) const;
+
+    /**
+     * End-to-end hardware decompression seconds: NAND streaming
+     * pipelined with compute; the slower side dominates.
+     */
+    double decompressSeconds(const SsdModel &ssd,
+                             uint64_t dna_stream_bytes,
+                             uint64_t total_bases) const;
+
+    /** Energy (joules) for @p busy_seconds of decompression. */
+    double energyJoules(double busy_seconds) const;
+
+    /**
+     * Fraction of an ARM Cortex-R-class SSD-controller core complex
+     * this logic occupies (paper: 0.7% of the three cores). Reference
+     * area for three Cortex-R4 cores at 22 nm is ~0.30 mm^2.
+     */
+    double fractionOfControllerCores() const;
+
+    const SageHwConfig &config() const { return config_; }
+
+  private:
+    SageHwConfig config_;
+};
+
+} // namespace sage
+
+#endif // SAGE_HW_SAGE_HW_HH

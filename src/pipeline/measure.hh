@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload measurement: run the repository's real codecs over a
+ * synthesized read set and collect the compressed sizes and measured
+ * decompression times the pipeline model consumes.
+ *
+ * Mirrors the paper's methodology (§7): software decompressor
+ * performance is *measured* on a real host (here: this machine, with
+ * its own core count — all software baselines share it, so relative
+ * comparisons are meaningful), while hardware components come from
+ * models.
+ */
+
+#ifndef SAGE_PIPELINE_MEASURE_HH
+#define SAGE_PIPELINE_MEASURE_HH
+
+#include "pipeline/pipeline.hh"
+#include "simgen/synthesize.hh"
+
+namespace sage {
+
+/** Measurement knobs. */
+struct MeasureConfig
+{
+    /** Threads for parallel codecs (0 = hardware concurrency). */
+    unsigned threads = 0;
+    /** Timing repetitions (median taken). */
+    unsigned repetitions = 1;
+    /** Compress quality streams too (matches Table 2 accounting). */
+    bool keepQuality = true;
+};
+
+/** Detailed artifacts of one measured workload (for Table 2/17/18). */
+struct MeasuredArtifacts
+{
+    WorkloadMeasurement work;
+
+    // Compression-side outputs for ratio/time reporting.
+    uint64_t dnaBytesUncompressed = 0;
+    uint64_t qualBytesUncompressed = 0;
+    uint64_t pigzDnaBytes = 0;        ///< pigz over the DNA stream.
+    uint64_t pigzQualBytes = 0;
+    uint64_t springDnaBytes = 0;
+    uint64_t springQualBytes = 0;
+    uint64_t sageDnaBytes = 0;
+    uint64_t sageQualBytes = 0;
+
+    double pigzCompressSeconds = 0.0;
+    double springCompressSeconds = 0.0;
+    double springMapSeconds = 0.0;    ///< "Finding mismatches" share.
+    double sageCompressSeconds = 0.0;
+    double sageMapSeconds = 0.0;
+    double sageTuneSeconds = 0.0;     ///< Algorithm 1 share (§8.6).
+
+    /** SpringLike decode working set (Table 3). */
+    uint64_t springWorkingSetBytes = 0;
+    /** SAGe software decode working set (Table 3). */
+    uint64_t sageWorkingSetBytes = 0;
+};
+
+/** Run every codec over @p ds and measure (real wall clock). */
+MeasuredArtifacts measureWorkload(const SimulatedDataset &ds,
+                                  const MeasureConfig &config = {});
+
+/** Synthesize + measure one preset in one call. */
+MeasuredArtifacts measurePreset(const DatasetSpec &spec,
+                                const MeasureConfig &config = {});
+
+} // namespace sage
+
+#endif // SAGE_PIPELINE_MEASURE_HH

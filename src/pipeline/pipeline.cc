@@ -1,0 +1,250 @@
+#include "pipeline/pipeline.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+double
+pipelineMakespan(const std::vector<std::vector<double>> &t)
+{
+    if (t.empty())
+        return 0.0;
+    const size_t stages = t.front().size();
+    std::vector<double> finish(stages, 0.0);
+    for (const auto &batch : t) {
+        sage_assert(batch.size() == stages, "ragged pipeline matrix");
+        double ready = 0.0;
+        for (size_t s = 0; s < stages; s++) {
+            // Enter stage s when both the previous batch has left it
+            // and this batch has left stage s-1.
+            const double start = std::max(ready, finish[s]);
+            finish[s] = start + batch[s];
+            ready = finish[s];
+        }
+    }
+    return finish.back();
+}
+
+const char *
+prepConfigName(PrepConfig config)
+{
+    switch (config) {
+      case PrepConfig::Pigz: return "pigz";
+      case PrepConfig::NSpr: return "(N)Spr";
+      case PrepConfig::NSprAC: return "(N)SprAC";
+      case PrepConfig::ZeroTimeDec: return "0TimeDec";
+      case PrepConfig::SageSW: return "SAGeSW";
+      case PrepConfig::SageHW: return "SAGe";
+      case PrepConfig::SageSSD: return "SAGeSSD";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Stage-time totals for one configuration (split into batches later). */
+struct StageTotals
+{
+    double io = 0.0;     ///< Compressed-data delivery.
+    double prep = 0.0;   ///< Decompression/formatting.
+    double isf = 0.0;    ///< In-storage filter (SageSSD+ISF only).
+    double map = 0.0;    ///< Read mapping.
+
+    // Busy-time attribution for energy.
+    double hostCpuBusy = 0.0;
+    double hostDramBusy = 0.0;
+    double ssdBusy = 0.0;
+    double sageHwBusy = 0.0;
+    double mapperBusy = 0.0;
+    double isfBusy = 0.0;
+    bool inStorageHw = false;
+};
+
+StageTotals
+stageTotals(const WorkloadMeasurement &work, PrepConfig prep,
+            const SystemConfig &system)
+{
+    StageTotals tot;
+    const double ssd_scale = std::max(1u, system.numSsds);
+    const SsdModel &ssd = system.ssd;
+
+    // Bytes the mapper consumes (2-bit-packed reads, the format GEM
+    // and GenStore-class accelerators operate on).
+    const uint64_t packed_bytes = work.totalBases / 4;
+
+    auto conventional_io = [&](uint64_t bytes) {
+        const double internal =
+            ssd.internalReadSeconds(bytes) / ssd_scale;
+        const double external =
+            ssd.externalTransferSeconds(bytes) / ssd_scale;
+        return std::max(internal, external);
+    };
+
+    uint64_t mapped_bases = work.totalBases;
+
+    switch (prep) {
+      case PrepConfig::Pigz:
+        tot.io = conventional_io(work.pigzBytes);
+        tot.prep = work.pigzDecompSeconds;
+        tot.hostCpuBusy = tot.prep;
+        tot.hostDramBusy = tot.prep;
+        tot.ssdBusy = ssd.internalReadSeconds(work.pigzBytes) / ssd_scale;
+        break;
+      case PrepConfig::NSpr:
+        tot.io = conventional_io(work.springBytes);
+        tot.prep = work.springDecompSeconds
+            / system.hostParallelSpeedup;
+        tot.hostCpuBusy = tot.prep;
+        tot.hostDramBusy = tot.prep;
+        tot.ssdBusy =
+            ssd.internalReadSeconds(work.springBytes) / ssd_scale;
+        break;
+      case PrepConfig::NSprAC:
+        tot.io = conventional_io(work.springBytes);
+        tot.prep = std::max(
+            0.0, work.springDecompSeconds - work.springBackendSeconds)
+            / system.hostParallelSpeedup;
+        tot.hostCpuBusy = tot.prep;
+        tot.hostDramBusy = tot.prep;
+        tot.ssdBusy =
+            ssd.internalReadSeconds(work.springBytes) / ssd_scale;
+        break;
+      case PrepConfig::ZeroTimeDec:
+        tot.io = conventional_io(work.springBytes);
+        tot.prep = 0.0;
+        tot.ssdBusy =
+            ssd.internalReadSeconds(work.springBytes) / ssd_scale;
+        break;
+      case PrepConfig::SageSW:
+        tot.io = conventional_io(work.sageBytes);
+        tot.prep = work.sageSwDecompSeconds
+            / system.hostParallelSpeedup;
+        tot.hostCpuBusy = tot.prep;
+        tot.hostDramBusy = tot.prep;
+        tot.ssdBusy =
+            ssd.internalReadSeconds(work.sageBytes) / ssd_scale;
+        break;
+      case PrepConfig::SageHW: {
+        // Host-attached hardware (Fig. 12 modes 1/2): compressed data
+        // crosses the link; the units decompress at streaming rate.
+        tot.io = conventional_io(work.sageBytes);
+        SageHwModel hw;
+        tot.prep = hw.computeSeconds(work.sageDnaStreamBytes,
+                                     work.totalBases) / ssd_scale;
+        tot.sageHwBusy = tot.prep;
+        tot.ssdBusy =
+            ssd.internalReadSeconds(work.sageBytes) / ssd_scale;
+        break;
+      }
+      case PrepConfig::SageSSD: {
+        // In-storage (mode 3): NAND streaming and decompression fuse
+        // into one in-SSD stage; decompressed (and possibly filtered)
+        // reads cross the external link.
+        SageHwConfig hw_config;
+        hw_config.inStorageRegisters = true;
+        SageHwModel hw(hw_config);
+        tot.prep = hw.decompressSeconds(ssd, work.sageDnaStreamBytes,
+                                        work.totalBases) / ssd_scale;
+        tot.sageHwBusy = tot.prep;
+        tot.ssdBusy = tot.prep;
+        tot.inStorageHw = true;
+
+        uint64_t out_bytes = packed_bytes;
+        if (system.useIsf) {
+            // ISF runs in-SSD right after decompression; only the
+            // unfiltered remainder leaves the device.
+            const double keep = 1.0 - work.isfFilterFraction;
+            mapped_bases = static_cast<uint64_t>(
+                static_cast<double>(work.totalBases) * keep);
+            out_bytes = mapped_bases / 4;
+            // Filter streams all decompressed bases.
+            const double packed_all =
+                static_cast<double>(work.totalBases) / 4.0;
+            tot.isf = packed_all / ssd.internalReadBandwidth()
+                / 0.85 / ssd_scale;
+            tot.isfBusy = tot.isf;
+        }
+        tot.io = ssd.externalTransferSeconds(out_bytes) / ssd_scale;
+        break;
+      }
+    }
+
+    if (system.useIsf && prep != PrepConfig::SageSSD) {
+        // A host-side prep cannot feed an in-storage filter without
+        // moving data back into the SSD — the paper's argument for why
+        // only SAGeSSD composes with ISF. Model the ping-pong cost:
+        // decompressed reads go host -> SSD, are filtered, and the
+        // remainder returns.
+        const double keep = 1.0 - work.isfFilterFraction;
+        mapped_bases = static_cast<uint64_t>(
+            static_cast<double>(work.totalBases) * keep);
+        const double packed_all =
+            static_cast<double>(work.totalBases) / 4.0;
+        tot.isf = (packed_all / ssd.externalBandwidth()      // in
+                   + packed_all / ssd.internalReadBandwidth() // filter
+                   + packed_all * keep / ssd.externalBandwidth()) // out
+            / ssd_scale;
+        tot.isfBusy = tot.isf;
+    }
+
+    tot.map = system.mapper.mapSeconds(mapped_bases);
+    tot.mapperBusy = tot.map;
+    return tot;
+}
+
+} // namespace
+
+EndToEndResult
+evaluateEndToEnd(const WorkloadMeasurement &work, PrepConfig prep,
+                 const SystemConfig &system)
+{
+    const StageTotals tot = stageTotals(work, prep, system);
+
+    // Split stage totals uniformly over batches and run the flow shop.
+    const unsigned batches = std::max(1u, system.batches);
+    std::vector<std::vector<double>> t(
+        batches, {tot.io / batches, tot.prep / batches,
+                  tot.isf / batches, tot.map / batches});
+    EndToEndResult result;
+    result.seconds = pipelineMakespan(t);
+    result.ioSeconds = tot.io;
+    result.prepSeconds = tot.prep;
+    result.isfSeconds = tot.isf;
+    result.mapSeconds = tot.map;
+
+    // Energy: idle power over the makespan + active power over busy
+    // time, per component.
+    const double T = result.seconds;
+    result.energy.hostCpu = system.hostIdlePowerWatts * T
+        + (system.hostActivePowerWatts - system.hostIdlePowerWatts)
+              * tot.hostCpuBusy;
+    result.energy.hostDram =
+        system.hostDram.energyJoules(T, tot.hostDramBusy);
+    result.energy.ssd = system.ssd.energyJoules(T, tot.ssdBusy, 0.0)
+        * std::max(1u, system.numSsds);
+    {
+        SageHwConfig hw_config;
+        hw_config.inStorageRegisters = tot.inStorageHw;
+        SageHwModel hw(hw_config);
+        result.energy.sageHw = hw.energyJoules(tot.sageHwBusy);
+    }
+    result.energy.mapper =
+        system.mapper.energyJoules(T, tot.mapperBusy);
+    result.energy.isf = 0.8 * tot.isfBusy;
+    return result;
+}
+
+double
+dataPrepSeconds(const WorkloadMeasurement &work, PrepConfig prep,
+                const SystemConfig &system)
+{
+    const StageTotals tot = stageTotals(work, prep, system);
+    const unsigned batches = std::max(1u, system.batches);
+    std::vector<std::vector<double>> t(
+        batches, {tot.io / batches, tot.prep / batches});
+    return pipelineMakespan(t);
+}
+
+} // namespace sage

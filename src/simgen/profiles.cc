@@ -1,0 +1,165 @@
+#include "simgen/profiles.hh"
+
+namespace sage {
+
+namespace {
+
+/** Shared short-read sequencer defaults (Illumina-like). */
+SequencerProfile
+shortSequencer()
+{
+    SequencerProfile sp;
+    sp.longRead = false;
+    sp.readLength = 150;
+    sp.subErrorRate = 0.001;   // ~99.9% accuracy, Property 2/5.
+    sp.insErrorRate = 1e-5;
+    sp.delErrorRate = 1e-5;
+    sp.chimeraProb = 0.0;
+    sp.reportsQuality = true;
+    sp.qualityLevels = 4;      // Modern binned qualities.
+    return sp;
+}
+
+/** Shared long-read sequencer defaults (nanopore-like). */
+SequencerProfile
+longSequencer()
+{
+    SequencerProfile sp;
+    sp.longRead = true;
+    sp.readLength = 9000;      // Median; log-normal spread.
+    sp.readLengthSigma = 0.6;
+    sp.minReadLength = 500;
+    sp.maxReadLength = 120000;
+    sp.subErrorRate = 0.006;   // ~99% accuracy overall.
+    sp.insErrorRate = 0.002;
+    sp.delErrorRate = 0.002;
+    sp.seqIndelMeanLen = 1.12; // Mostly single-base blocks, Property 3.
+    sp.longIndelTailProb = 0.015;
+    sp.longIndelTailMean = 30.0;
+    sp.burstProb = 0.35;       // Regional degradation, Property 1.
+    sp.burstMultiplier = 8.0;
+    sp.burstMeanSpan = 150.0;
+    sp.chimeraProb = 0.08;     // Property 4.
+    sp.reportsQuality = true;
+    sp.qualityPeak = 30;
+    sp.qualityLevels = 12;
+    return sp;
+}
+
+} // namespace
+
+DatasetSpec
+makeRs1Spec()
+{
+    // Plant-like short-read set: moderate diversity, moderate depth.
+    DatasetSpec spec;
+    spec.name = "RS1";
+    spec.genome.referenceLength = 1 << 20;
+    spec.genome.backgroundSnpRate = 1.2e-3;
+    spec.genome.clusterSnpRate = 0.02;
+    // Keep repeats rare: real DNA does not gzip below ~2 bits/base, so
+    // a repeat-heavy synthetic reference would unfairly favor backend-
+    // compressed consensus storage over SAGe's raw 2-bit stream.
+    spec.genome.repeatFraction = 0.05;
+    spec.sequencer = shortSequencer();
+    spec.sequencer.readLength = 100;
+    spec.depth = 10.0;
+    spec.seed = 101;
+    return spec;
+}
+
+DatasetSpec
+makeRs2Spec()
+{
+    // Deep, clean human-like short reads: the paper's best-compressing set.
+    DatasetSpec spec;
+    spec.name = "RS2";
+    spec.genome.referenceLength = 3 << 20;
+    spec.genome.backgroundSnpRate = 4e-4;
+    spec.genome.clusterSnpRate = 0.012;
+    spec.sequencer = shortSequencer();
+    spec.sequencer.readLength = 150;
+    spec.sequencer.subErrorRate = 0.0006;
+    spec.depth = 24.0;
+    spec.seed = 102;
+    return spec;
+}
+
+DatasetSpec
+makeRs3Spec()
+{
+    // Noisier, more diverse short reads: worst short-read ratio.
+    DatasetSpec spec;
+    spec.name = "RS3";
+    spec.genome.referenceLength = 1 << 20;
+    spec.genome.backgroundSnpRate = 4e-3;
+    spec.genome.clusterSnpRate = 0.05;
+    spec.genome.clusterStartRate = 6e-5;
+    spec.sequencer = shortSequencer();
+    spec.sequencer.readLength = 125;
+    spec.sequencer.subErrorRate = 0.004;
+    spec.sequencer.qualityLevels = 8;
+    spec.depth = 8.0;
+    spec.seed = 103;
+    return spec;
+}
+
+DatasetSpec
+makeRs4Spec()
+{
+    // Noisy nanopore-like long reads: worst overall ratio.
+    DatasetSpec spec;
+    spec.name = "RS4";
+    spec.genome.referenceLength = 2 << 20;
+    spec.genome.backgroundSnpRate = 8e-4;
+    spec.sequencer = longSequencer();
+    spec.sequencer.subErrorRate = 0.01;
+    spec.sequencer.insErrorRate = 0.004;
+    spec.sequencer.delErrorRate = 0.004;
+    spec.depth = 12.0;
+    spec.seed = 104;
+    return spec;
+}
+
+DatasetSpec
+makeRs5Spec()
+{
+    // Cleaner long reads (banana T2T-like project data).
+    DatasetSpec spec;
+    spec.name = "RS5";
+    spec.genome.referenceLength = 3 << 20;
+    spec.genome.backgroundSnpRate = 5e-4;
+    spec.sequencer = longSequencer();
+    spec.sequencer.subErrorRate = 0.004;
+    spec.sequencer.insErrorRate = 0.0015;
+    spec.sequencer.delErrorRate = 0.0015;
+    spec.sequencer.chimeraProb = 0.05;
+    spec.depth = 16.0;
+    spec.seed = 105;
+    return spec;
+}
+
+std::vector<DatasetSpec>
+allReadSetSpecs()
+{
+    return {makeRs1Spec(), makeRs2Spec(), makeRs3Spec(), makeRs4Spec(),
+            makeRs5Spec()};
+}
+
+DatasetSpec
+makeTinySpec(bool long_read)
+{
+    DatasetSpec spec;
+    spec.name = long_read ? "tiny-long" : "tiny-short";
+    spec.genome.referenceLength = 1 << 16;
+    spec.sequencer = long_read ? longSequencer() : shortSequencer();
+    if (long_read) {
+        spec.sequencer.readLength = 2000;
+        spec.sequencer.maxReadLength = 12000;
+    }
+    spec.depth = 4.0;
+    spec.seed = 42;
+    return spec;
+}
+
+} // namespace sage

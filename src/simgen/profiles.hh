@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Parameter blocks for synthetic genome and sequencer models.
+ *
+ * The paper evaluates on five real read sets (RS1-RS5, Table 2). We do not
+ * have those downloads here, so we synthesize analogues whose *statistical
+ * properties* match the ones SAGe's design exploits (paper §5.1):
+ *
+ *  - Property 1: mismatch positions cluster (variant hotspots + regional
+ *    sequencing-quality degradation), so delta-encoded mismatch positions
+ *    need few bits.
+ *  - Property 2: most short reads have zero or few mismatches.
+ *  - Property 3: most indel blocks have length 1, but long blocks carry
+ *    most indel bases.
+ *  - Property 4: long reads can be chimeric (segments from distant loci).
+ *  - Property 5: substitutions dominate short-read errors.
+ *  - Property 6: redundant sampling (depth) makes sorted matching
+ *    positions delta-encode into very few bits.
+ *
+ * Every distribution here is driven by sage::Rng, so a DatasetSpec plus a
+ * seed is a complete, reproducible description of an experiment input.
+ */
+
+#ifndef SAGE_SIMGEN_PROFILES_HH
+#define SAGE_SIMGEN_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sage {
+
+/** Shape of the underlying (donor) genome relative to the reference. */
+struct GenomeProfile
+{
+    uint64_t referenceLength = 1 << 20;
+
+    /** Per-base probability that a position is inside a variant cluster. */
+    double clusterStartRate = 2e-5;
+    /** Mean cluster span in bases (geometric). */
+    double clusterMeanSpan = 400.0;
+    /** SNP probability per base inside a cluster. */
+    double clusterSnpRate = 0.02;
+    /** SNP probability per base outside clusters (background). */
+    double backgroundSnpRate = 5e-4;
+    /** Small indel probability per base (mostly inside clusters). */
+    double indelRate = 5e-5;
+    /** Mean indel length (geometric, strongly skewed to 1). */
+    double indelMeanLen = 1.5;
+    /** Fraction of the genome covered by long tandem-ish repeats. */
+    double repeatFraction = 0.03;
+    /** Typical repeat unit length. */
+    unsigned repeatUnit = 600;
+};
+
+/** Error/length model of the sequencer that produced a read set. */
+struct SequencerProfile
+{
+    bool longRead = false;
+
+    /** Short reads: exact length. Long reads: log-normal median. */
+    unsigned readLength = 150;
+    /** Long reads only: sigma of log-normal length distribution. */
+    double readLengthSigma = 0.55;
+    /** Long reads only: hard length bounds. */
+    unsigned minReadLength = 200;
+    unsigned maxReadLength = 200000;
+
+    /** Per-base substitution error rate. */
+    double subErrorRate = 0.001;
+    /** Per-base insertion error rate. */
+    double insErrorRate = 0.00005;
+    /** Per-base deletion error rate. */
+    double delErrorRate = 0.00005;
+    /** Mean sequencing-indel length (geometric; Property 3 skew). */
+    double seqIndelMeanLen = 1.15;
+    /** Probability that an indel instead draws from a long-block tail. */
+    double longIndelTailProb = 0.02;
+    /** Mean length of long-tail indel blocks. */
+    double longIndelTailMean = 24.0;
+
+    /** Probability a read starts an error burst (regional degradation). */
+    double burstProb = 0.01;
+    /** Error-rate multiplier inside a burst. */
+    double burstMultiplier = 12.0;
+    /** Mean burst span in bases. */
+    double burstMeanSpan = 120.0;
+
+    /** Probability a long read is chimeric (joined segments). */
+    double chimeraProb = 0.0;
+    /** Mean number of extra segments in a chimeric read. */
+    double chimeraExtraSegments = 1.3;
+
+    /** Probability a read contains at least one N. */
+    double nReadProb = 0.0005;
+    /** Probability a read carries a soft-clip block at an end. */
+    double clipProb = 0.002;
+    /** Mean clip length. */
+    double clipMeanLen = 20.0;
+
+    /** Probability a read is sampled from the reverse strand. */
+    double reverseProb = 0.5;
+
+    /** Whether the sequencer reports real quality scores. */
+    bool reportsQuality = true;
+    /** Baseline Phred quality. */
+    unsigned qualityPeak = 37;
+    /** Number of distinct quality levels emitted (binned sequencers). */
+    unsigned qualityLevels = 8;
+};
+
+/** Complete description of one synthetic read-set experiment input. */
+struct DatasetSpec
+{
+    std::string name;
+    GenomeProfile genome;
+    SequencerProfile sequencer;
+    /** Average sequencing depth (reads-per-position redundancy). */
+    double depth = 20.0;
+    uint64_t seed = 0x5a6e;
+};
+
+/**
+ * Presets mirroring the paper's Table 2 read sets, scaled down ~1000x so
+ * the full benchmark suite runs in minutes.
+ *
+ * RS1: short reads, plant-like (cacao), moderate ratio.
+ * RS2: short reads, human, deep + clean (highest ratio in the paper).
+ * RS3: short reads, human, noisy/diverse (lowest short-read ratio).
+ * RS4: long reads, nanopore-like, noisiest (lowest ratio overall).
+ * RS5: long reads, banana T2T-like, cleaner long reads.
+ */
+DatasetSpec makeRs1Spec();
+DatasetSpec makeRs2Spec();
+DatasetSpec makeRs3Spec();
+DatasetSpec makeRs4Spec();
+DatasetSpec makeRs5Spec();
+
+/** All five presets in order. */
+std::vector<DatasetSpec> allReadSetSpecs();
+
+/** A tiny preset for unit tests and the quickstart example. */
+DatasetSpec makeTinySpec(bool long_read = false);
+
+} // namespace sage
+
+#endif // SAGE_SIMGEN_PROFILES_HH

@@ -1,0 +1,324 @@
+#include "simgen/synthesize.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "genomics/alphabet.hh"
+#include "util/logging.hh"
+
+namespace sage {
+
+namespace {
+
+/** Draw a random A/C/G/T character. */
+char
+randomBase(Rng &rng)
+{
+    return codeToBase(static_cast<uint8_t>(rng.nextBelow(4)));
+}
+
+/** Draw a base different from @p current. */
+char
+mutatedBase(Rng &rng, char current)
+{
+    const uint8_t cur = baseToCode(current);
+    uint8_t code = static_cast<uint8_t>(rng.nextBelow(3));
+    if (code >= cur)
+        code++;
+    return codeToBase(code & 3);
+}
+
+/**
+ * Apply the genome-variation model (clustered SNPs + indels, Property 1)
+ * to the reference, producing the donor genome the reads come from.
+ */
+std::string
+applyVariants(const std::string &reference, const GenomeProfile &profile,
+              Rng &rng)
+{
+    std::string donor;
+    donor.reserve(reference.size());
+
+    uint64_t cluster_left = 0; // Remaining bases of the current hotspot.
+    for (size_t i = 0; i < reference.size(); i++) {
+        if (cluster_left == 0 && rng.nextBool(profile.clusterStartRate))
+            cluster_left = 1 + rng.nextGeometric(
+                1.0 / profile.clusterMeanSpan);
+        const bool in_cluster = cluster_left > 0;
+        if (cluster_left > 0)
+            cluster_left--;
+
+        const double snp_rate = in_cluster ? profile.clusterSnpRate
+                                           : profile.backgroundSnpRate;
+        const double indel_rate = in_cluster ? profile.indelRate * 10
+                                             : profile.indelRate;
+
+        if (rng.nextBool(indel_rate)) {
+            const uint64_t len = 1 + rng.nextGeometric(
+                1.0 / profile.indelMeanLen);
+            if (rng.nextBool(0.5)) {
+                // Insertion into the donor.
+                for (uint64_t j = 0; j < len; j++)
+                    donor.push_back(randomBase(rng));
+                donor.push_back(reference[i]);
+            } else {
+                // Deletion from the donor: skip len-1 further ref bases.
+                i += static_cast<size_t>(
+                    std::min<uint64_t>(len - 1,
+                                       reference.size() - 1 - i));
+            }
+            continue;
+        }
+        if (rng.nextBool(snp_rate)) {
+            donor.push_back(mutatedBase(rng, reference[i]));
+        } else {
+            donor.push_back(reference[i]);
+        }
+    }
+    return donor;
+}
+
+/** Per-read error state: burst tracking (regional degradation). */
+struct ErrorState
+{
+    uint64_t burstLeft = 0;
+
+    double
+    scale(const SequencerProfile &profile) const
+    {
+        return burstLeft > 0 ? profile.burstMultiplier : 1.0;
+    }
+};
+
+/** Draw the length of a sequencing indel block (Property 3 mixture). */
+uint64_t
+drawIndelBlockLen(const SequencerProfile &profile, Rng &rng)
+{
+    if (rng.nextBool(profile.longIndelTailProb)) {
+        return 2 + rng.nextGeometric(1.0 / profile.longIndelTailMean);
+    }
+    return 1 + rng.nextGeometric(1.0 / profile.seqIndelMeanLen);
+}
+
+/**
+ * Copy @p span bases starting at @p pos (forward strand of @p donor),
+ * injecting sequencing errors, and append them to @p out.
+ */
+void
+sequenceSegment(const std::string &donor, uint64_t pos, uint64_t span,
+                const SequencerProfile &profile, Rng &rng,
+                ErrorState &state, std::string &out)
+{
+    uint64_t i = pos;
+    const uint64_t end = std::min<uint64_t>(pos + span, donor.size());
+    while (i < end) {
+        if (state.burstLeft == 0 && rng.nextBool(profile.burstProb / 100))
+            state.burstLeft = 1 + rng.nextGeometric(
+                1.0 / profile.burstMeanSpan);
+        const double scale = state.scale(profile);
+        if (state.burstLeft > 0)
+            state.burstLeft--;
+
+        if (rng.nextBool(profile.insErrorRate * scale)) {
+            const uint64_t len = drawIndelBlockLen(profile, rng);
+            for (uint64_t j = 0; j < len; j++)
+                out.push_back(randomBase(rng));
+            continue; // Donor pointer does not advance on insertion.
+        }
+        if (rng.nextBool(profile.delErrorRate * scale)) {
+            const uint64_t len = drawIndelBlockLen(profile, rng);
+            i += len;
+            continue;
+        }
+        if (rng.nextBool(profile.subErrorRate * scale)) {
+            out.push_back(mutatedBase(rng, donor[i]));
+        } else {
+            out.push_back(donor[i]);
+        }
+        i++;
+    }
+}
+
+/** Draw a read length for the profile. */
+uint64_t
+drawReadLength(const SequencerProfile &profile, Rng &rng)
+{
+    if (!profile.longRead)
+        return profile.readLength;
+    const double mu = std::log(static_cast<double>(profile.readLength));
+    const double draw =
+        std::exp(rng.nextNormal(mu, profile.readLengthSigma));
+    return std::clamp<uint64_t>(static_cast<uint64_t>(draw),
+                                profile.minReadLength,
+                                profile.maxReadLength);
+}
+
+/** Phred score to ASCII (Phred+33). */
+char
+phredChar(unsigned q)
+{
+    return static_cast<char>(33 + std::min(q, 60u));
+}
+
+/**
+ * Generate a quality string: binned high-quality baseline with dips in a
+ * burst region and at random positions. Quality alphabets of modern
+ * sequencers are small (paper §5.1.5 context), which is what makes
+ * separate-stream compression effective.
+ */
+std::string
+makeQuality(size_t len, const SequencerProfile &profile, Rng &rng)
+{
+    if (!profile.reportsQuality)
+        return std::string(len, phredChar(profile.qualityPeak));
+    std::string quals(len, phredChar(profile.qualityPeak));
+    const unsigned step =
+        std::max(1u, profile.qualityPeak / profile.qualityLevels);
+    uint64_t dip_left = 0;
+    unsigned dip_level = 0;
+    for (size_t i = 0; i < len; i++) {
+        if (dip_left == 0 && rng.nextBool(0.02)) {
+            dip_left = 1 + rng.nextGeometric(1.0 / 12.0);
+            dip_level = 1 + static_cast<unsigned>(
+                rng.nextBelow(profile.qualityLevels - 1));
+        }
+        if (dip_left > 0) {
+            dip_left--;
+            const unsigned q =
+                profile.qualityPeak - dip_level * step;
+            quals[i] = phredChar(q);
+        }
+    }
+    return quals;
+}
+
+} // namespace
+
+std::string
+synthesizeReference(const GenomeProfile &profile, Rng &rng)
+{
+    std::string ref;
+    ref.reserve(profile.referenceLength);
+
+    // Mix of unique sequence and sprinkled near-identical repeats.
+    std::string repeat_unit;
+    for (unsigned i = 0; i < profile.repeatUnit; i++)
+        repeat_unit.push_back(randomBase(rng));
+
+    // Paste probability per loop iteration such that repeat copies
+    // cover ~repeatFraction of the final genome (each paste emits a
+    // whole unit of repeatUnit bases, all other iterations one base).
+    const double paste_prob = profile.repeatFraction
+        / (profile.repeatUnit * (1.0 - profile.repeatFraction) + 1.0);
+    while (ref.size() < profile.referenceLength) {
+        if (rng.nextBool(paste_prob) &&
+            ref.size() + repeat_unit.size() < profile.referenceLength) {
+            // Paste a slightly mutated copy of the repeat unit.
+            for (char c : repeat_unit) {
+                ref.push_back(rng.nextBool(0.02) ? mutatedBase(rng, c)
+                                                 : c);
+            }
+        } else {
+            ref.push_back(randomBase(rng));
+        }
+    }
+    ref.resize(profile.referenceLength);
+    return ref;
+}
+
+SimulatedDataset
+synthesizeDataset(const DatasetSpec &spec)
+{
+    Rng rng(spec.seed);
+    SimulatedDataset ds;
+    ds.reference = synthesizeReference(spec.genome, rng);
+    ds.donor = applyVariants(ds.reference, spec.genome, rng);
+
+    ds.readSet.name = spec.name;
+    ds.readSet.technology = spec.sequencer.longRead
+        ? Technology::LongNoisy : Technology::ShortAccurate;
+
+    const SequencerProfile &sp = spec.sequencer;
+    const uint64_t target_bases = static_cast<uint64_t>(
+        spec.depth * static_cast<double>(ds.donor.size()));
+
+    uint64_t emitted_bases = 0;
+    uint64_t read_index = 0;
+    while (emitted_bases < target_bases) {
+        const uint64_t want_len = drawReadLength(sp, rng);
+        if (ds.donor.size() <= want_len + 2)
+            sage_fatal("genome too small for requested read length");
+
+        TruePlacement truth;
+        truth.reverse = rng.nextBool(sp.reverseProb);
+
+        std::string bases;
+        bases.reserve(want_len + 64);
+        ErrorState state;
+
+        const bool chimeric =
+            sp.longRead && rng.nextBool(sp.chimeraProb);
+        truth.chimeric = chimeric;
+        unsigned segments = 1;
+        if (chimeric) {
+            segments = 2 + static_cast<unsigned>(rng.nextGeometric(
+                1.0 / sp.chimeraExtraSegments));
+        }
+
+        uint64_t remaining = want_len;
+        for (unsigned s = 0; s < segments; s++) {
+            uint64_t span = s + 1 == segments
+                ? remaining
+                : std::max<uint64_t>(remaining / (segments - s) / 2,
+                                     remaining / (2 * segments));
+            span = std::min(span, remaining);
+            if (span == 0)
+                break;
+            const uint64_t pos =
+                rng.nextBelow(ds.donor.size() - span);
+            if (s == 0)
+                truth.genomePos = pos;
+            sequenceSegment(ds.donor, pos, span, sp, rng, state, bases);
+            remaining -= span;
+        }
+
+        // Optional clip block: random bases glued to one end.
+        if (rng.nextBool(sp.clipProb)) {
+            truth.clipped = true;
+            const uint64_t clip_len =
+                1 + rng.nextGeometric(1.0 / sp.clipMeanLen);
+            std::string clip;
+            for (uint64_t j = 0; j < clip_len; j++)
+                clip.push_back(randomBase(rng));
+            if (rng.nextBool(0.5))
+                bases = clip + bases;
+            else
+                bases += clip;
+        }
+
+        // Optional N contamination.
+        if (rng.nextBool(sp.nReadProb) && !bases.empty()) {
+            truth.hasN = true;
+            const uint64_t n_len = 1 + rng.nextGeometric(1.0 / 3.0);
+            const uint64_t start = rng.nextBelow(bases.size());
+            for (uint64_t j = start;
+                 j < std::min<uint64_t>(start + n_len, bases.size()); j++) {
+                bases[j] = 'N';
+            }
+        }
+
+        if (truth.reverse)
+            bases = reverseComplement(bases);
+
+        Read read;
+        read.header = spec.name + "." + std::to_string(read_index++);
+        read.quals = makeQuality(bases.size(), sp, rng);
+        emitted_bases += bases.size();
+        read.bases = std::move(bases);
+        ds.readSet.reads.push_back(std::move(read));
+        ds.truth.push_back(truth);
+    }
+    return ds;
+}
+
+} // namespace sage

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Synthetic read-set generation (the repository's stand-in for downloading
+ * the paper's RS1-RS5 from SRA/ENA; see DESIGN.md §2).
+ */
+
+#ifndef SAGE_SIMGEN_SYNTHESIZE_HH
+#define SAGE_SIMGEN_SYNTHESIZE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "genomics/read.hh"
+#include "simgen/profiles.hh"
+#include "util/rng.hh"
+
+namespace sage {
+
+/** Ground-truth placement of one simulated read (for tests only). */
+struct TruePlacement
+{
+    uint64_t genomePos = 0;   ///< Start in the donor genome.
+    bool reverse = false;     ///< Sampled from the reverse strand.
+    bool chimeric = false;    ///< Joined from multiple loci.
+    bool hasN = false;        ///< Contains at least one N base.
+    bool clipped = false;     ///< Carries a random clip block.
+};
+
+/** A synthesized dataset: reads plus everything the tests may check. */
+struct SimulatedDataset
+{
+    ReadSet readSet;
+    std::string reference;  ///< Public reference (consensus candidate).
+    std::string donor;      ///< Actual genome the reads were drawn from.
+    std::vector<TruePlacement> truth;  ///< Parallel to readSet.reads.
+};
+
+/** Generate a dataset from a spec. Deterministic in spec.seed. */
+SimulatedDataset synthesizeDataset(const DatasetSpec &spec);
+
+/** Generate only a reference-like random genome (repeats included). */
+std::string synthesizeReference(const GenomeProfile &profile, Rng &rng);
+
+} // namespace sage
+
+#endif // SAGE_SIMGEN_SYNTHESIZE_HH

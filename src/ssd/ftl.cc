@@ -1,0 +1,290 @@
+#include "ssd/ftl.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+SageFtl::SageFtl(const NandConfig &config)
+    : config_(config)
+{
+    const uint32_t blocks_per_channel =
+        config_.diesPerChannel * config_.planesPerDie
+        * config_.blocksPerPlane;
+    channels_.resize(config_.channels);
+    for (auto &channel : channels_) {
+        channel.blocks.resize(blocks_per_channel);
+        channel.freeBlocks.reserve(blocks_per_channel);
+        // Keep free list in descending order so allocation pops the
+        // lowest-numbered block (deterministic tests).
+        for (uint32_t b = blocks_per_channel; b > 0; b--)
+            channel.freeBlocks.push_back(b - 1);
+    }
+}
+
+uint32_t
+SageFtl::allocateBlock(Channel &channel, bool genomic)
+{
+    sage_assert(!channel.freeBlocks.empty(),
+                "FTL out of free blocks (GC required)");
+    const uint32_t block = channel.freeBlocks.back();
+    channel.freeBlocks.pop_back();
+    channel.blocks[block] = Block{};
+    channel.blocks[block].genomic = genomic;
+    channel.blocks[block].open = true;
+    return block;
+}
+
+void
+SageFtl::sealGenomicRow()
+{
+    // Pad the remainder of a half-written row so the next object (or
+    // GC batch) starts at channel 0 with aligned page offsets. Padding
+    // pages occupy block space but map no LPN.
+    while (genomicCursor_ != 0)
+        writeGenomicPage();
+}
+
+Ppa
+SageFtl::writeGenomicPage()
+{
+    // SAGe layout: all channels' open genomic blocks advance in
+    // lockstep so page offsets stay aligned (paper §5.3). Open a fresh
+    // aligned block row at rotation start when needed.
+    if (genomicCursor_ == 0) {
+        bool need_new_row = false;
+        for (auto &channel : channels_) {
+            if (channel.openGenomic < 0 ||
+                channel.blocks[channel.openGenomic].writePointer >=
+                    config_.pagesPerBlock) {
+                need_new_row = true;
+            }
+        }
+        if (need_new_row) {
+            for (auto &channel : channels_) {
+                if (channel.openGenomic >= 0)
+                    channel.blocks[channel.openGenomic].open = false;
+                channel.openGenomic =
+                    static_cast<int32_t>(allocateBlock(channel, true));
+            }
+        }
+    }
+
+    Channel &channel = channels_[genomicCursor_];
+    Block &block = channel.blocks[channel.openGenomic];
+    Ppa ppa;
+    ppa.channel = genomicCursor_;
+    ppa.block = static_cast<uint32_t>(channel.openGenomic);
+    ppa.page = block.writePointer++;
+    genomicCursor_ = (genomicCursor_ + 1) % config_.channels;
+    return ppa;
+}
+
+uint64_t
+SageFtl::writeGenomic(uint64_t pages)
+{
+    sealGenomicRow();
+    const uint64_t first_lpn = l2p_.size();
+    for (uint64_t p = 0; p < pages; p++) {
+        const Ppa ppa = writeGenomicPage();
+        channels_[ppa.channel].blocks[ppa.block].validPages++;
+        l2p_.push_back(ppa);
+        genomicLpn_.push_back(true);
+        stats_.hostWrites++;
+    }
+    return first_lpn;
+}
+
+uint64_t
+SageFtl::writeNormal(uint64_t pages)
+{
+    const uint64_t first_lpn = l2p_.size();
+    for (uint64_t p = 0; p < pages; p++) {
+        // Conventional dynamic allocation: fill one channel at a time.
+        const uint32_t ch =
+            static_cast<uint32_t>((first_lpn + p)
+                                  / config_.pagesPerBlock)
+            % config_.channels;
+        Channel &channel = channels_[ch];
+        if (channel.openNormal < 0 ||
+            channel.blocks[channel.openNormal].writePointer >=
+                config_.pagesPerBlock) {
+            if (channel.openNormal >= 0)
+                channel.blocks[channel.openNormal].open = false;
+            channel.openNormal =
+                static_cast<int32_t>(allocateBlock(channel, false));
+        }
+        Block &block = channel.blocks[channel.openNormal];
+        Ppa ppa;
+        ppa.channel = ch;
+        ppa.block = static_cast<uint32_t>(channel.openNormal);
+        ppa.page = block.writePointer++;
+        block.validPages++;
+        l2p_.push_back(ppa);
+        genomicLpn_.push_back(false);
+        stats_.hostWrites++;
+    }
+    return first_lpn;
+}
+
+void
+SageFtl::trim(uint64_t lpn, uint64_t pages)
+{
+    for (uint64_t p = lpn; p < lpn + pages && p < l2p_.size(); p++) {
+        if (l2p_[p]) {
+            Block &block =
+                channels_[l2p_[p]->channel].blocks[l2p_[p]->block];
+            sage_assert(block.validPages > 0, "trim underflow");
+            block.validPages--;
+            l2p_[p] = std::nullopt;
+        }
+    }
+}
+
+std::optional<Ppa>
+SageFtl::translate(uint64_t lpn) const
+{
+    return lpn < l2p_.size() ? l2p_[lpn] : std::nullopt;
+}
+
+bool
+SageFtl::isGenomic(uint64_t lpn) const
+{
+    return lpn < genomicLpn_.size() && genomicLpn_[lpn] &&
+           l2p_[lpn].has_value();
+}
+
+void
+SageFtl::eraseBlock(uint32_t channel, uint32_t block)
+{
+    channels_[channel].blocks[block] = Block{};
+    channels_[channel].freeBlocks.push_back(block);
+    stats_.erases++;
+}
+
+void
+SageFtl::collectGarbage(unsigned want_free_blocks)
+{
+    // Move valid pages of victims to fresh blocks, in LPN order, so the
+    // genomic striping invariant survives (grouped GC, paper §5.3).
+    for (unsigned round = 0; round < 1024; round++) {
+        if (minFreeBlocksPerChannel() >= want_free_blocks)
+            return;
+
+        // Victim: pick the channel-0 genomic/normal block with the
+        // fewest valid pages, then collect the whole aligned row for
+        // genomic blocks (one victim per channel), or just the single
+        // block for normal data.
+        uint32_t best_block = UINT32_MAX;
+        uint32_t best_valid = UINT32_MAX;
+        bool best_genomic = false;
+        for (uint32_t b = 0; b < channels_[0].blocks.size(); b++) {
+            const Block &block = channels_[0].blocks[b];
+            // Candidates: fully written blocks (open ones only once
+            // their write pointer has reached the end).
+            if (block.writePointer < config_.pagesPerBlock)
+                continue;
+            if (block.validPages < best_valid) {
+                best_valid = block.validPages;
+                best_block = b;
+                best_genomic = block.genomic;
+            }
+        }
+        if (best_block == UINT32_MAX)
+            return; // Nothing collectible.
+
+        // Gather victim set.
+        std::vector<std::pair<uint32_t, uint32_t>> victims;
+        if (best_genomic) {
+            for (uint32_t ch = 0; ch < config_.channels; ch++)
+                victims.emplace_back(ch, best_block);
+        } else {
+            victims.emplace_back(0, best_block);
+        }
+
+        // Collect valid LPNs living in victims, in LPN order.
+        std::vector<uint64_t> movers;
+        for (uint64_t lpn = 0; lpn < l2p_.size(); lpn++) {
+            if (!l2p_[lpn])
+                continue;
+            for (const auto &[ch, blk] : victims) {
+                if (l2p_[lpn]->channel == ch && l2p_[lpn]->block == blk)
+                    movers.push_back(lpn);
+            }
+        }
+
+        // Erase victims, then rewrite movers in logical-address order
+        // ("sequentially rewritten in the order they were originally
+        // written", paper §5.3). Detach any open-block pointers first.
+        for (const auto &[ch, blk] : victims) {
+            Channel &channel = channels_[ch];
+            if (channel.openGenomic == static_cast<int32_t>(blk)) {
+                channel.openGenomic = -1;
+                genomicCursor_ = 0; // Row torn down; restart rotation.
+            }
+            if (channel.openNormal == static_cast<int32_t>(blk))
+                channel.openNormal = -1;
+            eraseBlock(ch, blk);
+        }
+
+        // Rewrite survivors as one striped batch so they re-form
+        // aligned rows (grouped GC), or via the normal allocator.
+        if (best_genomic)
+            sealGenomicRow();
+        for (uint64_t lpn : movers) {
+            if (genomicLpn_[lpn]) {
+                const Ppa ppa = writeGenomicPage();
+                channels_[ppa.channel].blocks[ppa.block].validPages++;
+                l2p_[lpn] = ppa;
+            } else {
+                l2p_[lpn] = std::nullopt;
+                const uint64_t new_lpn = writeNormal(1);
+                l2p_[lpn] = l2p_[new_lpn];
+                l2p_.pop_back();
+                genomicLpn_.pop_back();
+                stats_.hostWrites--; // Not a host write.
+            }
+            stats_.gcWrites++;
+        }
+    }
+}
+
+bool
+SageFtl::genomicLayoutAligned() const
+{
+    // Walk genomic LPNs in order. A stripe row is a maximal run of
+    // strictly increasing channel indices (objects are padded to start
+    // each row at channel 0); all pages within one row must share the
+    // same block-relative page offset so multi-plane reads can fire
+    // across all channels (paper §5.3).
+    bool first = true;
+    uint32_t row_page = 0;
+    uint32_t prev_channel = 0;
+    for (uint64_t lpn = 0; lpn < l2p_.size(); lpn++) {
+        if (!genomicLpn_[lpn] || !l2p_[lpn])
+            continue;
+        const Ppa &ppa = *l2p_[lpn];
+        if (first || ppa.channel <= prev_channel) {
+            row_page = ppa.page; // New stripe row begins.
+        } else if (ppa.page != row_page) {
+            return false;
+        }
+        prev_channel = ppa.channel;
+        first = false;
+    }
+    return true;
+}
+
+unsigned
+SageFtl::minFreeBlocksPerChannel() const
+{
+    unsigned min_free = UINT32_MAX;
+    for (const auto &channel : channels_) {
+        min_free = std::min(
+            min_free, static_cast<unsigned>(channel.freeBlocks.size()));
+    }
+    return min_free;
+}
+
+} // namespace sage

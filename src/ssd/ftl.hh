@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Flash translation layer with SAGe's data layout (paper §5.3).
+ *
+ * SAGe FTL designates blocks as genomic or non-genomic. Genomic data is
+ * striped page-by-page round-robin across channels so that the active
+ * blocks in every channel share the same page offset — the invariant
+ * that enables multi-plane reads across all channels at full internal
+ * bandwidth. Garbage collection for genomic data is *grouped*: victim
+ * blocks are selected as whole parallel units and rewritten in original
+ * logical order, preserving the alignment invariant.
+ */
+
+#ifndef SAGE_SSD_FTL_HH
+#define SAGE_SSD_FTL_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ssd/nand.hh"
+
+namespace sage {
+
+/** Physical page address. */
+struct Ppa
+{
+    uint32_t channel = 0;
+    uint32_t block = 0;    ///< Block index within the channel.
+    uint32_t page = 0;     ///< Page offset within the block.
+
+    bool
+    operator==(const Ppa &other) const
+    {
+        return channel == other.channel && block == other.block &&
+               page == other.page;
+    }
+};
+
+/** FTL statistics (for tests and Table-3-style reporting). */
+struct FtlStats
+{
+    uint64_t hostWrites = 0;   ///< Pages written by the host.
+    uint64_t gcWrites = 0;     ///< Pages rewritten by GC.
+    uint64_t erases = 0;       ///< Blocks erased.
+
+    double
+    writeAmplification() const
+    {
+        return hostWrites == 0 ? 1.0
+            : static_cast<double>(hostWrites + gcWrites) / hostWrites;
+    }
+};
+
+/**
+ * Page-mapping FTL with a SAGe genomic zone.
+ *
+ * The model tracks logical-to-physical mappings and block metadata; it
+ * is functional (used to check layout invariants in tests), while the
+ * timing side of the SSD lives in SsdModel.
+ */
+class SageFtl
+{
+  public:
+    explicit SageFtl(const NandConfig &config);
+
+    /**
+     * Write a genomic object of @p pages pages (SAGe_Write path).
+     * Pages are striped round-robin across channels with aligned page
+     * offsets. Returns the first logical page number (LPN).
+     */
+    uint64_t writeGenomic(uint64_t pages);
+
+    /** Write non-genomic data; normal per-channel allocation. */
+    uint64_t writeNormal(uint64_t pages);
+
+    /** Invalidate an object's pages (e.g. file deletion). */
+    void trim(uint64_t lpn, uint64_t pages);
+
+    /** Translate one logical page. */
+    std::optional<Ppa> translate(uint64_t lpn) const;
+
+    /** Whether @p lpn belongs to the genomic zone. */
+    bool isGenomic(uint64_t lpn) const;
+
+    /**
+     * Run garbage collection until at least @p want_free_blocks free
+     * blocks exist per channel. Genomic victims are collected as
+     * grouped parallel units (paper §5.3).
+     */
+    void collectGarbage(unsigned want_free_blocks);
+
+    /**
+     * Layout invariant check: for every genomic object, the k-th pages
+     * across channels sit at identical (block-relative) page offsets.
+     * Returns true when the invariant holds.
+     */
+    bool genomicLayoutAligned() const;
+
+    /** Free blocks in the fullest channel's pool. */
+    unsigned minFreeBlocksPerChannel() const;
+
+    const FtlStats &stats() const { return stats_; }
+    const NandConfig &config() const { return config_; }
+
+  private:
+    struct Block
+    {
+        uint32_t writePointer = 0;  ///< Next free page offset.
+        uint32_t validPages = 0;
+        bool genomic = false;
+        bool open = false;
+    };
+
+    struct Channel
+    {
+        std::vector<Block> blocks;
+        std::vector<uint32_t> freeBlocks;
+        int32_t openGenomic = -1;  ///< Block index or -1.
+        int32_t openNormal = -1;
+    };
+
+    uint32_t allocateBlock(Channel &channel, bool genomic);
+    void eraseBlock(uint32_t channel, uint32_t block);
+
+    /** Pad the current genomic row so the next write starts at
+     *  channel 0 with aligned page offsets. */
+    void sealGenomicRow();
+
+    /** Write one genomic page at the striping cursor. */
+    Ppa writeGenomicPage();
+
+    NandConfig config_;
+    std::vector<Channel> channels_;
+    std::vector<std::optional<Ppa>> l2p_;   ///< Indexed by LPN.
+    std::vector<bool> genomicLpn_;
+    FtlStats stats_;
+    /** Striping cursor: next channel within the current genomic row. */
+    uint32_t genomicCursor_ = 0;
+};
+
+} // namespace sage
+
+#endif // SAGE_SSD_FTL_HH

@@ -1,0 +1,102 @@
+#include "ssd/nand.hh"
+
+#include <algorithm>
+
+namespace sage {
+
+uint64_t
+SsdModel::capacityBytes() const
+{
+    return static_cast<uint64_t>(config_.channels)
+        * config_.diesPerChannel * config_.planesPerDie
+        * config_.blocksPerPlane * config_.pagesPerBlock
+        * config_.pageBytes;
+}
+
+double
+SsdModel::channelReadBandwidth() const
+{
+    // One plane senses a page in readLatencySec; the channel bus moves
+    // it in pageBytes / busRate. With P planes x D dies the sense time
+    // overlaps transfers, so the channel achieves
+    //   min(bus rate, parallelism * page / tR).
+    const double sense_rate =
+        static_cast<double>(config_.pageBytes) / config_.readLatencySec
+        * config_.diesPerChannel * config_.planesPerDie;
+    return std::min(config_.channelBusBytesPerSec, sense_rate);
+}
+
+double
+SsdModel::internalReadBandwidth() const
+{
+    return channelReadBandwidth() * config_.channels;
+}
+
+double
+SsdModel::singleChannelReadBandwidth() const
+{
+    return channelReadBandwidth();
+}
+
+double
+SsdModel::externalBandwidth() const
+{
+    switch (link_) {
+      case HostLink::PciePerformance:
+        return 6.8e9;   // PCIe 4.0 x4-class sequential read.
+      case HostLink::SataCost:
+        return 0.53e9;  // SATA-6Gb/s effective.
+    }
+    return 6.8e9;
+}
+
+double
+SsdModel::internalReadSeconds(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / internalReadBandwidth();
+}
+
+double
+SsdModel::externalTransferSeconds(uint64_t bytes) const
+{
+    return static_cast<double>(bytes) / externalBandwidth();
+}
+
+double
+SsdModel::internalWriteSeconds(uint64_t bytes) const
+{
+    // Program-limited streaming write across all parallel units.
+    const double per_channel =
+        std::min(config_.channelBusBytesPerSec,
+                 static_cast<double>(config_.pageBytes)
+                     / config_.programLatencySec
+                     * config_.diesPerChannel * config_.planesPerDie);
+    return static_cast<double>(bytes)
+        / (per_channel * config_.channels);
+}
+
+double
+SsdModel::energyJoules(double seconds, double busy_read,
+                       double busy_write) const
+{
+    return config_.idlePowerWatts * seconds
+        + config_.activeReadPowerWatts * busy_read
+        + config_.activeWritePowerWatts * busy_write;
+}
+
+SsdModel
+SsdModel::pciePerformance()
+{
+    return SsdModel(NandConfig{}, HostLink::PciePerformance);
+}
+
+SsdModel
+SsdModel::sataCost()
+{
+    NandConfig config;
+    config.channels = 8;
+    config.channelBusBytesPerSec = 0.8e9; // Cheaper bus.
+    return SsdModel(config, HostLink::SataCost);
+}
+
+} // namespace sage

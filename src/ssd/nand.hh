@@ -1,0 +1,105 @@
+/**
+ * @file
+ * NAND flash geometry and timing model (MQSim stand-in; DESIGN.md §2).
+ *
+ * Models the quantities the paper's evaluation depends on: per-channel
+ * streaming read bandwidth (page read latency pipelined against channel
+ * bus transfer, multiplied by plane/die parallelism), aggregate internal
+ * bandwidth across channels, and the external host link (PCIe vs SATA).
+ */
+
+#ifndef SAGE_SSD_NAND_HH
+#define SAGE_SSD_NAND_HH
+
+#include <cstdint>
+
+namespace sage {
+
+/** External host interface type (paper §7 evaluates both). */
+enum class HostLink : uint8_t {
+    PciePerformance,  ///< Performance-optimized NVMe SSD (PM1735-like).
+    SataCost,         ///< Cost-optimized SATA SSD (870 EVO-like).
+};
+
+/** NAND + controller geometry and timings. */
+struct NandConfig
+{
+    unsigned channels = 8;
+    unsigned diesPerChannel = 4;
+    unsigned planesPerDie = 2;
+    uint32_t pageBytes = 16 * 1024;
+    uint32_t pagesPerBlock = 256;
+    uint32_t blocksPerPlane = 1024;
+
+    double readLatencySec = 60e-6;       ///< tR (TLC page sense).
+    double programLatencySec = 700e-6;   ///< tPROG.
+    double eraseLatencySec = 3.5e-3;     ///< tBERS.
+    double channelBusBytesPerSec = 1.2e9; ///< ONFI/Toggle bus rate.
+
+    double idlePowerWatts = 1.2;
+    double activeReadPowerWatts = 4.2;
+    double activeWritePowerWatts = 5.5;
+};
+
+/** SSD-level bandwidth/latency/energy model. */
+class SsdModel
+{
+  public:
+    explicit SsdModel(NandConfig config = {},
+                      HostLink link = HostLink::PciePerformance)
+        : config_(config), link_(link)
+    {}
+
+    /** Usable capacity in bytes. */
+    uint64_t capacityBytes() const;
+
+    /**
+     * Per-channel streaming read bandwidth (bytes/s): page sense
+     * pipelined with bus transfer across dies/planes; with enough
+     * parallelism the channel bus is the limit (paper §5.3 relies on
+     * multi-plane reads across all channels to reach full bandwidth).
+     */
+    double channelReadBandwidth() const;
+
+    /** Aggregate internal streaming read bandwidth across channels. */
+    double internalReadBandwidth() const;
+
+    /**
+     * Internal read bandwidth when data is NOT striped SAGe-style and a
+     * stream occupies a single channel (what a conventional layout
+     * yields for one sequential file region).
+     */
+    double singleChannelReadBandwidth() const;
+
+    /** External host link bandwidth (bytes/s). */
+    double externalBandwidth() const;
+
+    /** Seconds to stream @p bytes NAND -> controller (full striping). */
+    double internalReadSeconds(uint64_t bytes) const;
+
+    /** Seconds to move @p bytes controller -> host over the link. */
+    double externalTransferSeconds(uint64_t bytes) const;
+
+    /** Seconds to stream-write @p bytes (program-limited). */
+    double internalWriteSeconds(uint64_t bytes) const;
+
+    /** Energy for a window of @p seconds with @p busy_read /
+     *  @p busy_write seconds of NAND activity. */
+    double energyJoules(double seconds, double busy_read,
+                        double busy_write) const;
+
+    const NandConfig &config() const { return config_; }
+    HostLink link() const { return link_; }
+
+    /** Paper §7 device presets. */
+    static SsdModel pciePerformance();
+    static SsdModel sataCost();
+
+  private:
+    NandConfig config_;
+    HostLink link_;
+};
+
+} // namespace sage
+
+#endif // SAGE_SSD_NAND_HH

@@ -1,0 +1,116 @@
+#include "ssd/sage_device.hh"
+
+#include "util/logging.hh"
+
+namespace sage {
+
+SageDevice::SageDevice(SsdModel model, SageIntegration integration)
+    : model_(model), integration_(integration), ftl_(model.config())
+{
+}
+
+void
+SageDevice::sageWrite(const std::string &name, const SageArchive &archive)
+{
+    File file;
+    file.data = archive.bytes;
+    file.genomic = true;
+    file.pages = (archive.bytes.size() + model_.config().pageBytes - 1)
+        / model_.config().pageBytes;
+    file.firstLpn = ftl_.writeGenomic(std::max<uint64_t>(file.pages, 1));
+    files_[name] = std::move(file);
+}
+
+SageReadResult
+SageDevice::sageRead(const std::string &name, OutputFormat fmt)
+{
+    const File &file = lookup(name);
+    sage_assert(file.genomic, "SAGe_Read on a non-genomic file: ", name);
+
+    SageReadResult result;
+    result.compressedBytes = file.data.size();
+
+    // Functional decompression through the shared decoder core. The
+    // accelerator path is DNA-only: quality stays compressed on the
+    // device until a host application asks for specific blocks.
+    SageDecoder decoder(file.data, /*dna_only=*/true);
+    result.packedReads = decoder.decodeAllPacked(fmt);
+    for (const auto &read : result.packedReads)
+        result.deliveredBytes += read.size();
+
+    // Timing: compressed stream comes off NAND at full striped
+    // bandwidth (the SAGe layout's whole point, §5.3).
+    result.nandSeconds = model_.internalReadSeconds(file.data.size());
+    if (integration_ == SageIntegration::InStorage) {
+        // Mode 3: decompressed data crosses the external link.
+        result.linkSeconds =
+            model_.externalTransferSeconds(result.deliveredBytes);
+    } else {
+        // Modes 1/2: compressed data crosses the link; decompression
+        // happens host-side (by SAGe hardware or software).
+        result.linkSeconds =
+            model_.externalTransferSeconds(file.data.size());
+    }
+    return result;
+}
+
+void
+SageDevice::write(const std::string &name,
+                  const std::vector<uint8_t> &data)
+{
+    File file;
+    file.data = data;
+    file.genomic = false;
+    file.pages = (data.size() + model_.config().pageBytes - 1)
+        / model_.config().pageBytes;
+    file.firstLpn = ftl_.writeNormal(std::max<uint64_t>(file.pages, 1));
+    files_[name] = std::move(file);
+}
+
+const std::vector<uint8_t> &
+SageDevice::read(const std::string &name) const
+{
+    return lookup(name).data;
+}
+
+double
+SageDevice::conventionalReadSeconds(const std::string &name) const
+{
+    const File &file = lookup(name);
+    // Internal fetch and external transfer overlap; the slower side
+    // dominates a streaming read.
+    const double internal = file.genomic
+        ? model_.internalReadSeconds(file.data.size())
+        : static_cast<double>(file.data.size())
+              / model_.internalReadBandwidth();
+    const double external =
+        model_.externalTransferSeconds(file.data.size());
+    return std::max(internal, external);
+}
+
+uint64_t
+SageDevice::fileBytes(const std::string &name) const
+{
+    return lookup(name).data.size();
+}
+
+void
+SageDevice::remove(const std::string &name)
+{
+    auto it = files_.find(name);
+    if (it == files_.end())
+        return;
+    ftl_.trim(it->second.firstLpn, it->second.pages);
+    files_.erase(it);
+}
+
+const SageDevice::File &
+SageDevice::lookup(const std::string &name) const
+{
+    auto it = files_.find(name);
+    if (it == files_.end())
+        sage_fatal("no such file on device: ", name);
+    return it->second;
+}
+
+} // namespace sage

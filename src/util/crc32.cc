@@ -1,0 +1,36 @@
+#include "util/crc32.hh"
+
+#include <array>
+
+namespace sage {
+
+namespace {
+
+/** Build the classic 256-entry CRC table at static-init time. */
+std::array<uint32_t, 256>
+makeTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; i++) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; k++)
+            c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> kTable = makeTable();
+
+} // namespace
+
+void
+Crc32::update(const uint8_t *data, size_t size)
+{
+    uint32_t c = state_;
+    for (size_t i = 0; i < size; i++)
+        c = kTable[(c ^ data[i]) & 0xff] ^ (c >> 8);
+    state_ = c;
+}
+
+} // namespace sage

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3 polynomial) used for container integrity checks in
+ * the gpzip and SAGe file formats.
+ */
+
+#ifndef SAGE_UTIL_CRC32_HH
+#define SAGE_UTIL_CRC32_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sage {
+
+/** Incrementally updatable CRC-32 checksum. */
+class Crc32
+{
+  public:
+    /** Feed @p size bytes into the checksum. */
+    void update(const uint8_t *data, size_t size);
+
+    /** Feed a byte vector. */
+    void
+    update(const std::vector<uint8_t> &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /** Final checksum value. */
+    uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+    /** One-shot convenience. */
+    static uint32_t
+    of(const uint8_t *data, size_t size)
+    {
+        Crc32 crc;
+        crc.update(data, size);
+        return crc.value();
+    }
+
+    static uint32_t
+    of(const std::vector<uint8_t> &data)
+    {
+        return of(data.data(), data.size());
+    }
+
+  private:
+    uint32_t state_ = 0xffffffffu;
+};
+
+} // namespace sage
+
+#endif // SAGE_UTIL_CRC32_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Small integer histogram used throughout the SAGe tuner and the dataset
+ * property analyses (paper Figs. 7 and 10).
+ */
+
+#ifndef SAGE_UTIL_HISTOGRAM_HH
+#define SAGE_UTIL_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sage {
+
+/**
+ * Histogram over small non-negative integer keys (e.g. bit counts 0..32).
+ *
+ * Grows on demand; exposes totals, cumulative sums and quantiles needed by
+ * Algorithm 1 and by the Fig. 7 property benches.
+ */
+class Histogram
+{
+  public:
+    Histogram() = default;
+    explicit Histogram(size_t buckets) : counts_(buckets, 0) {}
+
+    /** Add @p n observations of @p key. */
+    void
+    add(size_t key, uint64_t n = 1)
+    {
+        if (key >= counts_.size())
+            counts_.resize(key + 1, 0);
+        counts_[key] += n;
+        total_ += n;
+    }
+
+    /** Count in bucket @p key (0 if never observed). */
+    uint64_t
+    count(size_t key) const
+    {
+        return key < counts_.size() ? counts_[key] : 0;
+    }
+
+    /** Number of buckets (max observed key + 1). */
+    size_t size() const { return counts_.size(); }
+
+    /** Total observations. */
+    uint64_t total() const { return total_; }
+
+    /** Fraction of observations in bucket @p key. */
+    double
+    fraction(size_t key) const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(count(key)) / total_;
+    }
+
+    /** Cumulative count of buckets [0, key]. */
+    uint64_t
+    cumulative(size_t key) const
+    {
+        uint64_t sum = 0;
+        for (size_t k = 0; k < counts_.size() && k <= key; k++)
+            sum += counts_[k];
+        return sum;
+    }
+
+    /** Smallest key whose cumulative fraction reaches @p q (0<q<=1). */
+    size_t
+    quantileKey(double q) const
+    {
+        const uint64_t want =
+            static_cast<uint64_t>(q * static_cast<double>(total_));
+        uint64_t sum = 0;
+        for (size_t k = 0; k < counts_.size(); k++) {
+            sum += counts_[k];
+            if (sum >= want)
+                return k;
+        }
+        return counts_.empty() ? 0 : counts_.size() - 1;
+    }
+
+    /** Mean key value. */
+    double
+    mean() const
+    {
+        if (total_ == 0)
+            return 0.0;
+        double sum = 0.0;
+        for (size_t k = 0; k < counts_.size(); k++)
+            sum += static_cast<double>(k) * static_cast<double>(counts_[k]);
+        return sum / static_cast<double>(total_);
+    }
+
+    /** Raw bucket vector (index = key). */
+    const std::vector<uint64_t> &buckets() const { return counts_; }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace sage
+
+#endif // SAGE_UTIL_HISTOGRAM_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers following the gem5 fatal/panic convention.
+ *
+ * panic()  — an internal invariant was violated; this is a bug in the
+ *            library itself. Aborts.
+ * fatal()  — the simulation/compression cannot continue because of a user
+ *            error (bad configuration, malformed input). Exits with code 1.
+ * warn()   — something is suspicious but execution can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef SAGE_UTIL_LOGGING_HH
+#define SAGE_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sage {
+
+namespace detail {
+
+/** Stream-concatenate all arguments into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+[[noreturn]] void panicExit(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalExit(const char *file, int line,
+                            const std::string &msg);
+void warnPrint(const std::string &msg);
+void informPrint(const std::string &msg);
+
+} // namespace detail
+
+} // namespace sage
+
+/** Abort with a message: internal invariant violated (library bug). */
+#define sage_panic(...)                                                     \
+    ::sage::detail::panicExit(__FILE__, __LINE__,                           \
+                              ::sage::detail::concatMessage(__VA_ARGS__))
+
+/** Exit(1) with a message: unrecoverable user/input error. */
+#define sage_fatal(...)                                                     \
+    ::sage::detail::fatalExit(__FILE__, __LINE__,                           \
+                              ::sage::detail::concatMessage(__VA_ARGS__))
+
+/** Print a warning and continue. */
+#define sage_warn(...)                                                      \
+    ::sage::detail::warnPrint(::sage::detail::concatMessage(__VA_ARGS__))
+
+/** Print a status message. */
+#define sage_inform(...)                                                    \
+    ::sage::detail::informPrint(::sage::detail::concatMessage(__VA_ARGS__))
+
+/** Panic when a condition that must always hold is violated. */
+#define sage_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            sage_panic("assertion failed: ", #cond, " ",                    \
+                       ::sage::detail::concatMessage(__VA_ARGS__));         \
+        }                                                                   \
+    } while (0)
+
+#endif // SAGE_UTIL_LOGGING_HH

@@ -1,0 +1,228 @@
+#include "util/prefix_code.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+namespace {
+
+constexpr unsigned kMaxCodeLen = 15;
+
+/** Reverse the low @p len bits of @p code. */
+uint32_t
+reverseBits(uint32_t code, unsigned len)
+{
+    uint32_t out = 0;
+    for (unsigned i = 0; i < len; i++) {
+        out = (out << 1) | (code & 1);
+        code >>= 1;
+    }
+    return out;
+}
+
+/**
+ * Compute Huffman code lengths via a package-style heap build, then clamp
+ * to kMaxCodeLen with the classic overflow-redistribution fixup.
+ */
+std::vector<uint8_t>
+computeLengths(const std::vector<uint64_t> &freqs)
+{
+    const size_t n = freqs.size();
+    std::vector<uint8_t> lengths(n, 0);
+
+    struct Node { uint64_t freq; int left; int right; int symbol; };
+    std::vector<Node> nodes;
+    using HeapEntry = std::pair<uint64_t, int>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
+
+    for (size_t s = 0; s < n; s++) {
+        if (freqs[s] > 0) {
+            nodes.push_back({freqs[s], -1, -1, static_cast<int>(s)});
+            heap.emplace(freqs[s], static_cast<int>(nodes.size()) - 1);
+        }
+    }
+
+    if (nodes.empty())
+        return lengths;
+    if (nodes.size() == 1) {
+        // A single used symbol still needs a 1-bit code.
+        lengths[nodes[0].symbol] = 1;
+        return lengths;
+    }
+
+    while (heap.size() > 1) {
+        auto [fa, a] = heap.top(); heap.pop();
+        auto [fb, b] = heap.top(); heap.pop();
+        nodes.push_back({fa + fb, a, b, -1});
+        heap.emplace(fa + fb, static_cast<int>(nodes.size()) - 1);
+    }
+
+    // Depth-first traversal assigning depths as code lengths.
+    struct StackItem { int node; unsigned depth; };
+    std::vector<StackItem> stack{{static_cast<int>(nodes.size()) - 1, 0}};
+    unsigned max_depth = 0;
+    while (!stack.empty()) {
+        auto [idx, depth] = stack.back();
+        stack.pop_back();
+        const Node &nd = nodes[idx];
+        if (nd.symbol >= 0) {
+            lengths[nd.symbol] = static_cast<uint8_t>(std::max(1u, depth));
+            max_depth = std::max(max_depth, std::max(1u, depth));
+        } else {
+            stack.push_back({nd.left, depth + 1});
+            stack.push_back({nd.right, depth + 1});
+        }
+    }
+
+    if (max_depth <= kMaxCodeLen)
+        return lengths;
+
+    // Length-limit: clamp overlong codes, then restore Kraft equality by
+    // lengthening the cheapest short codes.
+    int64_t kraft = 0;
+    for (size_t s = 0; s < n; s++) {
+        if (lengths[s] == 0)
+            continue;
+        if (lengths[s] > kMaxCodeLen)
+            lengths[s] = kMaxCodeLen;
+        kraft += int64_t(1) << (kMaxCodeLen - lengths[s]);
+    }
+    const int64_t budget = int64_t(1) << kMaxCodeLen;
+    // While over budget, take a max-length code slot from the symbol with
+    // the smallest frequency at a non-max length.
+    while (kraft > budget) {
+        // Find a symbol at length < kMaxCodeLen with minimal frequency and
+        // lengthen it by one (halves its Kraft contribution).
+        size_t best = n;
+        for (size_t s = 0; s < n; s++) {
+            if (lengths[s] > 0 && lengths[s] < kMaxCodeLen &&
+                (best == n || freqs[s] < freqs[best])) {
+                best = s;
+            }
+        }
+        sage_assert(best < n, "length-limiting failed");
+        kraft -= int64_t(1) << (kMaxCodeLen - lengths[best]);
+        lengths[best]++;
+        kraft += int64_t(1) << (kMaxCodeLen - lengths[best]);
+    }
+    return lengths;
+}
+
+} // namespace
+
+PrefixCode
+PrefixCode::fromFrequencies(const std::vector<uint64_t> &freqs)
+{
+    PrefixCode pc;
+    pc.lengths_ = computeLengths(freqs);
+    pc.buildTables();
+    return pc;
+}
+
+PrefixCode
+PrefixCode::fromLengths(const std::vector<uint8_t> &lengths)
+{
+    PrefixCode pc;
+    pc.lengths_ = lengths;
+    pc.buildTables();
+    return pc;
+}
+
+void
+PrefixCode::buildTables()
+{
+    const size_t n = lengths_.size();
+    maxLen_ = 0;
+    for (uint8_t len : lengths_)
+        maxLen_ = std::max<unsigned>(maxLen_, len);
+
+    countByLen_.assign(maxLen_ + 1, 0);
+    for (uint8_t len : lengths_) {
+        if (len > 0)
+            countByLen_[len]++;
+    }
+
+    // Canonical first code per length.
+    firstCode_.assign(maxLen_ + 1, 0);
+    firstIndex_.assign(maxLen_ + 1, 0);
+    uint32_t code = 0;
+    uint32_t index = 0;
+    for (unsigned len = 1; len <= maxLen_; len++) {
+        code = (code + (len > 1 ? countByLen_[len - 1] : 0)) << 1;
+        firstCode_[len] = code;
+        firstIndex_[len] = index;
+        index += countByLen_[len];
+    }
+
+    // Symbols sorted by (length, symbol) — canonical order.
+    symbolsInOrder_.clear();
+    symbolsInOrder_.reserve(index);
+    std::vector<uint32_t> next_index = firstIndex_;
+    symbolsInOrder_.resize(index);
+    for (size_t s = 0; s < n; s++) {
+        if (lengths_[s] > 0)
+            symbolsInOrder_[next_index[lengths_[s]]++] = s;
+    }
+
+    // Assign codewords, store bit-reversed for LSB-first emission.
+    reversed_.assign(n, 0);
+    std::vector<uint32_t> next_code = firstCode_;
+    for (unsigned len = 1; len <= maxLen_; len++) {
+        for (uint32_t i = 0; i < countByLen_[len]; i++) {
+            const uint32_t sym = symbolsInOrder_[firstIndex_[len] + i];
+            reversed_[sym] = reverseBits(next_code[len]++, len);
+        }
+    }
+
+    // Single-lookup decode table: for every code of length <= kLutBits,
+    // fill all windows whose low bits match the (stream-order) code.
+    lut_.assign(size_t(1) << kLutBits, LutEntry{});
+    for (size_t sym = 0; sym < n; sym++) {
+        const unsigned len = lengths_[sym];
+        if (len == 0 || len > kLutBits)
+            continue;
+        const uint32_t stream_bits = reversed_[sym];
+        for (uint32_t pad = 0; pad < (1u << (kLutBits - len)); pad++) {
+            LutEntry &entry = lut_[stream_bits | (pad << len)];
+            entry.symbol = static_cast<uint16_t>(sym);
+            entry.length = static_cast<uint8_t>(len);
+        }
+    }
+}
+
+unsigned
+PrefixCode::decodeSlow(BitReader &br) const
+{
+    // Canonical decode: accumulate bits MSB-first and compare against
+    // per-length first-code values.
+    uint32_t code = 0;
+    for (unsigned len = 1; len <= maxLen_; len++) {
+        code = (code << 1) | (br.readBit() ? 1 : 0);
+        if (countByLen_[len] > 0) {
+            const uint32_t first = firstCode_[len];
+            if (code < first + countByLen_[len] && code >= first) {
+                return symbolsInOrder_[firstIndex_[len]
+                                       + (code - first)];
+            }
+        }
+    }
+    sage_panic("prefix code decode failed (corrupt stream)");
+}
+
+double
+PrefixCode::expectedBits(const std::vector<uint64_t> &freqs) const
+{
+    double bits = 0.0;
+    uint64_t total = 0;
+    for (size_t s = 0; s < freqs.size() && s < lengths_.size(); s++) {
+        bits += static_cast<double>(freqs[s]) * lengths_[s];
+        total += freqs[s];
+    }
+    return total == 0 ? 0.0 : bits / static_cast<double>(total);
+}
+
+} // namespace sage

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Canonical Huffman prefix codes.
+ *
+ * Used in two places:
+ *  - the gpzip general-purpose baseline compressor (literal/length and
+ *    distance alphabets), and
+ *  - the SpringLike baseline's backend entropy stage.
+ *
+ * SAGe itself deliberately does NOT use table-driven Huffman decoding in
+ * its guide arrays (that is the point of the paper: guide arrays use tiny
+ * unary codes decodable with comparators); see core/guide_code.hh.
+ */
+
+#ifndef SAGE_UTIL_PREFIX_CODE_HH
+#define SAGE_UTIL_PREFIX_CODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitio.hh"
+
+namespace sage {
+
+/**
+ * A canonical Huffman code over a dense symbol alphabet [0, n).
+ *
+ * Codes are emitted MSB-first *within the LSB-first bit stream* by
+ * reversing each codeword at build time, so encode/decode only ever uses
+ * BitWriter/BitReader primitives.
+ */
+class PrefixCode
+{
+  public:
+    /**
+     * Build a length-limited (max 15 bits) canonical code from symbol
+     * frequencies. Symbols with zero frequency get no code.
+     */
+    static PrefixCode fromFrequencies(const std::vector<uint64_t> &freqs);
+
+    /** Rebuild a code from its canonical code-length table. */
+    static PrefixCode fromLengths(const std::vector<uint8_t> &lengths);
+
+    /** Code length (bits) per symbol; 0 means the symbol is unused. */
+    const std::vector<uint8_t> &lengths() const { return lengths_; }
+
+    /** Encode one symbol. */
+    void
+    encode(BitWriter &bw, unsigned symbol) const
+    {
+        sage_assert(symbol < lengths_.size() && lengths_[symbol] > 0,
+                    "encoding symbol with no code: ", symbol);
+        bw.writeBits(reversed_[symbol], lengths_[symbol]);
+    }
+
+    /** Decode one symbol (table-driven fast path for short codes). */
+    unsigned
+    decode(BitReader &br) const
+    {
+        // Fast path: one lookup resolves codes up to kLutBits long.
+        const uint32_t window =
+            static_cast<uint32_t>(br.peekBits(kLutBits));
+        const LutEntry entry = lut_[window];
+        if (entry.length != 0) {
+            br.skipBits(entry.length);
+            return entry.symbol;
+        }
+        return decodeSlow(br);
+    }
+
+    /** Number of symbols in the alphabet. */
+    size_t alphabetSize() const { return lengths_.size(); }
+
+    /** Expected code length in bits under the given frequencies. */
+    double expectedBits(const std::vector<uint64_t> &freqs) const;
+
+  private:
+    /** Width of the single-lookup decode table. */
+    static constexpr unsigned kLutBits = 10;
+
+    struct LutEntry
+    {
+        uint16_t symbol = 0;
+        uint8_t length = 0;   ///< 0 marks "code longer than kLutBits".
+    };
+
+    void buildTables();
+
+    /** Bit-serial canonical decode for codes longer than kLutBits. */
+    unsigned decodeSlow(BitReader &br) const;
+
+    std::vector<uint8_t> lengths_;
+    std::vector<uint32_t> reversed_;  ///< Bit-reversed codewords.
+    std::vector<uint32_t> firstCode_; ///< First canonical code per length.
+    std::vector<uint32_t> countByLen_;
+    std::vector<uint32_t> firstIndex_;
+    std::vector<uint32_t> symbolsInOrder_;
+    std::vector<LutEntry> lut_;
+    unsigned maxLen_ = 0;
+};
+
+} // namespace sage
+
+#endif // SAGE_UTIL_PREFIX_CODE_HH

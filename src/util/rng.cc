@@ -1,0 +1,135 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+namespace {
+
+/** SplitMix64 step used to expand the seed into full generator state. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBelow(uint64_t bound)
+{
+    sage_assert(bound > 0, "nextBelow bound must be positive");
+    // Rejection sampling on the top of the range keeps the draw unbiased.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    sage_assert(lo <= hi, "nextRange requires lo <= hi");
+    return lo + static_cast<int64_t>(
+        nextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits scaled into [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+uint64_t
+Rng::nextGeometric(double p)
+{
+    sage_assert(p > 0.0 && p <= 1.0, "geometric p out of range");
+    if (p >= 1.0)
+        return 0;
+    double u = nextDouble();
+    // Inverse-CDF; clamp u away from 0 to avoid log(0).
+    if (u < 1e-300)
+        u = 1e-300;
+    return static_cast<uint64_t>(std::floor(std::log(u)
+                                            / std::log1p(-p)));
+}
+
+double
+Rng::nextNormal(double mean, double stddev)
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    sage_assert(!weights.empty(), "nextWeighted needs weights");
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    sage_assert(total > 0.0, "nextWeighted needs positive total weight");
+    double x = nextDouble() * total;
+    for (size_t i = 0; i < weights.size(); i++) {
+        x -= weights[i];
+        if (x <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xa02b4c5d6e7f8091ULL);
+}
+
+} // namespace sage

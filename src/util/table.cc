@@ -1,0 +1,104 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sage {
+
+void
+TextTable::setHeader(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    // Compute column widths over header + rows.
+    size_t cols = header_.size();
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+    std::vector<size_t> widths(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); c++)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    measure(header_);
+    for (const auto &row : rows_)
+        measure(row);
+
+    std::ostringstream oss;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < cols; c++) {
+            const std::string cell = c < row.size() ? row[c] : "";
+            oss << cell;
+            if (c + 1 < cols)
+                oss << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        oss << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        size_t total = 0;
+        for (size_t c = 0; c < cols; c++)
+            total += widths[c] + (c + 1 < cols ? 2 : 0);
+        oss << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : rows_)
+        emit(row);
+    return oss.str();
+}
+
+void
+TextTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+    std::fflush(stdout);
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::timesFactor(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::percent(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+std::string
+TextTable::bytesHuman(double bytes)
+{
+    const char *units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int unit = 0;
+    while (bytes >= 1024.0 && unit < 4) {
+        bytes /= 1024.0;
+        unit++;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[unit]);
+    return buf;
+}
+
+} // namespace sage

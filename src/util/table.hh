@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses, which print the
+ * same rows/series the paper's tables and figures report.
+ */
+
+#ifndef SAGE_UTIL_TABLE_HH
+#define SAGE_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace sage {
+
+/** Row-oriented text table with auto-sized columns. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a separator under the header. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helpers for numeric cells. */
+    static std::string num(double v, int precision = 2);
+    static std::string timesFactor(double v, int precision = 1);
+    static std::string percent(double v, int precision = 1);
+    static std::string bytesHuman(double bytes);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace sage
+
+#endif // SAGE_UTIL_TABLE_HH

@@ -1,0 +1,80 @@
+#include "util/thread_pool.hh"
+
+#include <algorithm>
+
+namespace sage {
+
+ThreadPool::ThreadPool(size_t threads)
+{
+    size_t n = threads;
+    if (n == 0)
+        n = std::max<size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(n);
+    for (size_t i = 0; i < n; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push(std::move(task));
+        inflight_++;
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    for (size_t i = 0; i < n; i++)
+        submit([&fn, i] { fn(i); });
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inflight_--;
+        }
+        allDone_.notify_all();
+    }
+}
+
+} // namespace sage

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-size worker pool used by the parallel-block compressors
+ * (gpzip mirrors pigz's block parallelism) and by bench harnesses.
+ */
+
+#ifndef SAGE_UTIL_THREAD_POOL_HH
+#define SAGE_UTIL_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sage {
+
+/**
+ * A minimal fork-join thread pool.
+ *
+ * Tasks are arbitrary void() callables; wait() blocks until every task
+ * submitted so far has finished. The pool is intentionally simple — the
+ * compressors submit large, independent block jobs, so work stealing or
+ * futures would be over-engineering.
+ */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (0 means hardware concurrency). */
+    explicit ThreadPool(size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. */
+    void submit(std::function<void()> task);
+
+    /** Block until all submitted tasks have completed. */
+    void wait();
+
+    /** Number of worker threads. */
+    size_t threadCount() const { return workers_.size(); }
+
+    /**
+     * Run @p fn(i) for i in [0, n) across the pool and wait.
+     * Convenience for parallel-for style loops.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::queue<std::function<void()>> tasks_;
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    size_t inflight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace sage
+
+#endif // SAGE_UTIL_THREAD_POOL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Wall-clock timing helper plus the simulated-time units shared by the
+ * ssd/dram/pipeline models. Simulated time is kept in double seconds —
+ * the pipeline model reasons about stage throughputs, not cycles.
+ */
+
+#ifndef SAGE_UTIL_TIMING_HH
+#define SAGE_UTIL_TIMING_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace sage {
+
+/** Scoped wall-clock stopwatch for measuring real software runtimes. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    /** Elapsed seconds since construction or last reset. */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = clock::now(); }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/** Unit helpers for readability at call sites. */
+constexpr double operator""_us(long double v)
+{
+    return static_cast<double>(v) * 1e-6;
+}
+constexpr double operator""_ms(long double v)
+{
+    return static_cast<double>(v) * 1e-3;
+}
+constexpr double operator""_MBps(long double v)
+{
+    return static_cast<double>(v) * 1e6;
+}
+constexpr double operator""_GBps(long double v)
+{
+    return static_cast<double>(v) * 1e9;
+}
+
+constexpr uint64_t kKiB = 1024;
+constexpr uint64_t kMiB = 1024 * 1024;
+constexpr uint64_t kGiB = 1024ULL * 1024 * 1024;
+
+} // namespace sage
+
+#endif // SAGE_UTIL_TIMING_HH

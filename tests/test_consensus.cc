@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Tests for the consensus substrate: banded alignment, edit-script
+ * reconstruction exactness, the minimizer index, and the mapper
+ * (including chimeric split mapping and property analyses).
+ */
+
+#include <gtest/gtest.h>
+
+#include "consensus/align.hh"
+#include "consensus/index.hh"
+#include "consensus/mapper.hh"
+#include "consensus/stats.hh"
+#include "genomics/alphabet.hh"
+#include "simgen/synthesize.hh"
+#include "util/rng.hh"
+
+namespace sage {
+namespace {
+
+std::string
+randomSeq(Rng &rng, size_t len)
+{
+    std::string s;
+    for (size_t i = 0; i < len; i++)
+        s.push_back(codeToBase(static_cast<uint8_t>(rng.nextBelow(4))));
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Banded alignment
+// ---------------------------------------------------------------------
+
+TEST(BandedAlign, IdenticalStringsZeroEdits)
+{
+    const std::string s = "ACGTACGTAAACCC";
+    const auto result = bandedAlign(s, s, 4);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->editDistance, 0u);
+    EXPECT_TRUE(result->ops.empty());
+}
+
+TEST(BandedAlign, SingleSubstitution)
+{
+    const std::string t = "ACGTACGTAAACCC";
+    std::string q = t;
+    q[5] = 'A'; // was C
+    const auto result = bandedAlign(t, q, 4);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->editDistance, 1u);
+    ASSERT_EQ(result->ops.size(), 1u);
+    EXPECT_EQ(result->ops[0].type, EditType::Sub);
+    EXPECT_EQ(result->ops[0].readPos, 5u);
+    EXPECT_EQ(result->ops[0].bases, "A");
+}
+
+TEST(BandedAlign, InsertionBlockMerged)
+{
+    const std::string t = "ACGTACGTACGT";
+    const std::string q = "ACGTAGGGCGTACGT"; // GGG inserted at 5.
+    const auto result = bandedAlign(t, q, 6);
+    ASSERT_TRUE(result.has_value());
+    // Unit-cost edit distance is 3 (three inserted bases).
+    EXPECT_EQ(result->editDistance, 3u);
+    // Blocks must be merged into one op.
+    size_t ins_ops = 0;
+    for (const auto &op : result->ops)
+        ins_ops += op.type == EditType::Ins;
+    EXPECT_EQ(ins_ops, 1u);
+}
+
+TEST(BandedAlign, DeletionBlockMerged)
+{
+    const std::string t = "ACGTAGGGCGTACGT";
+    const std::string q = "ACGTACGTACGT";
+    const auto result = bandedAlign(t, q, 6);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(result->editDistance, 3u);
+    size_t del_ops = 0;
+    for (const auto &op : result->ops) {
+        if (op.type == EditType::Del) {
+            del_ops++;
+            EXPECT_EQ(op.length, 3u);
+        }
+    }
+    EXPECT_EQ(del_ops, 1u);
+}
+
+TEST(BandedAlign, NarrowBandCostsMoreThanWideBand)
+{
+    // The band corridor always reaches the terminal corner (it includes
+    // the length difference), so narrow bands degrade cost rather than
+    // fail. A true shift-by-8 alignment needs band >= 8 to see the
+    // optimal 16-edit solution (8 del + 8 ins).
+    const std::string t = "AAAAAAAACGCGCGCGCGCGACGACG";
+    const std::string q = "CGCGCGCGCGCGACGACGTTTTTTTT";
+    const auto narrow = bandedDistance(t, q, 1);
+    const auto wide = bandedDistance(t, q, 12);
+    ASSERT_TRUE(narrow.has_value());
+    ASSERT_TRUE(wide.has_value());
+    EXPECT_GT(*narrow, *wide);
+}
+
+/** Property: reconstruction from an alignment is always exact. */
+TEST(BandedAlign, ReconstructionExactUnderRandomEdits)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 200; trial++) {
+        const std::string target = randomSeq(rng, 150 + rng.nextBelow(200));
+        // Mutate the target into the query.
+        std::string query;
+        for (char c : target) {
+            const double roll = rng.nextDouble();
+            if (roll < 0.02) {
+                continue; // deletion
+            } else if (roll < 0.04) {
+                query.push_back(codeToBase(
+                    static_cast<uint8_t>(rng.nextBelow(4))));
+                query.push_back(c); // insertion
+            } else if (roll < 0.07) {
+                uint8_t nc = static_cast<uint8_t>(rng.nextBelow(4));
+                query.push_back(codeToBase(nc)); // substitution (maybe id)
+            } else {
+                query.push_back(c);
+            }
+        }
+        if (query.empty())
+            continue;
+        const auto result = bandedAlign(target, query, 32);
+        ASSERT_TRUE(result.has_value()) << "trial " << trial;
+
+        AlignedSegment seg;
+        seg.consensusPos = 0;
+        seg.readStart = 0;
+        seg.readLength = static_cast<uint32_t>(query.size());
+        seg.ops = result->ops;
+        EXPECT_EQ(reconstructSegment(target, seg), query)
+            << "trial " << trial;
+    }
+}
+
+TEST(BandedAlign, NInQueryBecomesExplicitEdit)
+{
+    const std::string t = "ACGTACGTACGT";
+    std::string q = t;
+    q[4] = 'N';
+    const auto result = bandedAlign(t, q, 4);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_GE(result->editDistance, 1u);
+    AlignedSegment seg;
+    seg.readLength = static_cast<uint32_t>(q.size());
+    seg.ops = result->ops;
+    EXPECT_EQ(reconstructSegment(t, seg), q);
+}
+
+// ---------------------------------------------------------------------
+// Edit scripts
+// ---------------------------------------------------------------------
+
+TEST(Edits, ReconstructWithExplicitOps)
+{
+    const std::string consensus = "AAAACCCCGGGGTTTT";
+    AlignedSegment seg;
+    seg.consensusPos = 4;
+    seg.readStart = 0;
+    seg.readLength = 8;
+    // Read = consensus[4..12) with a substitution at read pos 2.
+    EditOp sub;
+    sub.readPos = 2;
+    sub.type = EditType::Sub;
+    sub.bases = "T";
+    seg.ops.push_back(sub);
+    EXPECT_EQ(reconstructSegment(consensus, seg), "CCTCGGGG");
+}
+
+TEST(Edits, DeletionSkipsConsensus)
+{
+    const std::string consensus = "ACGTACGTACGT";
+    AlignedSegment seg;
+    seg.consensusPos = 0;
+    seg.readLength = 8;
+    EditOp del;
+    del.readPos = 4;
+    del.type = EditType::Del;
+    del.length = 4;
+    seg.ops.push_back(del);
+    EXPECT_EQ(reconstructSegment(consensus, seg), "ACGTACGT");
+}
+
+TEST(Edits, StoredBaseCount)
+{
+    std::vector<EditOp> ops(2);
+    ops[0].type = EditType::Sub;
+    ops[0].bases = "A";
+    ops[1].type = EditType::Ins;
+    ops[1].length = 3;
+    ops[1].bases = "ACG";
+    EXPECT_EQ(storedBaseCount(ops), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Minimizer index
+// ---------------------------------------------------------------------
+
+TEST(Index, LookupFindsPlantedKmer)
+{
+    Rng rng(55);
+    std::string consensus = randomSeq(rng, 20000);
+    IndexConfig config;
+    MinimizerIndex index(consensus, config);
+    EXPECT_GT(index.distinctSeeds(), 100u);
+    // Every stored position must actually hold the k-mer.
+    const auto minimizers =
+        extractMinimizers(consensus, config.k, config.w);
+    for (size_t i = 0; i < std::min<size_t>(minimizers.size(), 50); i++) {
+        const auto &positions = index.lookup(minimizers[i].kmer);
+        bool found = false;
+        for (uint32_t pos : positions)
+            found |= pos == minimizers[i].pos;
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(Index, MasksRepetitiveSeeds)
+{
+    // Highly repetitive sequence: the repeated seed must be masked.
+    std::string consensus;
+    for (int i = 0; i < 3000; i++)
+        consensus += "ACGTACGTAC";
+    IndexConfig config;
+    config.maxOccurrence = 16;
+    MinimizerIndex index(consensus, config);
+    for (const auto &hit : extractMinimizers(consensus, config.k,
+                                             config.w)) {
+        EXPECT_LE(index.lookup(hit.kmer).size(), config.maxOccurrence);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mapper
+// ---------------------------------------------------------------------
+
+TEST(Mapper, ExactSubstringMapsWithZeroEdits)
+{
+    Rng rng(66);
+    const std::string consensus = randomSeq(rng, 50000);
+    ConsensusMapper mapper(consensus);
+    const std::string read = consensus.substr(12345, 150);
+    const ReadMapping mapping = mapper.mapSequence(read);
+    ASSERT_TRUE(mapping.mapped);
+    EXPECT_FALSE(mapping.reverse);
+    EXPECT_EQ(mapping.totalEdits(), 0u);
+    EXPECT_EQ(mapping.primaryPosition(), 12345u);
+    EXPECT_EQ(reconstructRead(consensus, mapping), read);
+}
+
+TEST(Mapper, ReverseStrandDetected)
+{
+    Rng rng(67);
+    const std::string consensus = randomSeq(rng, 50000);
+    ConsensusMapper mapper(consensus);
+    const std::string read =
+        reverseComplement(consensus.substr(30000, 150));
+    const ReadMapping mapping = mapper.mapSequence(read);
+    ASSERT_TRUE(mapping.mapped);
+    EXPECT_TRUE(mapping.reverse);
+    // Oriented reconstruction must equal rc(read).
+    EXPECT_EQ(reconstructRead(consensus, mapping),
+              reverseComplement(read));
+}
+
+TEST(Mapper, RejectsForeignSequence)
+{
+    Rng rng(68);
+    const std::string consensus = randomSeq(rng, 50000);
+    ConsensusMapper mapper(consensus);
+    Rng other(999);
+    const std::string junk = randomSeq(other, 150);
+    const ReadMapping mapping = mapper.mapSequence(junk);
+    EXPECT_FALSE(mapping.mapped);
+}
+
+TEST(Mapper, ChimericReadGetsMultipleSegments)
+{
+    Rng rng(69);
+    const std::string consensus = randomSeq(rng, 80000);
+    MapperConfig config;
+    config.maxSegments = 3;
+    ConsensusMapper mapper(consensus, config);
+    // Join two distant loci (Property 4).
+    const std::string read =
+        consensus.substr(5000, 900) + consensus.substr(60000, 900);
+    const ReadMapping mapping = mapper.mapSequence(read);
+    ASSERT_TRUE(mapping.mapped);
+    EXPECT_EQ(mapping.segments.size(), 2u);
+    EXPECT_EQ(reconstructRead(consensus, mapping), read);
+}
+
+TEST(Mapper, SingleSegmentModeStillReconstructs)
+{
+    Rng rng(70);
+    const std::string consensus = randomSeq(rng, 80000);
+    MapperConfig config;
+    config.maxSegments = 1;
+    config.maxEditFraction = 0.8;
+    ConsensusMapper mapper(consensus, config);
+    const std::string read =
+        consensus.substr(5000, 900) + consensus.substr(60000, 900);
+    const ReadMapping mapping = mapper.mapSequence(read);
+    if (mapping.mapped) {
+        EXPECT_EQ(mapping.segments.size(), 1u);
+        EXPECT_EQ(reconstructRead(consensus, mapping), read);
+    }
+}
+
+TEST(Mapper, MapAllReconstructsSimulatedShortReads)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet);
+    const MappingStats stats =
+        ConsensusMapper::summarize(mappings, ds.readSet);
+    // Nearly everything should map against the same-species reference.
+    EXPECT_GT(stats.mappedReads, stats.totalReads * 95 / 100);
+    for (size_t i = 0; i < mappings.size(); i++) {
+        if (!mappings[i].mapped)
+            continue;
+        const std::string oriented = mappings[i].reverse
+            ? reverseComplement(ds.readSet.reads[i].bases)
+            : ds.readSet.reads[i].bases;
+        ASSERT_EQ(reconstructRead(ds.reference, mappings[i]), oriented)
+            << "read " << i;
+    }
+}
+
+TEST(Mapper, MapAllReconstructsSimulatedLongReads)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(true));
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet);
+    const MappingStats stats =
+        ConsensusMapper::summarize(mappings, ds.readSet);
+    EXPECT_GT(stats.mappedReads, stats.totalReads * 80 / 100);
+    for (size_t i = 0; i < mappings.size(); i++) {
+        if (!mappings[i].mapped)
+            continue;
+        const std::string oriented = mappings[i].reverse
+            ? reverseComplement(ds.readSet.reads[i].bases)
+            : ds.readSet.reads[i].bases;
+        ASSERT_EQ(reconstructRead(ds.reference, mappings[i]), oriented)
+            << "read " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property analyses (Fig. 7 / Fig. 10 inputs)
+// ---------------------------------------------------------------------
+
+TEST(PropertyStats, ShortReadsMostlyZeroMismatches)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet);
+    const PropertyStats stats = analyzeProperties(mappings);
+    // Property 2: bucket 0 dominates mismatch counts per read.
+    EXPECT_GT(stats.mismatchCountPerRead.fraction(0), 0.3);
+    // Property 5: substitutions dominate short-read mismatch events.
+    EXPECT_GT(stats.substitutionFraction, 0.8);
+}
+
+TEST(PropertyStats, MatchingPositionDeltasAreSmall)
+{
+    DatasetSpec spec = makeTinySpec(false);
+    spec.depth = 8.0; // Dense sampling.
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet);
+    const PropertyStats stats = analyzeProperties(mappings);
+    // Property 6: after reordering, most deltas need few bits.
+    const auto &hist = stats.matchingPosDeltaBits;
+    uint64_t small = 0;
+    for (unsigned b = 0; b <= 6; b++)
+        small += hist.count(b);
+    EXPECT_GT(static_cast<double>(small) / hist.total(), 0.8);
+}
+
+TEST(PropertyStats, LongReadIndelBlocksSkewedToOne)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(true));
+    ConsensusMapper mapper(ds.reference);
+    const auto mappings = mapper.mapAll(ds.readSet);
+    const PropertyStats stats = analyzeProperties(mappings);
+    // Property 3: most indel blocks have length 1...
+    EXPECT_GT(stats.indelBlockLength.fraction(1), 0.5);
+}
+
+} // namespace
+} // namespace sage

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Unit tests for the genomics substrate: alphabet codecs, FASTQ
+ * serialization and k-mer/minimizer extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/alphabet.hh"
+#include "genomics/fastq.hh"
+#include "genomics/kmer.hh"
+#include "genomics/read.hh"
+#include "util/rng.hh"
+
+namespace sage {
+namespace {
+
+TEST(Alphabet, CodeRoundTrip)
+{
+    for (char c : {'A', 'C', 'G', 'T', 'N'})
+        EXPECT_EQ(codeToBase(baseToCode(c)), c);
+    EXPECT_EQ(baseToCode('a'), baseToCode('A'));
+    EXPECT_EQ(baseToCode('x'), baseToCode('N'));
+}
+
+TEST(Alphabet, ReverseComplement)
+{
+    EXPECT_EQ(reverseComplement("ACGT"), "ACGT");
+    EXPECT_EQ(reverseComplement("AACG"), "CGTT");
+    EXPECT_EQ(reverseComplement("N"), "N");
+    // Involution.
+    const std::string s = "ACGTTGCANNACG";
+    EXPECT_EQ(reverseComplement(reverseComplement(s)), s);
+}
+
+TEST(Alphabet, PackUnpackTwoBit)
+{
+    const std::string seq = "ACGTACGTGGTTCCAA";
+    const auto packed = packSequence(seq, OutputFormat::TwoBit);
+    EXPECT_EQ(packed.size(), (seq.size() * 2 + 7) / 8);
+    EXPECT_EQ(unpackSequence(packed, seq.size(), OutputFormat::TwoBit),
+              seq);
+}
+
+TEST(Alphabet, PackUnpackThreeBitWithN)
+{
+    const std::string seq = "ACGNNTACGN";
+    const auto packed = packSequence(seq, OutputFormat::ThreeBit);
+    EXPECT_EQ(unpackSequence(packed, seq.size(), OutputFormat::ThreeBit),
+              seq);
+}
+
+TEST(Alphabet, AsciiPassThrough)
+{
+    const std::string seq = "ACGTN";
+    const auto packed = packSequence(seq, OutputFormat::Ascii);
+    EXPECT_EQ(unpackSequence(packed, seq.size(), OutputFormat::Ascii),
+              seq);
+}
+
+TEST(Alphabet, IsAcgtOnly)
+{
+    EXPECT_TRUE(isAcgtOnly("ACGTACGT"));
+    EXPECT_FALSE(isAcgtOnly("ACGNT"));
+    EXPECT_TRUE(isAcgtOnly(""));
+}
+
+TEST(ReadSet, ByteAccounting)
+{
+    ReadSet rs;
+    Read r;
+    r.header = "r1";
+    r.bases = "ACGT";
+    r.quals = "IIII";
+    rs.reads.push_back(r);
+    // '@r1\n' + 'ACGT\n' + '+\n' + 'IIII\n' = 4 + 5 + 2 + 5.
+    EXPECT_EQ(rs.fastqBytes(), 16u);
+    EXPECT_EQ(rs.dnaBytes(), 5u);
+    EXPECT_EQ(rs.qualityBytes(), 5u);
+    EXPECT_TRUE(rs.hasQualityScores());
+}
+
+TEST(Fastq, RoundTrip)
+{
+    ReadSet rs;
+    for (int i = 0; i < 10; i++) {
+        Read r;
+        r.header = "read." + std::to_string(i);
+        r.bases = "ACGTACGTNN";
+        r.quals = "IIIIIIIIII";
+        rs.reads.push_back(r);
+    }
+    const ReadSet back = fromFastq(toFastq(rs), "x");
+    ASSERT_EQ(back.reads.size(), rs.reads.size());
+    for (size_t i = 0; i < rs.reads.size(); i++) {
+        EXPECT_EQ(back.reads[i].header, rs.reads[i].header);
+        EXPECT_EQ(back.reads[i].bases, rs.reads[i].bases);
+        EXPECT_EQ(back.reads[i].quals, rs.reads[i].quals);
+    }
+}
+
+TEST(Fastq, FileRoundTrip)
+{
+    ReadSet rs;
+    Read r;
+    r.header = "f";
+    r.bases = "ACGT";
+    r.quals = "!!!!";
+    rs.reads.push_back(r);
+    const std::string path = "/tmp/sage_test_roundtrip.fastq";
+    writeFastqFile(rs, path);
+    const ReadSet back = readFastqFile(path);
+    ASSERT_EQ(back.reads.size(), 1u);
+    EXPECT_EQ(back.reads[0].bases, "ACGT");
+}
+
+TEST(Kmer, ExtractSkipsN)
+{
+    const auto hits = extractKmers("ACGTNACGTA", 4);
+    // Windows containing the N at index 4 are skipped.
+    for (const auto &hit : hits) {
+        EXPECT_TRUE(hit.pos + 4 <= 4 || hit.pos >= 5);
+    }
+    EXPECT_FALSE(hits.empty());
+}
+
+TEST(Kmer, PackedValueMatchesManual)
+{
+    const auto hits = extractKmers("ACGT", 4);
+    ASSERT_EQ(hits.size(), 1u);
+    // A=0 C=1 G=2 T=3 -> 0b00011011.
+    EXPECT_EQ(hits[0].kmer, 0b00011011u);
+}
+
+TEST(Kmer, MinimizersAreSubsetOfKmers)
+{
+    std::string seq;
+    Rng rng(17);
+    for (int i = 0; i < 2000; i++)
+        seq.push_back(codeToBase(static_cast<uint8_t>(rng.nextBelow(4))));
+    const auto all = extractKmers(seq, 15);
+    const auto mins = extractMinimizers(seq, 15, 5);
+    EXPECT_LT(mins.size(), all.size());
+    EXPECT_GT(mins.size(), all.size() / 10);
+    // Every minimizer must be a real k-mer at its position.
+    for (const auto &m : mins) {
+        EXPECT_EQ(seq.substr(m.pos, 15),
+                  seq.substr(m.pos, 15)); // Position validity.
+        ASSERT_LE(m.pos + 15, seq.size());
+    }
+}
+
+TEST(Kmer, MinimizersDeterministic)
+{
+    std::string seq;
+    Rng rng(18);
+    for (int i = 0; i < 500; i++)
+        seq.push_back(codeToBase(static_cast<uint8_t>(rng.nextBelow(4))));
+    const auto a = extractMinimizers(seq, 11, 7);
+    const auto b = extractMinimizers(seq, 11, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a[i].kmer, b[i].kmer);
+        EXPECT_EQ(a[i].pos, b[i].pos);
+    }
+}
+
+TEST(Kmer, CanonicalIsStrandInvariant)
+{
+    const std::string fwd = "ACGGTAGCATG";
+    const std::string rev = reverseComplement(fwd);
+    const auto hf = extractKmers(fwd, 11);
+    const auto hr = extractKmers(rev, 11);
+    ASSERT_EQ(hf.size(), 1u);
+    ASSERT_EQ(hr.size(), 1u);
+    EXPECT_EQ(canonicalKmer(hf[0].kmer, 11),
+              canonicalKmer(hr[0].kmer, 11));
+}
+
+} // namespace
+} // namespace sage

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests that the synthetic datasets actually exhibit the statistical
+ * properties the paper's design exploits (Properties 1-6) — this is
+ * what justifies substituting synthesis for the paper's SRA downloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "genomics/alphabet.hh"
+#include "simgen/synthesize.hh"
+
+namespace sage {
+namespace {
+
+TEST(Simgen, DeterministicInSeed)
+{
+    const DatasetSpec spec = makeTinySpec(false);
+    const SimulatedDataset a = synthesizeDataset(spec);
+    const SimulatedDataset b = synthesizeDataset(spec);
+    ASSERT_EQ(a.readSet.reads.size(), b.readSet.reads.size());
+    for (size_t i = 0; i < a.readSet.reads.size(); i++)
+        EXPECT_EQ(a.readSet.reads[i].bases, b.readSet.reads[i].bases);
+    EXPECT_EQ(a.reference, b.reference);
+}
+
+TEST(Simgen, DepthReached)
+{
+    DatasetSpec spec = makeTinySpec(false);
+    spec.depth = 6.0;
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    const double depth =
+        static_cast<double>(ds.readSet.totalBases()) / ds.donor.size();
+    EXPECT_GE(depth, 5.8);
+    EXPECT_LE(depth, 6.5);
+}
+
+TEST(Simgen, ShortReadsHaveFixedLength)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    size_t modal = 0;
+    for (const auto &read : ds.readSet.reads) {
+        if (read.bases.size() == makeTinySpec(false).sequencer.readLength)
+            modal++;
+    }
+    // Clips and N blocks may perturb a few reads.
+    EXPECT_GT(modal, ds.readSet.reads.size() * 9 / 10);
+}
+
+TEST(Simgen, LongReadLengthsVary)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(true));
+    size_t min_len = SIZE_MAX, max_len = 0;
+    for (const auto &read : ds.readSet.reads) {
+        min_len = std::min(min_len, read.bases.size());
+        max_len = std::max(max_len, read.bases.size());
+    }
+    EXPECT_LT(min_len * 2, max_len) << "long reads should spread widely";
+}
+
+TEST(Simgen, QualityMatchesLength)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(true));
+    for (const auto &read : ds.readSet.reads)
+        ASSERT_EQ(read.quals.size(), read.bases.size());
+}
+
+TEST(Simgen, QualityAlphabetIsSmall)
+{
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    std::set<char> alphabet;
+    for (const auto &read : ds.readSet.reads)
+        for (char c : read.quals)
+            alphabet.insert(c);
+    EXPECT_LE(alphabet.size(), 16u) << "binned qualities expected";
+}
+
+TEST(Simgen, ShortReadsMostlyCleanPropertyTwo)
+{
+    // Property 2: with ~0.1% error and low variant density, a large
+    // fraction of 150 bp reads should be exact copies of the donor.
+    const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+    size_t exact = 0;
+    for (size_t i = 0; i < ds.readSet.reads.size(); i++) {
+        const auto &read = ds.readSet.reads[i];
+        const auto &truth = ds.truth[i];
+        std::string expect = ds.donor.substr(
+            truth.genomePos, read.bases.size());
+        if (truth.reverse)
+            expect = reverseComplement(expect);
+        exact += expect == read.bases;
+    }
+    EXPECT_GT(exact, ds.readSet.reads.size() / 2);
+}
+
+TEST(Simgen, ChimerasAppearInLongReads)
+{
+    DatasetSpec spec = makeTinySpec(true);
+    spec.sequencer.chimeraProb = 0.3;
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    size_t chimeric = 0;
+    for (const auto &truth : ds.truth)
+        chimeric += truth.chimeric;
+    EXPECT_GT(chimeric, 0u);
+}
+
+TEST(Simgen, AllPresetsProduceData)
+{
+    for (const DatasetSpec &spec : allReadSetSpecs()) {
+        DatasetSpec small = spec;
+        small.genome.referenceLength = 1 << 16;
+        small.depth = 2.0;
+        const SimulatedDataset ds = synthesizeDataset(small);
+        EXPECT_GT(ds.readSet.reads.size(), 0u) << spec.name;
+        EXPECT_EQ(ds.readSet.technology == Technology::LongNoisy,
+                  spec.sequencer.longRead)
+            << spec.name;
+    }
+}
+
+TEST(Simgen, DonorDiffersFromReferenceButSimilar)
+{
+    const DatasetSpec spec = makeTinySpec(false);
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    // Similar lengths (indels shift slightly).
+    const double len_ratio = static_cast<double>(ds.donor.size())
+        / static_cast<double>(ds.reference.size());
+    EXPECT_NEAR(len_ratio, 1.0, 0.02);
+    // But not identical (variants applied).
+    EXPECT_NE(ds.donor, ds.reference);
+}
+
+} // namespace
+} // namespace sage
