@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Check C++ formatting against .clang-format.  Non-blocking lint: exits
+# 0 when clang-format is unavailable, 1 when files need reformatting.
+#
+# Usage: scripts/check_format.sh [--fix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+    echo "check_format: $CLANG_FORMAT not found - skipping format check" >&2
+    exit 0
+fi
+
+# --others picks up brand-new files that have not been `git add`ed yet.
+mapfile -t files < <(git ls-files --cached --others --exclude-standard \
+    'src/**/*.hh' 'src/**/*.cc' \
+    'tests/*.cc' 'examples/*.cpp' 'bench/*.cc' 'bench/common/*')
+
+if [[ "${1:-}" == "--fix" ]]; then
+    "$CLANG_FORMAT" -i "${files[@]}"
+    echo "check_format: reformatted ${#files[@]} files"
+    exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+    if ! "$CLANG_FORMAT" --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        status=1
+    fi
+done
+
+if [[ $status -eq 0 ]]; then
+    echo "check_format: ${#files[@]} files clean"
+fi
+exit $status

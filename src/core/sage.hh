@@ -22,5 +22,6 @@
 #include "core/encoder.hh"
 #include "core/format.hh"
 #include "core/tuned_array.hh"
+#include "core/version.hh"
 
 #endif // SAGE_CORE_SAGE_HH

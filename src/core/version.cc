@@ -1,0 +1,23 @@
+#include "core/version.hh"
+
+#ifdef SAGE_CMAKE_PROJECT_VERSION
+namespace {
+
+constexpr bool
+strEq(const char *a, const char *b)
+{
+    return *a == *b && (*a == '\0' || strEq(a + 1, b + 1));
+}
+
+static_assert(strEq(SAGE_VERSION_STRING, SAGE_CMAKE_PROJECT_VERSION),
+              "core/version.hh is out of sync with project(sage VERSION ...) "
+              "in the top-level CMakeLists.txt");
+
+} // namespace
+#endif
+
+namespace sage {
+
+const char *versionString() { return SAGE_VERSION_STRING; }
+
+} // namespace sage

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Library version constants.  Kept in sync with the `project(sage
+ * VERSION ...)` declaration in the top-level CMakeLists.txt; version.cc
+ * static_asserts the two agree, so drift is a compile error.
+ */
+
+#ifndef SAGE_CORE_VERSION_HH
+#define SAGE_CORE_VERSION_HH
+
+#define SAGE_VERSION_MAJOR 0
+#define SAGE_VERSION_MINOR 1
+#define SAGE_VERSION_PATCH 0
+#define SAGE_VERSION_STRING "0.1.0"
+
+namespace sage {
+
+/// Runtime version string, e.g. "0.1.0".  Defined in version.cc so the
+/// value embedded in libsage (not the caller's headers) is reported.
+const char *versionString();
+
+} // namespace sage
+
+#endif // SAGE_CORE_VERSION_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Build/version smoke suite: cheap checks that run before the heavy
+ * suites so CI fails fast when the build itself is broken.
+ *
+ *  - the library reports the expected version string,
+ *  - the sage.hh umbrella header is self-contained (this TU includes
+ *    nothing else from the library),
+ *  - one encode -> decode round-trip through the public API works.
+ */
+
+#include "core/sage.hh"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Smoke, VersionStringMatchesHeader)
+{
+    ASSERT_NE(sage::versionString(), nullptr);
+    EXPECT_STREQ(sage::versionString(), SAGE_VERSION_STRING);
+    EXPECT_GT(std::strlen(sage::versionString()), 0u);
+}
+
+TEST(Smoke, VersionComponentsComposeString)
+{
+    const std::string composed = std::to_string(SAGE_VERSION_MAJOR) + "." +
+                                 std::to_string(SAGE_VERSION_MINOR) + "." +
+                                 std::to_string(SAGE_VERSION_PATCH);
+    EXPECT_EQ(composed, SAGE_VERSION_STRING);
+}
+
+TEST(Smoke, UmbrellaHeaderRoundTrip)
+{
+    const std::string consensus = "ACGTACGTACGTACGTACGTACGTACGTACGT";
+
+    sage::ReadSet rs;
+    rs.name = "smoke";
+    rs.technology = sage::Technology::ShortAccurate;
+    rs.reads.push_back({"read0", "ACGTACGTACGT", "IIIIIIIIIIII"});
+    rs.reads.push_back({"read1", "CGTACGTACGTA", "IIIIIIIIIIII"});
+    rs.reads.push_back({"read2", "GTACGTACGTAC", "IIIIIIIIIIII"});
+
+    const sage::SageArchive archive = sage::sageCompress(rs, consensus);
+    ASSERT_FALSE(archive.bytes.empty());
+
+    const sage::ReadSet back = sage::sageDecompress(archive.bytes);
+    ASSERT_EQ(back.readCount(), rs.readCount());
+    for (size_t i = 0; i < rs.readCount(); ++i) {
+        EXPECT_EQ(back.reads[i].bases, rs.reads[i].bases)
+            << "base mismatch at read " << i;
+    }
+}
+
+} // namespace
