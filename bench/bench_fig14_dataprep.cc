@@ -32,6 +32,7 @@ main()
     TextTable table;
     table.setHeader({"RS", "pigz", "(N)Spr", "(N)SprAC", "SAGe"});
     std::vector<double> spr, sprac, sage;
+    std::vector<std::string> json_rows;
     for (const auto &art : all) {
         const double t_pigz =
             dataPrepSeconds(art.work, PrepConfig::Pigz, system);
@@ -44,6 +45,17 @@ main()
         spr.push_back(t_pigz / t_spr);
         sprac.push_back(t_pigz / t_sprac);
         sage.push_back(t_pigz / t_sage);
+        {
+            char row[256];
+            std::snprintf(row, sizeof(row),
+                          "    {\"rs\": \"%s\", \"pigzSeconds\": %.6f, "
+                          "\"sprSpeedup\": %.3f, \"spracSpeedup\": %.3f, "
+                          "\"sageSpeedup\": %.3f}",
+                          art.work.name.c_str(), t_pigz,
+                          t_pigz / t_spr, t_pigz / t_sprac,
+                          t_pigz / t_sage);
+            json_rows.push_back(row);
+        }
         table.addRow({art.work.name, "1.0",
                       TextTable::timesFactor(t_pigz / t_spr),
                       TextTable::timesFactor(t_pigz / t_sprac),
@@ -62,5 +74,26 @@ main()
     std::printf("SAGe prep speedup over (N)SprAC: %.1fx "
                 "(paper: 22.3x)\n",
                 bench::geomean(sage) / bench::geomean(sprac));
+
+    const std::string json_path = bench::jsonReportPath("fig14");
+    if (!json_path.empty()) {
+        FILE *json = std::fopen(json_path.c_str(), "w");
+        if (json) {
+            std::fprintf(json, "{\n  \"bench\": \"fig14_dataprep\",\n");
+            std::fprintf(json, "  \"gmeanSageOverPigz\": %.3f,\n",
+                         bench::geomean(sage));
+            std::fprintf(json, "  \"gmeanSageOverSpr\": %.3f,\n",
+                         bench::geomean(sage) / bench::geomean(spr));
+            std::fprintf(json, "  \"gmeanSageOverSprAc\": %.3f,\n",
+                         bench::geomean(sage) / bench::geomean(sprac));
+            std::fprintf(json, "  \"perReadSet\": [\n");
+            for (size_t i = 0; i < json_rows.size(); i++)
+                std::fprintf(json, "%s%s\n", json_rows[i].c_str(),
+                             i + 1 < json_rows.size() ? "," : "");
+            std::fprintf(json, "  ]\n}\n");
+            std::fclose(json);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    }
     return 0;
 }

@@ -58,5 +58,33 @@ main()
                     100.0 * art.sageTuneSeconds
                         / art.sageCompressSeconds);
     }
+
+    const std::string json_path = bench::jsonReportPath("fig18");
+    if (!json_path.empty()) {
+        FILE *json = std::fopen(json_path.c_str(), "w");
+        if (json) {
+            std::fprintf(json, "{\n  \"bench\": \"fig18_comptime\",\n");
+            std::fprintf(json, "  \"perReadSet\": [\n");
+            for (size_t i = 0; i < all.size(); i++) {
+                const auto &art = all[i];
+                std::fprintf(
+                    json,
+                    "    {\"rs\": \"%s\", \"pigzSeconds\": %.6f, "
+                    "\"springSeconds\": %.6f, "
+                    "\"springMapSeconds\": %.6f, "
+                    "\"sageSeconds\": %.6f, "
+                    "\"sageMapSeconds\": %.6f, "
+                    "\"sageTuneSeconds\": %.6f}%s\n",
+                    art.work.name.c_str(), art.pigzCompressSeconds,
+                    art.springCompressSeconds, art.springMapSeconds,
+                    art.sageCompressSeconds, art.sageMapSeconds,
+                    art.sageTuneSeconds,
+                    i + 1 < all.size() ? "," : "");
+            }
+            std::fprintf(json, "  ]\n}\n");
+            std::fclose(json);
+            std::printf("wrote %s\n", json_path.c_str());
+        }
+    }
     return 0;
 }

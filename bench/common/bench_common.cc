@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -36,6 +37,8 @@ writeArtifacts(std::ostream &out, const MeasuredArtifacts &art)
     out << "springDecompSeconds " << w.springDecompSeconds << "\n";
     out << "springBackendSeconds " << w.springBackendSeconds << "\n";
     out << "sageSwDecompSeconds " << w.sageSwDecompSeconds << "\n";
+    out << "sageSwParDecompSeconds " << w.sageSwParDecompSeconds << "\n";
+    out << "sageSwDecodeThreads " << w.sageSwDecodeThreads << "\n";
     out << "isfFilterFraction " << w.isfFilterFraction << "\n";
     out << "dnaBytesUncompressed " << art.dnaBytesUncompressed << "\n";
     out << "qualBytesUncompressed " << art.qualBytesUncompressed << "\n";
@@ -98,6 +101,8 @@ readArtifacts(std::istream &in, MeasuredArtifacts &art)
     w.springDecompSeconds = f64("springDecompSeconds");
     w.springBackendSeconds = f64("springBackendSeconds");
     w.sageSwDecompSeconds = f64("sageSwDecompSeconds");
+    w.sageSwParDecompSeconds = f64("sageSwParDecompSeconds");
+    w.sageSwDecodeThreads = f64("sageSwDecodeThreads");
     w.isfFilterFraction = f64("isfFilterFraction");
     art.dnaBytesUncompressed = u64("dnaBytesUncompressed");
     art.qualBytesUncompressed = u64("qualBytesUncompressed");
@@ -191,6 +196,15 @@ printHeader(const std::string &experiment,
     std::printf("%s\n", experiment.c_str());
     std::printf("Paper reference: %s\n", paper_summary.c_str());
     std::printf("=======================================================\n");
+}
+
+std::string
+jsonReportPath(const std::string &name)
+{
+    const char *dir = std::getenv("SAGE_BENCH_JSON_DIR");
+    if (!dir || !*dir)
+        return "";
+    return std::string(dir) + "/BENCH_" + name + ".json";
 }
 
 void

@@ -19,7 +19,7 @@ namespace sage {
 namespace bench {
 
 /** Bump when any format/measurement change invalidates cached runs. */
-constexpr int kCacheVersion = 6;
+constexpr int kCacheVersion = 7;
 
 /**
  * Measure all five RS presets (synthesize + compress with every tool +
@@ -37,6 +37,14 @@ double geomean(const std::vector<double> &values);
 /** Standard banner for a bench binary. */
 void printHeader(const std::string &experiment,
                  const std::string &paper_summary);
+
+/**
+ * Path for this bench's machine-readable report:
+ * $SAGE_BENCH_JSON_DIR/BENCH_<name>.json, or "" when the env var is
+ * unset (benches then skip JSON emission). CI sets the variable and
+ * uploads the BENCH_*.json files as baseline artifacts.
+ */
+std::string jsonReportPath(const std::string &name);
 
 /** Scale note: our datasets are ~1000x smaller than the paper's. */
 void printScaleNote();

@@ -4,7 +4,7 @@
  * tool a downstream genomics user would actually invoke.
  *
  *   sage_cli compress   <in.fastq> <reference.txt> <out.sage> [--drop-quality] [--keep-order]
- *   sage_cli decompress <in.sage> <out.fastq>
+ *   sage_cli decompress <in.sage> <out.fastq> [--threads N]
  *   sage_cli inspect    <in.sage>
  *   sage_cli demo       <workdir>      (generates inputs, runs all three)
  *
@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include "genomics/fastq.hh"
 #include "simgen/synthesize.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -107,13 +109,29 @@ cmdDecompress(int argc, char **argv)
 {
     if (argc < 4) {
         std::fprintf(stderr,
-                     "usage: sage_cli decompress <in.sage> <out.fastq>\n");
+                     "usage: sage_cli decompress <in.sage> <out.fastq> "
+                     "[--threads N]\n");
         return 1;
     }
+    unsigned threads = 0; // 0 = hardware concurrency.
+    for (int i = 4; i < argc; i++) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            const int n = std::atoi(argv[++i]);
+            if (n < 0 || n > 1024) {
+                std::fprintf(stderr, "--threads must be in [0, 1024]\n");
+                return 1;
+            }
+            threads = static_cast<unsigned>(n);
+        }
+    }
     const auto archive = readBinaryFile(argv[2]);
-    const ReadSet rs = sageDecompress(archive);
+    ThreadPool pool(threads);
+    SageDecoder decoder(archive);
+    const ReadSet rs = decoder.decodeAll(&pool);
     writeFastqFile(rs, argv[3]);
-    std::printf("%s: %zu reads restored\n", argv[3], rs.reads.size());
+    std::printf("%s: %zu reads restored (%zu chunks, %zu threads)\n",
+                argv[3], rs.reads.size(), decoder.chunkCount(),
+                pool.threadCount());
     return 0;
 }
 

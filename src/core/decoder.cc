@@ -7,6 +7,7 @@
 #include "core/tuned_array.hh"
 #include "util/bitio.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 #include "util/varint.hh"
 
 namespace sage {
@@ -22,23 +23,46 @@ ArchiveInfo::dnaStreamBytes() const
     return total;
 }
 
-/** All sequential stream cursors, bundled so next() stays readable. */
-struct SageDecoder::Cursors
+/**
+ * All stream cursors for one chunk. Chunks are byte-aligned and carry
+ * no cross-chunk delta state (format.hh), so a cursor built from the
+ * chunk-table offsets decodes its slice with no predecessor knowledge —
+ * that independence is what the parallel decode path exploits.
+ */
+struct SageDecoder::ChunkCursor
 {
-    Cursors(const SageDecoder &d, const SageParams &p)
-        : flags(d.flags_), mpa(d.mpa_), mpga(d.mpga_), rla(d.rla_),
-          rlga(d.rlga_), sga(d.sga_), sgga(d.sgga_), mca(d.mca_),
-          mcga(d.mcga_), mmpa(d.mmpa_), mmpga(d.mmpga_), mbta(d.mbta_),
-          escape(d.escape_),
-          matchCodec(p.matchPos), lenCodec(p.readLen),
-          countCodec(p.mismatchCount), posCodec(p.mismatchPos),
-          segposCodec(p.segPos), seglenCodec(p.segLen)
+    ChunkCursor(const SageDecoder &d, const ChunkSlice &slice)
+        : flags(sub(d.flags_, slice.offsets[kChunkFlags])),
+          mpa(sub(d.mpa_, slice.offsets[kChunkMpa])),
+          mpga(sub(d.mpga_, slice.offsets[kChunkMpga])),
+          rla(sub(d.rla_, slice.offsets[kChunkRla])),
+          rlga(sub(d.rlga_, slice.offsets[kChunkRlga])),
+          sga(sub(d.sga_, slice.offsets[kChunkSga])),
+          sgga(sub(d.sgga_, slice.offsets[kChunkSgga])),
+          mca(sub(d.mca_, slice.offsets[kChunkMca])),
+          mcga(sub(d.mcga_, slice.offsets[kChunkMcga])),
+          mmpa(sub(d.mmpa_, slice.offsets[kChunkMmpa])),
+          mmpga(sub(d.mmpga_, slice.offsets[kChunkMmpga])),
+          mbta(sub(d.mbta_, slice.offsets[kChunkMbta])),
+          escapeByte(slice.offsets[kChunkEscape]),
+          remaining(slice.readCount)
     {}
 
+    static BitReader
+    sub(const std::vector<uint8_t> &stream, uint64_t offset)
+    {
+        sage_assert(offset <= stream.size(),
+                    "chunk offset past stream end");
+        return BitReader(stream.data() + offset, stream.size() - offset);
+    }
+
     BitReader flags, mpa, mpga, rla, rlga, sga, sgga, mca, mcga,
-        mmpa, mmpga, mbta, escape;
-    TunedFieldCodec matchCodec, lenCodec, countCodec, posCodec,
-        segposCodec, seglenCodec;
+        mmpa, mmpga, mbta;
+    /** Escape payloads are whole 3-bit-packed byte blocks, so a plain
+     *  byte cursor replaces a bit reader here. */
+    size_t escapeByte;
+    uint64_t prevPrimary = 0;
+    uint64_t remaining;
 };
 
 SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
@@ -114,21 +138,50 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
         quals_ = decompressQuality(qa);
     }
 
-    cursors_ = std::make_unique<Cursors>(*this, params);
+    matchCodec_ = std::make_unique<TunedFieldCodec>(params.matchPos);
+    lenCodec_ = std::make_unique<TunedFieldCodec>(params.readLen);
+    countCodec_ = std::make_unique<TunedFieldCodec>(params.mismatchCount);
+    posCodec_ = std::make_unique<TunedFieldCodec>(params.mismatchPos);
+    segposCodec_ = std::make_unique<TunedFieldCodec>(params.segPos);
+    seglenCodec_ = std::make_unique<TunedFieldCodec>(params.segLen);
+
+    // Chunk index: v2 archives carry one; a v1 archive is one chunk
+    // spanning every stream from offset zero.
+    if (params.version >= kFormatVersionChunked) {
+        const ChunkTable table =
+            ChunkTable::deserialize(bundle.stream("chunks"));
+        chunks_.reserve(table.entries.size());
+        uint64_t first = 0;
+        for (const ChunkTable::Entry &entry : table.entries) {
+            ChunkSlice slice;
+            slice.readCount = entry.readCount;
+            slice.firstRead = first;
+            slice.offsets = entry.offsets;
+            chunks_.push_back(slice);
+            first += entry.readCount;
+        }
+        sage_assert(first == params.numReads,
+                    "chunk table disagrees with read count");
+    } else {
+        ChunkSlice slice;
+        slice.readCount = params.numReads;
+        chunks_.push_back(slice);
+    }
 }
 
 SageDecoder::~SageDecoder() = default;
 
 Read
-SageDecoder::next()
+SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
+                       uint64_t &events)
 {
-    sage_assert(hasNext(), "decoder exhausted");
     const SageParams &params = info_.params;
-    Cursors &cur = *cursors_;
 
     Read read;
-    if (emitted_ < headers_.size())
-        read.header = headers_[emitted_];
+    // Headers and quality strings are emitted exactly once per read, so
+    // they move out of the decoder instead of being copied.
+    if (read_index < headers_.size())
+        read.header = std::move(headers_[read_index]);
 
     // ---- Flags --------------------------------------------------------
     const bool reverse = cur.flags.readBit();
@@ -143,27 +196,33 @@ SageDecoder::next()
     uint64_t length = params.modalReadLength;
     if (!params.constantReadLength) {
         const int64_t len_delta =
-            zigzagDecode(cur.lenCodec.decode(cur.rla, cur.rlga));
+            zigzagDecode(lenCodec_->decode(cur.rla, cur.rlga));
         length = static_cast<uint64_t>(
             static_cast<int64_t>(params.modalReadLength) + len_delta);
     }
 
+    // Escape payloads are 3-bit packed into whole bytes, so the read
+    // copies out of the stream directly instead of 8 bits at a time.
+    auto take_escape = [&] {
+        const size_t packed_bytes = (length * 3 + 7) / 8;
+        sage_assert(cur.escapeByte + packed_bytes <= escape_.size(),
+                    "escape stream underrun");
+        read.bases = unpackSequence(escape_.data() + cur.escapeByte,
+                                    packed_bytes, length,
+                                    OutputFormat::ThreeBit);
+        cur.escapeByte += packed_bytes;
+        if (read_index < quals_.size())
+            read.quals = std::move(quals_[read_index]);
+    };
+
     // ---- Matching position ---------------------------------------------
-    const uint64_t match_field = cur.matchCodec.decode(cur.mpa, cur.mpga);
+    const uint64_t match_field = matchCodec_->decode(cur.mpa, cur.mpga);
     const uint64_t primary = params.reorderReads
-        ? prevPrimary_ + match_field : match_field;
+        ? cur.prevPrimary + match_field : match_field;
 
     if (!params.cornerTrick && escaped) {
         // Pre-O4 escape: payload only.
-        const size_t packed_bytes = (length * 3 + 7) / 8;
-        std::vector<uint8_t> packed(packed_bytes);
-        for (size_t b = 0; b < packed_bytes; b++)
-            packed[b] = static_cast<uint8_t>(cur.escape.readBits(8));
-        read.bases = unpackSequence(packed, length,
-                                    OutputFormat::ThreeBit);
-        if (!quals_.empty())
-            read.quals = quals_[emitted_];
-        emitted_++;
+        take_escape();
         return read;
     }
 
@@ -174,10 +233,10 @@ SageDecoder::next()
     uint64_t other_len = 0;
     for (unsigned s = 1; s <= extra_segments; s++) {
         const int64_t delta =
-            zigzagDecode(cur.segposCodec.decode(cur.sga, cur.sgga));
+            zigzagDecode(segposCodec_->decode(cur.sga, cur.sgga));
         segs[s].consPos = static_cast<uint64_t>(
             static_cast<int64_t>(primary) + delta);
-        segs[s].readLen = cur.seglenCodec.decode(cur.sga, cur.sgga);
+        segs[s].readLen = seglenCodec_->decode(cur.sga, cur.sgga);
         other_len += segs[s].readLen;
     }
     segs[0].readLen = length - other_len;
@@ -188,14 +247,14 @@ SageDecoder::next()
     bool first_event_of_read = true;
 
     for (const SegInfo &seg : segs) {
-        const uint64_t count = cur.countCodec.decode(cur.mca, cur.mcga);
+        const uint64_t count = countCodec_->decode(cur.mca, cur.mcga);
         uint64_t cons_j = seg.consPos;
         uint64_t read_i = 0;   // Position within this segment.
         uint32_t prev_pos = 0;
 
         for (uint64_t e = 0; e < count; e++) {
-            const uint64_t delta = cur.posCodec.decode(cur.mmpa,
-                                                       cur.mmpga);
+            const uint64_t delta = posCodec_->decode(cur.mmpa,
+                                                     cur.mmpga);
             const uint64_t event_pos = e == 0 ? delta : prev_pos + delta;
             prev_pos = static_cast<uint32_t>(event_pos);
 
@@ -207,28 +266,22 @@ SageDecoder::next()
                 if (cur.mbta.readBit()) {
                     // Corner case: whole read comes from the escape
                     // stream, 3-bit packed.
-                    const size_t packed_bytes = (length * 3 + 7) / 8;
-                    std::vector<uint8_t> packed(packed_bytes);
-                    for (size_t b = 0; b < packed_bytes; b++)
-                        packed[b] = static_cast<uint8_t>(
-                            cur.escape.readBits(8));
-                    read.bases = unpackSequence(
-                        packed, length, OutputFormat::ThreeBit);
-                    if (!quals_.empty())
-                        read.quals = quals_[emitted_];
-                    emitted_++;
+                    take_escape();
                     return read;
                 }
             }
             first_event_of_read = false;
-            events_++;
+            events++;
 
-            // Copy consensus bases up to the event position.
-            while (read_i < event_pos) {
-                sage_assert(cons_j < consensus_.size(),
+            // Copy the consensus run up to the event position.
+            if (read_i < event_pos) {
+                const uint64_t run = event_pos - read_i;
+                sage_assert(cons_j + run <= consensus_.size(),
                             "decoder ran off consensus");
-                oriented.push_back(consensus_[cons_j++]);
-                read_i++;
+                oriented.append(consensus_, static_cast<size_t>(cons_j),
+                                static_cast<size_t>(run));
+                cons_j += run;
+                read_i = event_pos;
             }
 
             const uint64_t marker_j =
@@ -289,31 +342,85 @@ SageDecoder::next()
                 break;
             }
         }
-        // Copy the segment's tail.
-        while (read_i < seg.readLen) {
-            sage_assert(cons_j < consensus_.size(),
+        // Copy the segment's tail in one run.
+        if (read_i < seg.readLen) {
+            const uint64_t run = seg.readLen - read_i;
+            sage_assert(cons_j + run <= consensus_.size(),
                         "decoder ran off consensus at tail");
-            oriented.push_back(consensus_[cons_j++]);
-            read_i++;
+            oriented.append(consensus_, static_cast<size_t>(cons_j),
+                            static_cast<size_t>(run));
         }
     }
 
-    prevPrimary_ = primary;
+    cur.prevPrimary = primary;
     read.bases = reverse ? reverseComplement(oriented)
                          : std::move(oriented);
-    if (!quals_.empty())
-        read.quals = quals_[emitted_];
+    if (read_index < quals_.size())
+        read.quals = std::move(quals_[read_index]);
+    return read;
+}
+
+Read
+SageDecoder::next()
+{
+    sage_assert(hasNext(), "decoder exhausted");
+    while (!cursor_ || cursor_->remaining == 0) {
+        sage_assert(nextChunk_ < chunks_.size(),
+                    "chunk table exhausted before read count");
+        cursor_ = std::make_unique<ChunkCursor>(*this,
+                                                chunks_[nextChunk_++]);
+    }
+    cursor_->remaining--;
+    Read read = decodeOne(*cursor_, emitted_, events_);
     emitted_++;
     return read;
 }
 
+bool
+SageDecoder::canDecodeParallel(const ThreadPool *pool) const
+{
+    return pool && pool->threadCount() > 1 && chunks_.size() > 1 &&
+        emitted_ == 0;
+}
+
+// Chunks are independent slices: decode them concurrently, each worker
+// delivering to disjoint stored-order indices (so stored order is
+// preserved by construction, and headers/quals move out race-free).
+template <typename Sink>
+void
+SageDecoder::decodeParallel(ThreadPool *pool, const Sink &sink)
+{
+    std::vector<uint64_t> chunk_events(chunks_.size(), 0);
+    pool->parallelFor(chunks_.size(), [&](size_t c) {
+        const ChunkSlice &slice = chunks_[c];
+        ChunkCursor cur(*this, slice);
+        for (uint64_t r = 0; r < slice.readCount; r++) {
+            const uint64_t idx = slice.firstRead + r;
+            sink(idx, decodeOne(cur, idx, chunk_events[c]));
+        }
+    });
+    for (uint64_t e : chunk_events)
+        events_ += e;
+    emitted_ = info_.params.numReads;
+}
+
 ReadSet
-SageDecoder::decodeAll()
+SageDecoder::decodeAll(ThreadPool *pool)
 {
     ReadSet rs;
-    rs.reads.reserve(info_.params.numReads);
-    while (hasNext())
-        rs.reads.push_back(next());
+    const uint64_t total = info_.params.numReads;
+
+    if (canDecodeParallel(pool)) {
+        rs.reads.resize(total);
+        decodeParallel(pool, [&](uint64_t idx, Read &&read) {
+            rs.reads[idx] = std::move(read);
+        });
+    } else {
+        rs.reads.reserve(total - emitted_);
+        while (hasNext())
+            rs.reads.push_back(next());
+    }
+
     if (!order_.empty()) {
         std::vector<Read> restored(rs.reads.size());
         for (size_t i = 0; i < rs.reads.size(); i++) {
@@ -326,16 +433,27 @@ SageDecoder::decodeAll()
 }
 
 std::vector<std::vector<uint8_t>>
-SageDecoder::decodeAllPacked(OutputFormat fmt)
+SageDecoder::decodeAllPacked(OutputFormat fmt, ThreadPool *pool)
 {
-    std::vector<std::vector<uint8_t>> out;
-    out.reserve(info_.params.numReads);
-    while (hasNext()) {
-        const Read read = next();
+    auto pack = [fmt](const Read &read) {
         const OutputFormat effective =
             fmt == OutputFormat::TwoBit && !isAcgtOnly(read.bases)
                 ? OutputFormat::ThreeBit : fmt;
-        out.push_back(packSequence(read.bases, effective));
+        return packSequence(read.bases, effective);
+    };
+
+    std::vector<std::vector<uint8_t>> out;
+    const uint64_t total = info_.params.numReads;
+
+    if (canDecodeParallel(pool)) {
+        out.resize(total);
+        decodeParallel(pool, [&](uint64_t idx, Read &&read) {
+            out[idx] = pack(read);
+        });
+    } else {
+        out.reserve(total - emitted_);
+        while (hasNext())
+            out.push_back(pack(next()));
     }
     return out;
 }
@@ -343,11 +461,12 @@ SageDecoder::decodeAllPacked(OutputFormat fmt)
 uint64_t
 SageDecoder::workingSetBytes() const
 {
-    // The software decoder keeps the consensus resident plus per-stream
-    // cursors; the paper's hardware needs only registers (Table 3 lists
-    // 128 B for SAGe): byte-sized array registers, the 150-bp
-    // reconstruction register and two 64-bit double-buffer registers.
-    return consensus_.size() + 13 * sizeof(BitReader);
+    // The software decoder keeps the consensus resident plus one
+    // chunk's stream cursors; the paper's hardware needs only registers
+    // (Table 3 lists 128 B for SAGe): byte-sized array registers, the
+    // 150-bp reconstruction register and two 64-bit double-buffer
+    // registers.
+    return consensus_.size() + sizeof(ChunkCursor);
 }
 
 ReadSet

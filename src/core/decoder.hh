@@ -9,6 +9,13 @@
  *   - SAGeSW (host software decompression, paper §7 config v), and
  *   - the hardware timing model (hw/), which replays the stream sizes
  *     and event counts this decoder reports.
+ *
+ * Container v2 archives carry a chunk index (format.hh): each chunk is
+ * an independently decodable slice of the read set, the software
+ * analogue of the paper's per-Scan-Unit slices. decodeAll() and
+ * decodeAllPacked() accept an optional ThreadPool and fan chunks out
+ * across it, preserving output order; the sequential next() API walks
+ * the chunks in order. v1 archives load as a single chunk.
  */
 
 #ifndef SAGE_CORE_DECODER_HH
@@ -24,6 +31,8 @@
 #include "genomics/read.hh"
 
 namespace sage {
+
+class ThreadPool;
 
 /** Per-archive structural info used by the hardware timing model. */
 struct ArchiveInfo
@@ -56,6 +65,9 @@ class SageDecoder
     /** Structural info (sizes, params). */
     const ArchiveInfo &info() const { return info_; }
 
+    /** Number of independently decodable chunks (1 for v1 archives). */
+    size_t chunkCount() const { return chunks_.size(); }
+
     /** True while reads remain. */
     bool hasNext() const { return emitted_ < info_.params.numReads; }
 
@@ -65,15 +77,21 @@ class SageDecoder
      */
     Read next();
 
-    /** Decode everything into a ReadSet (restores original order when
-     *  the archive preserved it). */
-    ReadSet decodeAll();
+    /**
+     * Decode everything into a ReadSet (restores original order when
+     * the archive preserved it). With a pool and a multi-chunk archive,
+     * chunks decode in parallel; the result is identical to the
+     * sequential path.
+     */
+    ReadSet decodeAll(ThreadPool *pool = nullptr);
 
     /**
      * Decode everything into packed analysis format — what SAGe_Read
      * hands to an accelerator (paper §5.4): per-read packed bases.
+     * Optionally chunk-parallel, like decodeAll().
      */
-    std::vector<std::vector<uint8_t>> decodeAllPacked(OutputFormat fmt);
+    std::vector<std::vector<uint8_t>>
+    decodeAllPacked(OutputFormat fmt, ThreadPool *pool = nullptr);
 
     /** Decoder working-set bytes: registers + consensus window model.
      *  (The HW streams the consensus; software keeps it resident.) */
@@ -83,7 +101,29 @@ class SageDecoder
     uint64_t eventsDecoded() const { return events_; }
 
   private:
-    struct Cursors;
+    struct ChunkCursor;
+
+    /** Per-chunk slice bounds resolved from the chunk table. */
+    struct ChunkSlice
+    {
+        uint64_t readCount = 0;
+        uint64_t firstRead = 0;  ///< Prefix sum of readCount.
+        std::array<uint64_t, kChunkStreamCount> offsets{};
+    };
+
+    /** Decode one read via @p cur; @p read_index is its stored-order
+     *  position (indexes headers_/quals_). */
+    Read decodeOne(ChunkCursor &cur, uint64_t read_index,
+                   uint64_t &events);
+
+    /** True when decodeAll/decodeAllPacked may fan chunks out. */
+    bool canDecodeParallel(const ThreadPool *pool) const;
+
+    /** Fan chunks across @p pool, calling sink(index, Read&&) for
+     *  every read (indices are disjoint across workers); marks the
+     *  decoder exhausted. Requires canDecodeParallel(pool). */
+    template <typename Sink>
+    void decodeParallel(ThreadPool *pool, const Sink &sink);
 
     const std::vector<uint8_t> *archiveBytes_;
     ArchiveInfo info_;
@@ -96,10 +136,16 @@ class SageDecoder
     std::vector<std::string> quals_;
     std::vector<uint32_t> order_;
 
-    std::unique_ptr<Cursors> cursors_;
+    // Field codecs are immutable after construction and shared by all
+    // chunk cursors (decode() is const and thread-safe).
+    std::unique_ptr<const TunedFieldCodec> matchCodec_, lenCodec_,
+        countCodec_, posCodec_, segposCodec_, seglenCodec_;
+
+    std::vector<ChunkSlice> chunks_;
+    std::unique_ptr<ChunkCursor> cursor_;  ///< Sequential next() state.
+    size_t nextChunk_ = 0;                 ///< Next chunk to open.
     uint64_t emitted_ = 0;
     uint64_t events_ = 0;
-    uint64_t prevPrimary_ = 0;
 };
 
 /** One-call convenience: decode a SAGe archive into a ReadSet. */

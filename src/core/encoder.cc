@@ -137,8 +137,17 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
         }
     }
 
+    // Chunk boundaries (container v2) reset the matching-position
+    // delta, so the samples must mirror the reset or Algorithm 1 would
+    // tune for deltas the encoder never emits.
+    const uint64_t chunk_reads = config.chunkReads;
+
     uint64_t prev_primary = 0;
+    uint64_t sample_idx = 0;
     for (uint32_t src : prep.order) {
+        if (chunk_reads > 0 && sample_idx % chunk_reads == 0)
+            prev_primary = 0;
+        sample_idx++;
         const Read &read = rs.reads[src];
         const ReadClass &cls = prep.classes[src];
         samples.readLenDeltas.push_back(zigzagEncode(
@@ -177,6 +186,8 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
     }
 
     SageParams params;
+    params.version = chunk_reads > 0 ? kFormatVersionChunked
+                                     : kFormatVersionLegacy;
     params.numReads = rs.reads.size();
     params.consensusLength = consensus.size();
     params.consensusTwoBit = isAcgtOnly(consensus);
@@ -237,9 +248,35 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
     // ---- Pass 2: emit arrays ------------------------------------------
     Arrays arrays;
     std::vector<uint8_t> escape_stream;
+    ChunkTable chunk_table;
     prev_primary = 0;
 
+    // Open a chunk: pad every bit array to a byte boundary so the
+    // chunk's slice starts at an exact byte offset, record those
+    // offsets, and reset the matching-position delta state. The chunk
+    // then decodes with zero knowledge of its predecessors.
+    auto open_chunk = [&](uint64_t reads_done) {
+        ChunkTable::Entry entry;
+        entry.readCount = std::min<uint64_t>(
+            chunk_reads, prep.order.size() - reads_done);
+        BitWriter *const writers[kChunkEscape] = {
+            &arrays.flags, &arrays.mpa, &arrays.mpga, &arrays.rla,
+            &arrays.rlga, &arrays.sga, &arrays.sgga, &arrays.mca,
+            &arrays.mcga, &arrays.mmpa, &arrays.mmpga, &arrays.mbta};
+        for (unsigned s = 0; s < kChunkEscape; s++) {
+            writers[s]->alignByte();
+            entry.offsets[s] = writers[s]->bytes().size();
+        }
+        entry.offsets[kChunkEscape] = escape_stream.size();
+        chunk_table.entries.push_back(entry);
+        prev_primary = 0;
+    };
+
+    uint64_t emit_idx = 0;
     for (uint32_t src : prep.order) {
+        if (chunk_reads > 0 && emit_idx % chunk_reads == 0)
+            open_chunk(emit_idx);
+        emit_idx++;
         const Read &read = rs.reads[src];
         const ReadClass &cls = prep.classes[src];
         const bool escaped = cls.escape != EscapeReason::None;
@@ -399,6 +436,8 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
     bundle.stream("mmpga") = arrays.mmpga.take();
     bundle.stream("mbta") = arrays.mbta.take();
     bundle.stream("escape") = std::move(escape_stream);
+    if (chunk_reads > 0)
+        bundle.stream("chunks") = chunk_table.serialize();
 
     // Host-side streams: headers (gpzip), order, quality (paper §5.1.5).
     {

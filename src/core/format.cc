@@ -57,7 +57,8 @@ SageParams::deserialize(const std::vector<uint8_t> &bytes)
     SageParams params;
     size_t pos = 0;
     params.version = static_cast<uint32_t>(getVarint(bytes, pos));
-    if (params.version != 1)
+    if (params.version != kFormatVersionLegacy &&
+        params.version != kFormatVersionChunked)
         sage_fatal("unsupported SAGe container version ", params.version);
     params.numReads = getVarint(bytes, pos);
     params.consensusLength = getVarint(bytes, pos);
@@ -85,6 +86,40 @@ SageParams::deserialize(const std::vector<uint8_t> &bytes)
     params.segPos = AssociationTable::deserialize(bytes, pos);
     params.segLen = AssociationTable::deserialize(bytes, pos);
     return params;
+}
+
+std::vector<uint8_t>
+ChunkTable::serialize() const
+{
+    std::vector<uint8_t> out;
+    putVarint(out, entries.size());
+    for (const Entry &entry : entries) {
+        putVarint(out, entry.readCount);
+        for (uint64_t offset : entry.offsets)
+            putVarint(out, offset);
+    }
+    return out;
+}
+
+ChunkTable
+ChunkTable::deserialize(const std::vector<uint8_t> &bytes)
+{
+    ChunkTable table;
+    size_t pos = 0;
+    const uint64_t count = getVarint(bytes, pos);
+    // Each entry is at least 1 + kChunkStreamCount varint bytes, so a
+    // corrupt count cannot fit in the stream — reject it before the
+    // resize rather than attempting a huge allocation.
+    sage_assert(count <= bytes.size() / (1 + kChunkStreamCount),
+                "chunk table count exceeds stream size");
+    table.entries.resize(count);
+    for (Entry &entry : table.entries) {
+        entry.readCount = getVarint(bytes, pos);
+        for (uint64_t &offset : entry.offsets)
+            offset = getVarint(bytes, pos);
+    }
+    sage_assert(pos == bytes.size(), "chunk table has trailing bytes");
+    return table;
 }
 
 } // namespace sage

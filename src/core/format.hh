@@ -18,14 +18,24 @@
  *   mbta           mismatch bases, type inference markers, ins/del bits,
  *                  inserted bases, corner-case disambiguation bits
  *   escape         3-bit packed payload for corner-case reads
+ *   chunks         v2 only: per-chunk read counts + stream offsets
  *   headers        read headers (host-side, gpzip)
  *   quality        quality-score archive (host-side, paper §5.1.5)
  *   order          optional original-order permutation
+ *
+ * Container version 2 partitions the reads into fixed-size chunks: at
+ * each chunk boundary every DNA bit array is padded to a byte boundary
+ * and the matching-position delta state resets, so any chunk decodes
+ * with zero knowledge of its predecessors — the software analogue of
+ * the paper's per-Scan-Unit slices (§5.2) and the unit of parallel
+ * decode and future multi-SSD sharding. Version 1 (no chunk table) is
+ * still read; it is treated as a single chunk. See docs/format.md.
  */
 
 #ifndef SAGE_CORE_FORMAT_HH
 #define SAGE_CORE_FORMAT_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -69,6 +79,15 @@ struct SageConfig
     /** Store original read order. */
     bool preserveOrder = false;
 
+    /**
+     * Reads per independently decodable chunk (container v2). Every DNA
+     * bit array is byte-aligned and the matching-position delta resets
+     * at each chunk boundary, enabling parallel decode at the cost of a
+     * few padding bytes and one chunk-table row per chunk. 0 writes the
+     * legacy v1 single-stream layout (no chunk table).
+     */
+    uint32_t chunkReads = 65536;
+
     TunerConfig tuner;
     MapperConfig mapper;
     QualityConfig quality;
@@ -77,12 +96,57 @@ struct SageConfig
     static SageConfig atLevel(unsigned level);
 };
 
+/** Container versions the decoder understands. */
+constexpr uint32_t kFormatVersionLegacy = 1;   ///< Single-stream layout.
+constexpr uint32_t kFormatVersionChunked = 2;  ///< Adds the chunk table.
+
+/**
+ * Index of each DNA-path stream in a chunk-table offset row. The order
+ * is frozen by the v2 container layout (docs/format.md).
+ */
+enum ChunkStreamIndex : unsigned {
+    kChunkFlags = 0,
+    kChunkMpa,
+    kChunkMpga,
+    kChunkRla,
+    kChunkRlga,
+    kChunkSga,
+    kChunkSgga,
+    kChunkMca,
+    kChunkMcga,
+    kChunkMmpa,
+    kChunkMmpga,
+    kChunkMbta,
+    kChunkEscape,
+    kChunkStreamCount
+};
+
+/**
+ * The v2 chunk index: for every chunk, its read count and the byte
+ * offset at which its slice of each DNA stream starts. All streams are
+ * byte-aligned at chunk boundaries, so offsets are exact byte positions
+ * and any chunk is decodable with zero predecessor state.
+ */
+struct ChunkTable
+{
+    struct Entry
+    {
+        uint64_t readCount = 0;
+        std::array<uint64_t, kChunkStreamCount> offsets{};
+    };
+
+    std::vector<Entry> entries;
+
+    std::vector<uint8_t> serialize() const;
+    static ChunkTable deserialize(const std::vector<uint8_t> &bytes);
+};
+
 /** Tuned per-read-set parameters written at the start of the file
  *  (paper §5.1: "The parameters are then encoded at the beginning of
  *  the compressed file"). */
 struct SageParams
 {
-    uint32_t version = 1;
+    uint32_t version = kFormatVersionChunked;
     uint64_t numReads = 0;
     uint64_t consensusLength = 0;
     bool consensusTwoBit = true;

@@ -24,19 +24,26 @@ packSequence(std::string_view seq, OutputFormat fmt)
 }
 
 std::string
-unpackSequence(const std::vector<uint8_t> &packed, size_t num_bases,
-               OutputFormat fmt)
+unpackSequence(const uint8_t *packed, size_t packed_size,
+               size_t num_bases, OutputFormat fmt)
 {
     if (fmt == OutputFormat::Ascii)
-        return std::string(packed.begin(), packed.end());
+        return std::string(packed, packed + packed_size);
 
     const unsigned width = bitsPerBase(fmt);
-    BitReader br(packed);
+    BitReader br(packed, packed_size);
     std::string out;
     out.reserve(num_bases);
     for (size_t i = 0; i < num_bases; i++)
         out.push_back(codeToBase(static_cast<uint8_t>(br.readBits(width))));
     return out;
+}
+
+std::string
+unpackSequence(const std::vector<uint8_t> &packed, size_t num_bases,
+               OutputFormat fmt)
+{
+    return unpackSequence(packed.data(), packed.size(), num_bases, fmt);
 }
 
 } // namespace sage

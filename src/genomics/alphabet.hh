@@ -106,6 +106,10 @@ bitsPerBase(OutputFormat fmt)
 std::vector<uint8_t> packSequence(std::string_view seq, OutputFormat fmt);
 
 /** Invert packSequence given the base count. */
+std::string unpackSequence(const uint8_t *packed, size_t packed_size,
+                           size_t num_bases, OutputFormat fmt);
+
+/** Invert packSequence given the base count. */
 std::string unpackSequence(const std::vector<uint8_t> &packed,
                            size_t num_bases, OutputFormat fmt);
 

@@ -117,15 +117,23 @@ stageTotals(const WorkloadMeasurement &work, PrepConfig prep,
         tot.ssdBusy =
             ssd.internalReadSeconds(work.springBytes) / ssd_scale;
         break;
-      case PrepConfig::SageSW:
+      case PrepConfig::SageSW: {
         tot.io = conventional_io(work.sageBytes);
-        tot.prep = work.sageSwDecompSeconds
+        // Projection from the sequential measurement, capped by the
+        // chunk-parallel decode actually measured on this host (v2
+        // archives decode per-chunk across cores): the modeled host
+        // cannot be slower than a real multi-core run.
+        const double projected = work.sageSwDecompSeconds
             / system.hostParallelSpeedup;
+        tot.prep = work.sageSwParDecompSeconds > 0.0
+            ? std::min(projected, work.sageSwParDecompSeconds)
+            : projected;
         tot.hostCpuBusy = tot.prep;
         tot.hostDramBusy = tot.prep;
         tot.ssdBusy =
             ssd.internalReadSeconds(work.sageBytes) / ssd_scale;
         break;
+      }
       case PrepConfig::SageHW: {
         // Host-attached hardware (Fig. 12 modes 1/2): compressed data
         // crosses the link; the units decompress at streaming rate.

@@ -62,7 +62,11 @@ struct WorkloadMeasurement
     double pigzDecompSeconds = 0.0;    ///< Measured, serial decode.
     double springDecompSeconds = 0.0;  ///< Measured, parallel.
     double springBackendSeconds = 0.0; ///< Backend share of the above.
-    double sageSwDecompSeconds = 0.0;  ///< Measured.
+    double sageSwDecompSeconds = 0.0;  ///< Measured, sequential decode.
+    /** Measured chunk-parallel SAGe decode across sageSwDecodeThreads
+     *  host threads (0 when not measured, e.g. stale caches). */
+    double sageSwParDecompSeconds = 0.0;
+    double sageSwDecodeThreads = 1.0;
 
     double isfFilterFraction = 0.0;    ///< Functional ISF result.
 

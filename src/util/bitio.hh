@@ -16,6 +16,7 @@
 #define SAGE_UTIL_BITIO_HH
 
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "util/logging.hh"
@@ -106,10 +107,9 @@ class BitReader
     readBits(unsigned nbits)
     {
         sage_assert(nbits <= 57, "readBits supports at most 57 bits");
-        while (accBits_ < nbits) {
-            sage_assert(byte_ < size_, "bit stream underrun");
-            acc_ |= static_cast<uint64_t>(data_[byte_++]) << accBits_;
-            accBits_ += 8;
+        if (accBits_ < nbits) {
+            refill(nbits);
+            sage_assert(accBits_ >= nbits, "bit stream underrun");
         }
         uint64_t v = nbits < 64 ? acc_ & ((uint64_t(1) << nbits) - 1) : acc_;
         acc_ >>= nbits;
@@ -129,10 +129,7 @@ class BitReader
     peekBits(unsigned nbits)
     {
         sage_assert(nbits <= 57, "peekBits supports at most 57 bits");
-        while (accBits_ < nbits && byte_ < size_) {
-            acc_ |= static_cast<uint64_t>(data_[byte_++]) << accBits_;
-            accBits_ += 8;
-        }
+        refill(nbits);
         return nbits < 64 ? acc_ & ((uint64_t(1) << nbits) - 1) : acc_;
     }
 
@@ -165,15 +162,49 @@ class BitReader
         return bitPosition() + nbits <= size_ * 8;
     }
 
-    /** Skip to the next byte boundary. */
+    /** Skip to the next byte boundary of the stream. */
     void
     alignByte()
     {
-        acc_ = 0;
-        accBits_ = 0;
+        const unsigned drop = accBits_ & 7;
+        acc_ >>= drop;
+        accBits_ -= drop;
     }
 
   private:
+    /**
+     * Top the accumulator up to at least @p nbits buffered bits,
+     * loading eight input bytes per iteration away from the stream
+     * tail. Stops silently at end of data (callers that must not run
+     * past the end check accBits_ afterwards). Only whole bytes enter
+     * the accumulator, so bitPosition() stays exact.
+     */
+    void
+    refill(unsigned nbits)
+    {
+        while (accBits_ < nbits && byte_ < size_) {
+            if (byte_ + 8 <= size_) {
+                uint64_t word;
+                std::memcpy(&word, data_ + byte_, sizeof(word));
+#if defined(__BYTE_ORDER__) && defined(__ORDER_BIG_ENDIAN__) &&             \
+    __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+                word = __builtin_bswap64(word);
+#endif
+                // nbits <= 57 bounds accBits_ at 56 here, so at least
+                // one whole byte always fits.
+                const unsigned take = (64 - accBits_) >> 3;
+                if (take < 8)
+                    word &= (uint64_t(1) << (take * 8)) - 1;
+                acc_ |= word << accBits_;
+                byte_ += take;
+                accBits_ += take * 8;
+            } else {
+                acc_ |= static_cast<uint64_t>(data_[byte_++]) << accBits_;
+                accBits_ += 8;
+            }
+        }
+    }
+
     const uint8_t *data_;
     size_t size_;
     size_t byte_ = 0;
