@@ -40,6 +40,12 @@ writeArtifacts(std::ostream &out, const MeasuredArtifacts &art)
     out << "sageSwParDecompSeconds " << w.sageSwParDecompSeconds << "\n";
     out << "sageSwDecodeThreads " << w.sageSwDecodeThreads << "\n";
     out << "isfFilterFraction " << w.isfFilterFraction << "\n";
+    if (!w.sageChunkBytes.empty()) {
+        out << "sageChunkBytes ";
+        for (size_t c = 0; c < w.sageChunkBytes.size(); c++)
+            out << (c == 0 ? "" : ",") << w.sageChunkBytes[c];
+        out << "\n";
+    }
     out << "dnaBytesUncompressed " << art.dnaBytesUncompressed << "\n";
     out << "qualBytesUncompressed " << art.qualBytesUncompressed << "\n";
     out << "pigzDnaBytes " << art.pigzDnaBytes << "\n";
@@ -104,6 +110,12 @@ readArtifacts(std::istream &in, MeasuredArtifacts &art)
     w.sageSwParDecompSeconds = f64("sageSwParDecompSeconds");
     w.sageSwDecodeThreads = f64("sageSwDecodeThreads");
     w.isfFilterFraction = f64("isfFilterFraction");
+    if (kv.count("sageChunkBytes")) {
+        std::istringstream list(kv["sageChunkBytes"]);
+        std::string item;
+        while (std::getline(list, item, ','))
+            w.sageChunkBytes.push_back(std::stoull(item));
+    }
     art.dnaBytesUncompressed = u64("dnaBytesUncompressed");
     art.qualBytesUncompressed = u64("qualBytesUncompressed");
     art.pigzDnaBytes = u64("pigzDnaBytes");

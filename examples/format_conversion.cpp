@@ -1,9 +1,15 @@
 /**
  * @file
  * File-based format conversion: FASTQ on disk -> SAGe archive on disk
- * -> FASTQ again, exercising real file I/O and the preserve-order mode
- * (byte-identical record restoration). This is the CLI-style workflow
- * a downstream user would wrap in their tooling.
+ * -> FASTQ again, exercising the streaming session API and the
+ * preserve-order mode (byte-identical record restoration). This is the
+ * CLI-style workflow a downstream user would wrap in their tooling.
+ *
+ * The archive is written through SageWriter (streamed to a FileSink,
+ * never materialized as one buffer) and read back through SageReader
+ * (header + chunk table up front, per-chunk slices on demand) — the
+ * whole-archive round trip plus a chunk-range random access that only
+ * touches part of the file.
  *
  * Run:  ./examples/format_conversion [workdir]
  */
@@ -15,26 +21,6 @@
 #include "core/sage.hh"
 #include "genomics/fastq.hh"
 #include "simgen/synthesize.hh"
-
-namespace {
-
-void
-writeFile(const std::string &path, const std::vector<uint8_t> &data)
-{
-    std::ofstream out(path, std::ios::binary);
-    out.write(reinterpret_cast<const char *>(data.data()),
-              static_cast<std::streamsize>(data.size()));
-}
-
-std::vector<uint8_t>
-readFile(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
-                                std::istreambuf_iterator<char>());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -54,23 +40,36 @@ main(int argc, char **argv)
                     ds.readSet.fastqBytes()));
 
     // FASTQ -> SAGe archive (preserve original record order so the
-    // restored file is byte-identical).
+    // restored file is byte-identical), streamed straight to disk.
     const ReadSet input = readFastqFile(fastq_path);
     SageConfig config;
     config.preserveOrder = true;
-    const SageArchive archive =
-        sageCompress(input, ds.reference, config);
-    writeFile(archive_path, archive.bytes);
-    std::printf("wrote %s (%zu B, %.1fx smaller)\n",
-                archive_path.c_str(), archive.bytes.size(),
+    SageWriter writer(archive_path, config);
+    writer.add(input);
+    const SageWriteStats stats = writer.finish(ds.reference);
+    std::printf("wrote %s (%llu B, %.1fx smaller)\n",
+                archive_path.c_str(),
+                static_cast<unsigned long long>(stats.archiveBytes),
                 static_cast<double>(input.fastqBytes())
-                    / archive.bytes.size());
+                    / static_cast<double>(stats.archiveBytes));
 
-    // SAGe archive -> FASTQ.
-    const std::vector<uint8_t> loaded = readFile(archive_path);
-    const ReadSet restored = sageDecompress(loaded);
+    // SAGe archive -> FASTQ, through a file-backed read session.
+    SageReader reader(archive_path);
+    const ReadSet restored = reader.decodeAll();
     writeFastqFile(restored, restored_path);
     std::printf("wrote %s\n", restored_path.c_str());
+
+    // Chunk-range random access: decode just the first chunk without
+    // loading the rest of the archive.
+    {
+        SageReader ranged(archive_path);
+        const ReadSet part = ranged.decodeRange(0, 1);
+        std::printf("random access: chunk 0 alone holds %zu of %llu "
+                    "reads\n",
+                    part.reads.size(),
+                    static_cast<unsigned long long>(
+                        ranged.readCount()));
+    }
 
     // Verify byte-identity.
     std::ifstream a(fastq_path, std::ios::binary);

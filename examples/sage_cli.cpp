@@ -5,18 +5,25 @@
  *
  *   sage_cli compress   <in.fastq> <reference.txt> <out.sage> [--drop-quality] [--keep-order]
  *   sage_cli decompress <in.sage> <out.fastq> [--threads N]
+ *   sage_cli range      <in.sage> <out.fastq> <first-chunk> <count> [--threads N]
  *   sage_cli inspect    <in.sage>
- *   sage_cli demo       <workdir>      (generates inputs, runs all three)
+ *   sage_cli demo       <workdir>      (generates inputs, runs all of the above)
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
+ * Built on the streaming session API (io/session.hh): compression
+ * streams the archive to disk through a FileSink; decompression,
+ * range extraction and inspection open the archive through a
+ * FileSource, so `inspect` and `range` never load the whole file.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/sage.hh"
 #include "genomics/fastq.hh"
@@ -28,45 +35,38 @@ namespace {
 
 using namespace sage;
 
+/** Load a consensus/reference file, dropping all whitespace. I/O
+ *  failures are fatal with the offending path (FileSource). */
 std::string
-readTextFile(const std::string &path)
+readReferenceFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        std::exit(1);
-    }
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    std::string text = oss.str();
-    // Strip whitespace/newlines from reference files.
+    const FileSource source(path);
+    const std::vector<uint8_t> text = source.readAll();
     std::string clean;
     clean.reserve(text.size());
-    for (char c : text) {
-        if (!std::isspace(static_cast<unsigned char>(c)))
-            clean.push_back(c);
+    for (uint8_t c : text) {
+        if (!std::isspace(static_cast<int>(c)))
+            clean.push_back(static_cast<char>(c));
     }
     return clean;
 }
 
-std::vector<uint8_t>
-readBinaryFile(const std::string &path)
+/** Parse a trailing  --threads N  option (0 = hardware concurrency). */
+bool
+parseThreads(int argc, char **argv, int from, unsigned &threads)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "cannot open %s\n", path.c_str());
-        std::exit(1);
+    threads = 0;
+    for (int i = from; i < argc; i++) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            const int n = std::atoi(argv[++i]);
+            if (n < 0 || n > 1024) {
+                std::fprintf(stderr, "--threads must be in [0, 1024]\n");
+                return false;
+            }
+            threads = static_cast<unsigned>(n);
+        }
     }
-    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
-                                std::istreambuf_iterator<char>());
-}
-
-void
-writeBinaryFile(const std::string &path, const std::vector<uint8_t> &data)
-{
-    std::ofstream out(path, std::ios::binary);
-    out.write(reinterpret_cast<const char *>(data.data()),
-              static_cast<std::streamsize>(data.size()));
+    return true;
 }
 
 int
@@ -85,22 +85,27 @@ cmdCompress(int argc, char **argv)
         else if (std::strcmp(argv[i], "--keep-order") == 0)
             config.preserveOrder = true;
     }
-    const ReadSet rs = readFastqFile(argv[2]);
-    const std::string reference = readTextFile(argv[3]);
-    const SageArchive archive = sageCompress(rs, reference, config);
-    writeBinaryFile(argv[4], archive.bytes);
-    std::printf("%s: %llu B -> %zu B (%.2fx); DNA %.2fx, quality %s\n",
+    ReadSet rs = readFastqFile(argv[2]);
+    const std::string reference = readReferenceFile(argv[3]);
+    const uint64_t fastq_bytes = rs.fastqBytes();
+    const uint64_t dna_bytes = rs.dnaBytes();
+    const uint64_t quality_bytes = rs.qualityBytes();
+
+    SageWriter writer(argv[4], config);
+    writer.add(std::move(rs)); // No second resident copy of the reads.
+    const SageWriteStats stats = writer.finish(reference);
+    std::printf("%s: %llu B -> %llu B (%.2fx); DNA %.2fx, quality %s\n",
                 argv[4],
-                static_cast<unsigned long long>(rs.fastqBytes()),
-                archive.bytes.size(),
-                static_cast<double>(rs.fastqBytes())
-                    / archive.bytes.size(),
-                static_cast<double>(rs.dnaBytes()) / archive.dnaBytes,
-                archive.qualityBytes == 0
+                static_cast<unsigned long long>(fastq_bytes),
+                static_cast<unsigned long long>(stats.archiveBytes),
+                static_cast<double>(fastq_bytes)
+                    / static_cast<double>(stats.archiveBytes),
+                static_cast<double>(dna_bytes) / stats.dnaBytes,
+                stats.qualityBytes == 0
                     ? "dropped"
                     : TextTable::num(
-                          static_cast<double>(rs.qualityBytes())
-                          / archive.qualityBytes).c_str());
+                          static_cast<double>(quality_bytes)
+                          / stats.qualityBytes).c_str());
     return 0;
 }
 
@@ -113,25 +118,49 @@ cmdDecompress(int argc, char **argv)
                      "[--threads N]\n");
         return 1;
     }
-    unsigned threads = 0; // 0 = hardware concurrency.
-    for (int i = 4; i < argc; i++) {
-        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-            const int n = std::atoi(argv[++i]);
-            if (n < 0 || n > 1024) {
-                std::fprintf(stderr, "--threads must be in [0, 1024]\n");
-                return 1;
-            }
-            threads = static_cast<unsigned>(n);
-        }
-    }
-    const auto archive = readBinaryFile(argv[2]);
+    unsigned threads = 0;
+    if (!parseThreads(argc, argv, 4, threads))
+        return 1;
     ThreadPool pool(threads);
-    SageDecoder decoder(archive);
-    const ReadSet rs = decoder.decodeAll(&pool);
+    SageReader reader(argv[2]);
+    const ReadSet rs = reader.decodeAll(&pool);
     writeFastqFile(rs, argv[3]);
     std::printf("%s: %zu reads restored (%zu chunks, %zu threads)\n",
-                argv[3], rs.reads.size(), decoder.chunkCount(),
+                argv[3], rs.reads.size(), reader.chunkCount(),
                 pool.threadCount());
+    return 0;
+}
+
+int
+cmdRange(int argc, char **argv)
+{
+    if (argc < 6) {
+        std::fprintf(stderr,
+                     "usage: sage_cli range <in.sage> <out.fastq> "
+                     "<first-chunk> <count> [--threads N]\n");
+        return 1;
+    }
+    unsigned threads = 0;
+    if (!parseThreads(argc, argv, 6, threads))
+        return 1;
+    const size_t first = static_cast<size_t>(std::atoll(argv[4]));
+    const size_t count = static_cast<size_t>(std::atoll(argv[5]));
+
+    SageReader reader(argv[2]);
+    if (first > reader.chunkCount() ||
+        count > reader.chunkCount() - first) {
+        std::fprintf(stderr, "chunk range [%zu, %zu) exceeds the "
+                             "archive's %zu chunks\n",
+                     first, first + count, reader.chunkCount());
+        return 1;
+    }
+    ThreadPool pool(threads);
+    const ReadSet rs = reader.decodeRange(first, count, &pool);
+    writeFastqFile(rs, argv[3]);
+    std::printf("%s: %zu reads from chunks [%zu, %zu) of %zu "
+                "(stored order)\n",
+                argv[3], rs.reads.size(), first, first + count,
+                reader.chunkCount());
     return 0;
 }
 
@@ -142,12 +171,14 @@ cmdInspect(int argc, char **argv)
         std::fprintf(stderr, "usage: sage_cli inspect <in.sage>\n");
         return 1;
     }
-    const auto archive = readBinaryFile(argv[2]);
-    SageDecoder decoder(archive, /*dna_only=*/true);
-    const ArchiveInfo &info = decoder.info();
+    SageReaderOptions options;
+    options.dnaOnly = true; // Header-only open: no payload decode.
+    SageReader reader(argv[2], options);
+    const ArchiveInfo &info = reader.info();
     std::printf("SAGe archive %s\n", argv[2]);
     std::printf("  reads:            %llu\n",
                 static_cast<unsigned long long>(info.params.numReads));
+    std::printf("  chunks:           %zu\n", reader.chunkCount());
     std::printf("  consensus length: %llu\n",
                 static_cast<unsigned long long>(
                     info.params.consensusLength));
@@ -186,6 +217,7 @@ cmdDemo(int argc, char **argv)
     const std::string ref = dir + "/cli_demo.ref.txt";
     const std::string archive = dir + "/cli_demo.sage";
     const std::string restored = dir + "/cli_demo.out.fastq";
+    const std::string ranged = dir + "/cli_demo.range.fastq";
 
     const SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
     writeFastqFile(ds.readSet, fastq);
@@ -208,8 +240,17 @@ cmdDemo(int argc, char **argv)
                                  const_cast<char *>(archive.c_str())};
     cmdInspect(static_cast<int>(iargs.size()), iargs.data());
 
-    char c2[] = "decompress";
-    std::vector<char *> dargs = {prog, c2,
+    char c2[] = "range";
+    char first[] = "0";
+    char count[] = "1";
+    std::vector<char *> rargs = {prog, c2,
+                                 const_cast<char *>(archive.c_str()),
+                                 const_cast<char *>(ranged.c_str()),
+                                 first, count};
+    cmdRange(static_cast<int>(rargs.size()), rargs.data());
+
+    char c3[] = "decompress";
+    std::vector<char *> dargs = {prog, c3,
                                  const_cast<char *>(archive.c_str()),
                                  const_cast<char *>(restored.c_str())};
     return cmdDecompress(static_cast<int>(dargs.size()), dargs.data());
@@ -222,14 +263,16 @@ main(int argc, char **argv)
 {
     if (argc < 2) {
         std::fprintf(stderr,
-                     "usage: sage_cli <compress|decompress|inspect|demo> "
-                     "...\n");
+                     "usage: sage_cli "
+                     "<compress|decompress|range|inspect|demo> ...\n");
         return 1;
     }
     if (std::strcmp(argv[1], "compress") == 0)
         return cmdCompress(argc, argv);
     if (std::strcmp(argv[1], "decompress") == 0)
         return cmdDecompress(argc, argv);
+    if (std::strcmp(argv[1], "range") == 0)
+        return cmdRange(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0)
         return cmdInspect(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0)

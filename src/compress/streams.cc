@@ -1,5 +1,6 @@
 #include "compress/streams.hh"
 
+#include "io/byte_stream.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/varint.hh"
@@ -60,6 +61,35 @@ StreamBundle::serialize() const
     for (int i = 0; i < 4; i++)
         out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
     return out;
+}
+
+uint64_t
+StreamBundle::writeTo(ByteSink &sink) const
+{
+    Crc32 crc;
+    uint64_t written = 0;
+    auto emit = [&](const uint8_t *data, size_t size) {
+        crc.update(data, size);
+        sink.write(data, size);
+        written += size;
+    };
+    std::vector<uint8_t> head;
+    putVarint(head, streams_.size());
+    emit(head.data(), head.size());
+    for (const auto &[name, data] : streams_) {
+        head.clear();
+        putVarint(head, name.size());
+        head.insert(head.end(), name.begin(), name.end());
+        putVarint(head, data.size());
+        emit(head.data(), head.size());
+        emit(data.data(), data.size());
+    }
+    const uint32_t checksum = crc.value();
+    uint8_t trailer[4];
+    for (int i = 0; i < 4; i++)
+        trailer[i] = static_cast<uint8_t>(checksum >> (8 * i));
+    sink.write(trailer, 4);
+    return written + 4;
 }
 
 StreamBundle

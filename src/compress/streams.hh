@@ -15,6 +15,8 @@
 
 namespace sage {
 
+class ByteSink;
+
 /** An ordered collection of named byte streams. */
 class StreamBundle
 {
@@ -36,6 +38,13 @@ class StreamBundle
 
     /** Serialize to one byte vector (with CRC). */
     std::vector<uint8_t> serialize() const;
+
+    /**
+     * Stream the serialized form (byte-identical to serialize()) to
+     * @p sink without materializing it, computing the CRC on the fly.
+     * Returns the bytes written.
+     */
+    uint64_t writeTo(ByteSink &sink) const;
 
     /** Parse a serialized bundle; verifies CRC. */
     static StreamBundle deserialize(const std::vector<uint8_t> &bytes);

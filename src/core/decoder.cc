@@ -1,9 +1,9 @@
 #include "core/decoder.hh"
 
 #include <memory>
+#include <numeric>
 
 #include "compress/gpzip.hh"
-#include "compress/streams.hh"
 #include "core/tuned_array.hh"
 #include "util/bitio.hh"
 #include "util/logging.hh"
@@ -28,76 +28,118 @@ ArchiveInfo::dnaStreamBytes() const
  * no cross-chunk delta state (format.hh), so a cursor built from the
  * chunk-table offsets decodes its slice with no predecessor knowledge —
  * that independence is what the parallel decode path exploits.
+ *
+ * Construction fetches exactly this chunk's byte slices through the
+ * decoder's ByteSource: zero-copy views when the source can provide
+ * them (resident archives), owned copies otherwise (files, stripes).
  */
 struct SageDecoder::ChunkCursor
 {
-    ChunkCursor(const SageDecoder &d, const ChunkSlice &slice)
-        : flags(sub(d.flags_, slice.offsets[kChunkFlags])),
-          mpa(sub(d.mpa_, slice.offsets[kChunkMpa])),
-          mpga(sub(d.mpga_, slice.offsets[kChunkMpga])),
-          rla(sub(d.rla_, slice.offsets[kChunkRla])),
-          rlga(sub(d.rlga_, slice.offsets[kChunkRlga])),
-          sga(sub(d.sga_, slice.offsets[kChunkSga])),
-          sgga(sub(d.sgga_, slice.offsets[kChunkSgga])),
-          mca(sub(d.mca_, slice.offsets[kChunkMca])),
-          mcga(sub(d.mcga_, slice.offsets[kChunkMcga])),
-          mmpa(sub(d.mmpa_, slice.offsets[kChunkMmpa])),
-          mmpga(sub(d.mmpga_, slice.offsets[kChunkMmpga])),
-          mbta(sub(d.mbta_, slice.offsets[kChunkMbta])),
-          escapeByte(slice.offsets[kChunkEscape]),
-          remaining(slice.readCount)
-    {}
-
-    static BitReader
-    sub(const std::vector<uint8_t> &stream, uint64_t offset)
+    /** One stream's slice: either a view or an owned fetch. */
+    struct Span
     {
-        sage_assert(offset <= stream.size(),
-                    "chunk offset past stream end");
-        return BitReader(stream.data() + offset, stream.size() - offset);
+        std::vector<uint8_t> owned;
+        const uint8_t *data = nullptr;
+        size_t size = 0;
+    };
+
+    ChunkCursor(const SageDecoder &d, const ChunkSlice &slice)
+        : remaining(slice.readCount)
+    {
+        for (unsigned s = 0; s < kChunkStreamCount; s++) {
+            const StreamExtent &extent = d.dnaExtents_[s];
+            const uint64_t offset = extent.offset + slice.offsets[s];
+            const uint64_t size = slice.sizes[s];
+            Span &span = spans[s];
+            span.size = static_cast<size_t>(size);
+            if (size == 0)
+                continue;
+            if (const uint8_t *direct =
+                    d.source_->view(offset, span.size)) {
+                span.data = direct;
+            } else {
+                span.owned = d.source_->read(offset, span.size);
+                span.data = span.owned.data();
+            }
+        }
+        auto reader = [&](unsigned s) {
+            return BitReader(spans[s].data, spans[s].size);
+        };
+        flags = reader(kChunkFlags);
+        mpa = reader(kChunkMpa);
+        mpga = reader(kChunkMpga);
+        rla = reader(kChunkRla);
+        rlga = reader(kChunkRlga);
+        sga = reader(kChunkSga);
+        sgga = reader(kChunkSgga);
+        mca = reader(kChunkMca);
+        mcga = reader(kChunkMcga);
+        mmpa = reader(kChunkMmpa);
+        mmpga = reader(kChunkMmpga);
+        mbta = reader(kChunkMbta);
     }
 
-    BitReader flags, mpa, mpga, rla, rlga, sga, sgga, mca, mcga,
-        mmpa, mmpga, mbta;
+    const Span &escape() const { return spans[kChunkEscape]; }
+
+    std::array<Span, kChunkStreamCount> spans;
+    BitReader flags{nullptr, 0}, mpa{nullptr, 0}, mpga{nullptr, 0},
+        rla{nullptr, 0}, rlga{nullptr, 0}, sga{nullptr, 0},
+        sgga{nullptr, 0}, mca{nullptr, 0}, mcga{nullptr, 0},
+        mmpa{nullptr, 0}, mmpga{nullptr, 0}, mbta{nullptr, 0};
     /** Escape payloads are whole 3-bit-packed byte blocks, so a plain
-     *  byte cursor replaces a bit reader here. */
-    size_t escapeByte;
+     *  byte cursor (relative to this chunk's slice) replaces a bit
+     *  reader here. */
+    size_t escapeByte = 0;
     uint64_t prevPrimary = 0;
     uint64_t remaining;
 };
 
+SageDecoder::SageDecoder(const ByteSource &source, bool dna_only,
+                         bool verify_checksum)
+    : source_(&source)
+{
+    if (verify_checksum && !verifyArchiveChecksum(source)) {
+        sage_fatal("archive CRC mismatch (corrupt data): ",
+                   source.describe());
+    }
+    parseContainer(dna_only);
+}
+
 SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
                          bool dna_only)
-    : archiveBytes_(&archive)
+    : ownedSource_(std::make_unique<MemorySource>(archive)),
+      source_(ownedSource_.get())
 {
-    StreamBundle bundle = StreamBundle::deserialize(archive);
-    info_.params = SageParams::deserialize(bundle.stream("params"));
-    info_.streamSizes = bundle.sizes();
-    info_.totalCompressedBytes = archive.size();
+    // Resident archives keep the historical whole-container CRC check:
+    // any bit flip dies here, before a single read is produced.
+    if (!verifyArchiveChecksum(*source_))
+        sage_fatal("stream bundle CRC mismatch (corrupt data)");
+    parseContainer(dna_only);
+}
+
+SageDecoder::~SageDecoder() = default;
+
+void
+SageDecoder::parseContainer(bool dna_only)
+{
+    dir_ = StreamDirectory::parse(*source_);
+    info_.params = SageParams::deserialize(dir_.load(*source_, "params"));
+    info_.streamSizes = dir_.sizes();
+    info_.totalCompressedBytes = source_->size();
 
     const SageParams &params = info_.params;
     consensus_ = unpackSequence(
-        bundle.stream("consensus"), params.consensusLength,
+        dir_.load(*source_, "consensus"), params.consensusLength,
         params.consensusTwoBit ? OutputFormat::TwoBit
                                : OutputFormat::ThreeBit);
 
-    flags_ = bundle.stream("flags");
-    mpa_ = bundle.stream("mpa");
-    mpga_ = bundle.stream("mpga");
-    rla_ = bundle.stream("rla");
-    rlga_ = bundle.stream("rlga");
-    sga_ = bundle.stream("sga");
-    sgga_ = bundle.stream("sgga");
-    mca_ = bundle.stream("mca");
-    mcga_ = bundle.stream("mcga");
-    mmpa_ = bundle.stream("mmpa");
-    mmpga_ = bundle.stream("mmpga");
-    mbta_ = bundle.stream("mbta");
-    escape_ = bundle.stream("escape");
+    for (unsigned s = 0; s < kChunkStreamCount; s++)
+        dnaExtents_[s] = dir_.extent(kChunkStreamNames[s]);
 
     // Host-side streams (skipped entirely in DNA-only mode).
     if (!dna_only) {
         const auto header_bytes = gpzip::decompress(
-            bundle.stream("headers"));
+            dir_.load(*source_, "headers"));
         std::string cur;
         for (uint8_t byte : header_bytes) {
             if (byte == '\n') {
@@ -108,15 +150,15 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
             }
         }
     }
-    if (bundle.has("order")) {
-        const auto &order_raw = bundle.stream("order");
+    if (dir_.has("order")) {
+        const auto order_raw = dir_.load(*source_, "order");
         size_t pos = 0;
         while (pos < order_raw.size())
             order_.push_back(
                 static_cast<uint32_t>(getVarint(order_raw, pos)));
     }
-    if (!dna_only && params.hasQuality && bundle.has("quality")) {
-        const auto &packed = bundle.stream("quality");
+    if (!dna_only && params.hasQuality && dir_.has("quality")) {
+        const auto packed = dir_.load(*source_, "quality");
         QualityArchive qa;
         size_t pos = 0;
         const uint64_t alpha_len = getVarint(packed, pos);
@@ -146,10 +188,12 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
     seglenCodec_ = std::make_unique<TunedFieldCodec>(params.segLen);
 
     // Chunk index: v2 archives carry one; a v1 archive is one chunk
-    // spanning every stream from offset zero.
+    // spanning every stream from offset zero. Slice sizes run to the
+    // next chunk's offset (or the stream end for the last chunk), so a
+    // cursor fetches exactly its chunk's bytes.
     if (params.version >= kFormatVersionChunked) {
         const ChunkTable table =
-            ChunkTable::deserialize(bundle.stream("chunks"));
+            ChunkTable::deserialize(dir_.load(*source_, "chunks"));
         chunks_.reserve(table.entries.size());
         uint64_t first = 0;
         for (const ChunkTable::Entry &entry : table.entries) {
@@ -167,21 +211,65 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
         slice.readCount = params.numReads;
         chunks_.push_back(slice);
     }
+    for (size_t c = 0; c < chunks_.size(); c++) {
+        for (unsigned s = 0; s < kChunkStreamCount; s++) {
+            const uint64_t begin = chunks_[c].offsets[s];
+            const uint64_t end = c + 1 < chunks_.size()
+                ? chunks_[c + 1].offsets[s] : dnaExtents_[s].size;
+            sage_assert(begin <= end && end <= dnaExtents_[s].size,
+                        "chunk table offsets out of order in stream ",
+                        kChunkStreamNames[s]);
+            chunks_[c].sizes[s] = end - begin;
+        }
+    }
 }
 
-SageDecoder::~SageDecoder() = default;
+uint64_t
+SageDecoder::chunkReadCount(size_t chunk) const
+{
+    sage_assert(chunk < chunks_.size(), "chunk index out of range");
+    return chunks_[chunk].readCount;
+}
+
+uint64_t
+SageDecoder::chunkFirstRead(size_t chunk) const
+{
+    sage_assert(chunk < chunks_.size(), "chunk index out of range");
+    return chunks_[chunk].firstRead;
+}
+
+std::vector<uint64_t>
+SageDecoder::chunkCompressedBytes() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(chunks_.size());
+    for (const ChunkSlice &slice : chunks_) {
+        out.push_back(std::accumulate(slice.sizes.begin(),
+                                      slice.sizes.end(), uint64_t{0}));
+    }
+    return out;
+}
 
 Read
 SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
-                       uint64_t &events)
+                       uint64_t &events, bool consume_host)
 {
     const SageParams &params = info_.params;
 
     Read read;
-    // Headers and quality strings are emitted exactly once per read, so
-    // they move out of the decoder instead of being copied.
-    if (read_index < headers_.size())
-        read.header = std::move(headers_[read_index]);
+    // On the one-shot paths headers and quality strings are emitted
+    // exactly once per read, so they move out of the decoder; random
+    // chunk access copies so a chunk can be decoded repeatedly.
+    if (read_index < headers_.size()) {
+        read.header = consume_host ? std::move(headers_[read_index])
+                                   : headers_[read_index];
+    }
+    auto take_quals = [&] {
+        if (read_index < quals_.size()) {
+            read.quals = consume_host ? std::move(quals_[read_index])
+                                      : quals_[read_index];
+        }
+    };
 
     // ---- Flags --------------------------------------------------------
     const bool reverse = cur.flags.readBit();
@@ -202,17 +290,18 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
     }
 
     // Escape payloads are 3-bit packed into whole bytes, so the read
-    // copies out of the stream directly instead of 8 bits at a time.
+    // copies out of the chunk's escape slice directly instead of 8 bits
+    // at a time.
     auto take_escape = [&] {
         const size_t packed_bytes = (length * 3 + 7) / 8;
-        sage_assert(cur.escapeByte + packed_bytes <= escape_.size(),
+        const ChunkCursor::Span &escape = cur.escape();
+        sage_assert(cur.escapeByte + packed_bytes <= escape.size,
                     "escape stream underrun");
-        read.bases = unpackSequence(escape_.data() + cur.escapeByte,
+        read.bases = unpackSequence(escape.data + cur.escapeByte,
                                     packed_bytes, length,
                                     OutputFormat::ThreeBit);
         cur.escapeByte += packed_bytes;
-        if (read_index < quals_.size())
-            read.quals = std::move(quals_[read_index]);
+        take_quals();
     };
 
     // ---- Matching position ---------------------------------------------
@@ -355,8 +444,7 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
     cur.prevPrimary = primary;
     read.bases = reverse ? reverseComplement(oriented)
                          : std::move(oriented);
-    if (read_index < quals_.size())
-        read.quals = std::move(quals_[read_index]);
+    take_quals();
     return read;
 }
 
@@ -371,37 +459,75 @@ SageDecoder::next()
                                                 chunks_[nextChunk_++]);
     }
     cursor_->remaining--;
-    Read read = decodeOne(*cursor_, emitted_, events_);
+    Read read = decodeOne(*cursor_, emitted_, events_,
+                          /*consume_host=*/true);
     emitted_++;
     return read;
 }
 
 bool
-SageDecoder::canDecodeParallel(const ThreadPool *pool) const
+SageDecoder::canDecodeParallel(const ThreadPool *pool,
+                               size_t count) const
 {
-    return pool && pool->threadCount() > 1 && chunks_.size() > 1 &&
-        emitted_ == 0;
+    return pool && pool->threadCount() > 1 && count > 1;
 }
 
 // Chunks are independent slices: decode them concurrently, each worker
-// delivering to disjoint stored-order indices (so stored order is
-// preserved by construction, and headers/quals move out race-free).
+// fetching its own chunk's byte slices and delivering to disjoint
+// stored-order indices (so stored order is preserved by construction,
+// and headers/quals move out race-free on the consume paths).
 template <typename Sink>
 void
-SageDecoder::decodeParallel(ThreadPool *pool, const Sink &sink)
+SageDecoder::decodeParallel(ThreadPool *pool, size_t first, size_t count,
+                            bool consume_host, const Sink &sink)
 {
-    std::vector<uint64_t> chunk_events(chunks_.size(), 0);
-    pool->parallelFor(chunks_.size(), [&](size_t c) {
-        const ChunkSlice &slice = chunks_[c];
+    std::vector<uint64_t> chunk_events(count, 0);
+    pool->parallelFor(count, [&](size_t i) {
+        const ChunkSlice &slice = chunks_[first + i];
         ChunkCursor cur(*this, slice);
         for (uint64_t r = 0; r < slice.readCount; r++) {
             const uint64_t idx = slice.firstRead + r;
-            sink(idx, decodeOne(cur, idx, chunk_events[c]));
+            sink(idx, decodeOne(cur, idx, chunk_events[i],
+                                consume_host));
         }
     });
     for (uint64_t e : chunk_events)
         events_ += e;
-    emitted_ = info_.params.numReads;
+}
+
+ReadSet
+SageDecoder::decodeChunks(size_t first, size_t count, ThreadPool *pool)
+{
+    sage_assert(first <= chunks_.size() &&
+                count <= chunks_.size() - first,
+                "chunk range out of bounds");
+    ReadSet rs;
+    if (count == 0)
+        return rs;
+
+    const uint64_t base = chunks_[first].firstRead;
+    const ChunkSlice &last = chunks_[first + count - 1];
+    rs.reads.resize(
+        static_cast<size_t>(last.firstRead + last.readCount - base));
+
+    if (canDecodeParallel(pool, count)) {
+        decodeParallel(pool, first, count, /*consume_host=*/false,
+                       [&](uint64_t idx, Read &&read) {
+                           rs.reads[idx - base] = std::move(read);
+                       });
+    } else {
+        for (size_t c = first; c < first + count; c++) {
+            const ChunkSlice &slice = chunks_[c];
+            ChunkCursor cur(*this, slice);
+            for (uint64_t r = 0; r < slice.readCount; r++) {
+                const uint64_t idx = slice.firstRead + r;
+                rs.reads[static_cast<size_t>(idx - base)] =
+                    decodeOne(cur, idx, events_,
+                              /*consume_host=*/false);
+            }
+        }
+    }
+    return rs;
 }
 
 ReadSet
@@ -410,11 +536,13 @@ SageDecoder::decodeAll(ThreadPool *pool)
     ReadSet rs;
     const uint64_t total = info_.params.numReads;
 
-    if (canDecodeParallel(pool)) {
+    if (emitted_ == 0 && canDecodeParallel(pool, chunks_.size())) {
         rs.reads.resize(total);
-        decodeParallel(pool, [&](uint64_t idx, Read &&read) {
-            rs.reads[idx] = std::move(read);
-        });
+        decodeParallel(pool, 0, chunks_.size(), /*consume_host=*/true,
+                       [&](uint64_t idx, Read &&read) {
+                           rs.reads[idx] = std::move(read);
+                       });
+        emitted_ = total;
     } else {
         rs.reads.reserve(total - emitted_);
         while (hasNext())
@@ -445,11 +573,13 @@ SageDecoder::decodeAllPacked(OutputFormat fmt, ThreadPool *pool)
     std::vector<std::vector<uint8_t>> out;
     const uint64_t total = info_.params.numReads;
 
-    if (canDecodeParallel(pool)) {
+    if (emitted_ == 0 && canDecodeParallel(pool, chunks_.size())) {
         out.resize(total);
-        decodeParallel(pool, [&](uint64_t idx, Read &&read) {
-            out[idx] = pack(read);
-        });
+        decodeParallel(pool, 0, chunks_.size(), /*consume_host=*/true,
+                       [&](uint64_t idx, Read &&read) {
+                           out[idx] = pack(read);
+                       });
+        emitted_ = total;
     } else {
         out.reserve(total - emitted_);
         while (hasNext())

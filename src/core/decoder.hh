@@ -10,12 +10,25 @@
  *   - the hardware timing model (hw/), which replays the stream sizes
  *     and event counts this decoder reports.
  *
+ * The decoder reads the container through a ByteSource
+ * (io/byte_stream.hh): headers, chunk table and consensus are parsed
+ * up front (a few KB of reads), while the 13 DNA streams are fetched
+ * per chunk, exactly when a chunk is opened. Over a FileSource this
+ * decodes any chunk subrange without ever loading the full archive;
+ * over a MemorySource the per-chunk fetches are zero-copy views. A
+ * StripedSource (io/striped.hh) serves chunk fetches from a device
+ * array (paper Fig. 15).
+ *
  * Container v2 archives carry a chunk index (format.hh): each chunk is
  * an independently decodable slice of the read set, the software
- * analogue of the paper's per-Scan-Unit slices. decodeAll() and
- * decodeAllPacked() accept an optional ThreadPool and fan chunks out
- * across it, preserving output order; the sequential next() API walks
- * the chunks in order. v1 archives load as a single chunk.
+ * analogue of the paper's per-Scan-Unit slices. decodeAll(),
+ * decodeAllPacked() and decodeChunks() accept an optional ThreadPool
+ * and fan chunks across it, preserving output order; the sequential
+ * next() API walks the chunks in order. v1 archives load as a single
+ * chunk.
+ *
+ * Most users should prefer the session API (io/session.hh:
+ * SageWriter/SageReader) over constructing a SageDecoder directly.
  */
 
 #ifndef SAGE_CORE_DECODER_HH
@@ -29,6 +42,8 @@
 #include "core/format.hh"
 #include "genomics/alphabet.hh"
 #include "genomics/read.hh"
+#include "io/byte_stream.hh"
+#include "io/container.hh"
 
 namespace sage {
 
@@ -50,13 +65,26 @@ class SageDecoder
 {
   public:
     /**
-     * Parse headers; cheap. The archive bytes must outlive us.
+     * Parse headers through @p source; cheap (the DNA streams are not
+     * read until chunks are opened). The source must outlive us.
      *
      * @param dna_only skip the host-side quality/header streams: the
      *        read-mapping pipeline never touches quality scores (paper
      *        §5.1.5 — they are decoded lazily, per block, only around
      *        mismatches during later variant calling), so the prep
      *        stage feeding an accelerator decodes DNA alone.
+     * @param verify_checksum stream the whole archive through CRC32
+     *        before decoding (reads every byte; defeats the streaming
+     *        constructor's laziness, so it is opt-in here).
+     */
+    explicit SageDecoder(const ByteSource &source, bool dna_only = false,
+                         bool verify_checksum = false);
+
+    /**
+     * Legacy whole-buffer constructor: wraps @p archive in a
+     * MemorySource and always verifies the container CRC (matching the
+     * historical sageDecompress contract: any bit flip is fatal before
+     * any read is produced). The archive bytes must outlive us.
      */
     explicit SageDecoder(const std::vector<uint8_t> &archive,
                          bool dna_only = false);
@@ -68,6 +96,17 @@ class SageDecoder
     /** Number of independently decodable chunks (1 for v1 archives). */
     size_t chunkCount() const { return chunks_.size(); }
 
+    /** Reads stored in chunk @p chunk. */
+    uint64_t chunkReadCount(size_t chunk) const;
+
+    /** Stored-order index of chunk @p chunk's first read. */
+    uint64_t chunkFirstRead(size_t chunk) const;
+
+    /** Per-chunk compressed DNA bytes (slice sizes summed across the
+     *  13 streams) — the I/O cost of fetching each chunk, used by the
+     *  pipeline model to overlap chunk I/O with decode. */
+    std::vector<uint64_t> chunkCompressedBytes() const;
+
     /** True while reads remain. */
     bool hasNext() const { return emitted_ < info_.params.numReads; }
 
@@ -78,10 +117,23 @@ class SageDecoder
     Read next();
 
     /**
+     * Decode chunks [@p first, @p first + @p count) into stored-order
+     * reads, fetching only those chunks' byte slices from the source.
+     * Independent of the sequential next() cursor and repeatable: it
+     * never consumes decoder state, so the same range can be decoded
+     * twice. No original-order restoration (the permutation is global);
+     * reads match the corresponding decodeAll() slice in stored order.
+     * With a pool, chunks in the range decode in parallel.
+     */
+    ReadSet decodeChunks(size_t first, size_t count,
+                         ThreadPool *pool = nullptr);
+
+    /**
      * Decode everything into a ReadSet (restores original order when
      * the archive preserved it). With a pool and a multi-chunk archive,
      * chunks decode in parallel; the result is identical to the
-     * sequential path.
+     * sequential path. One-shot: headers and quality strings move out
+     * of the decoder, so later decodeChunks() calls see them empty.
      */
     ReadSet decodeAll(ThreadPool *pool = nullptr);
 
@@ -109,29 +161,39 @@ class SageDecoder
         uint64_t readCount = 0;
         uint64_t firstRead = 0;  ///< Prefix sum of readCount.
         std::array<uint64_t, kChunkStreamCount> offsets{};
+        std::array<uint64_t, kChunkStreamCount> sizes{};
     };
 
+    void parseContainer(bool dna_only);
+
     /** Decode one read via @p cur; @p read_index is its stored-order
-     *  position (indexes headers_/quals_). */
+     *  position (indexes headers_/quals_). @p consume_host moves the
+     *  header/quality strings out (one-shot paths) instead of copying
+     *  (repeatable random access). */
     Read decodeOne(ChunkCursor &cur, uint64_t read_index,
-                   uint64_t &events);
+                   uint64_t &events, bool consume_host);
 
-    /** True when decodeAll/decodeAllPacked may fan chunks out. */
-    bool canDecodeParallel(const ThreadPool *pool) const;
+    /** True when a chunk range may fan out across @p pool. */
+    bool canDecodeParallel(const ThreadPool *pool, size_t count) const;
 
-    /** Fan chunks across @p pool, calling sink(index, Read&&) for
-     *  every read (indices are disjoint across workers); marks the
-     *  decoder exhausted. Requires canDecodeParallel(pool). */
+    /** Fan chunks [first, first+count) across @p pool, calling
+     *  sink(index, Read&&) for every read (indices are disjoint across
+     *  workers). Requires canDecodeParallel(pool, count). */
     template <typename Sink>
-    void decodeParallel(ThreadPool *pool, const Sink &sink);
+    void decodeParallel(ThreadPool *pool, size_t first, size_t count,
+                        bool consume_host, const Sink &sink);
 
-    const std::vector<uint8_t> *archiveBytes_;
+    /** Owned backing for the legacy vector constructor. */
+    std::unique_ptr<MemorySource> ownedSource_;
+    const ByteSource *source_;
+    StreamDirectory dir_;
+    /** Absolute extents of the 13 DNA streams, ChunkStreamIndex order. */
+    std::array<StreamExtent, kChunkStreamCount> dnaExtents_{};
+
     ArchiveInfo info_;
     std::string consensus_;
 
-    // Stream storage (owned copies from the bundle).
-    std::vector<uint8_t> flags_, mpa_, mpga_, rla_, rlga_, sga_, sgga_,
-        mca_, mcga_, mmpa_, mmpga_, mbta_, escape_;
+    // Host-side streams (owned; indexed by stored-order read index).
     std::vector<std::string> headers_;
     std::vector<std::string> quals_;
     std::vector<uint32_t> order_;

@@ -99,6 +99,18 @@ SageArchive
 sageCompress(const ReadSet &rs, std::string_view consensus,
              const SageConfig &config, ThreadPool *pool)
 {
+    StreamBundle bundle;
+    SageArchive archive =
+        sageEncodeToBundle(rs, consensus, config, pool, bundle);
+    archive.bytes = bundle.serialize();
+    return archive;
+}
+
+SageArchive
+sageEncodeToBundle(const ReadSet &rs, std::string_view consensus,
+                   const SageConfig &config, ThreadPool *pool,
+                   StreamBundle &bundle)
+{
     SageArchive archive;
 
     // ---- Find mismatch information (mapping) -------------------------
@@ -413,7 +425,6 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
     }
 
     // ---- Assemble container -------------------------------------------
-    StreamBundle bundle;
     bundle.stream("params") = params.serialize();
     {
         std::vector<uint8_t> cons;
@@ -479,7 +490,6 @@ sageCompress(const ReadSet &rs, std::string_view consensus,
         bundle.stream("quality") = std::move(packed);
     }
 
-    archive.bytes = bundle.serialize();
     archive.streamSizes = bundle.sizes();
     archive.encodeSeconds = encode_clock.seconds();
     for (const auto &[name, size] : archive.streamSizes) {

@@ -18,6 +18,7 @@
 
 namespace sage {
 
+class StreamBundle;
 class ThreadPool;
 
 /**
@@ -30,6 +31,19 @@ class ThreadPool;
 SageArchive sageCompress(const ReadSet &rs, std::string_view consensus,
                          const SageConfig &config = {},
                          ThreadPool *pool = nullptr);
+
+/**
+ * Core of sageCompress: encode into the container's stream set without
+ * serializing it. The returned SageArchive carries all the accounting
+ * (sizes, timings) but an empty `bytes` — callers either serialize the
+ * bundle into one buffer (sageCompress) or stream it straight to a
+ * ByteSink (io/session.hh: SageWriter), never holding both the streams
+ * and a second full copy of the archive.
+ */
+SageArchive sageEncodeToBundle(const ReadSet &rs,
+                               std::string_view consensus,
+                               const SageConfig &config,
+                               ThreadPool *pool, StreamBundle &bundle);
 
 } // namespace sage
 

@@ -121,6 +121,13 @@ enum ChunkStreamIndex : unsigned {
     kChunkStreamCount
 };
 
+/** Container stream name of each ChunkStreamIndex entry — the single
+ *  source of truth for every walker of the chunk table (decoder,
+ *  device chunk extents). */
+constexpr const char *kChunkStreamNames[kChunkStreamCount] = {
+    "flags", "mpa", "mpga", "rla", "rlga", "sga", "sgga",
+    "mca", "mcga", "mmpa", "mmpga", "mbta", "escape"};
+
 /**
  * The v2 chunk index: for every chunk, its read count and the byte
  * offset at which its slice of each DNA stream starts. All streams are

@@ -1,8 +1,8 @@
 #include "genomics/fastq.hh"
 
 #include <fstream>
-#include <sstream>
 
+#include "io/file_stream.hh"
 #include "util/logging.hh"
 
 namespace sage {
@@ -79,12 +79,17 @@ writeFastqFile(const ReadSet &rs, const std::string &path)
 ReadSet
 readFastqFile(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    if (!in)
-        sage_fatal("cannot open for reading: ", path);
-    std::ostringstream oss;
-    oss << in.rdbuf();
-    return fromFastq(oss.str(), path);
+    // FileSource reports every failure mode — missing file, I/O error,
+    // short read — fatally with the offending path; the old ifstream
+    // slurp silently truncated on read errors.
+    const FileSource source(path);
+    const std::vector<uint8_t> bytes = source.readAll();
+    if (bytes.empty())
+        return fromFastq("", path);
+    return fromFastq(
+        std::string_view(reinterpret_cast<const char *>(bytes.data()),
+                         bytes.size()),
+        path);
 }
 
 } // namespace sage

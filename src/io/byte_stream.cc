@@ -1,0 +1,51 @@
+#include "io/byte_stream.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+std::vector<uint8_t>
+ByteSource::read(uint64_t offset, size_t size) const
+{
+    std::vector<uint8_t> out(size);
+    if (size > 0)
+        readAt(offset, out.data(), size);
+    return out;
+}
+
+std::vector<uint8_t>
+ByteSource::readAll() const
+{
+    return read(0, static_cast<size_t>(size()));
+}
+
+void
+MemorySource::readAt(uint64_t offset, void *dst, size_t size) const
+{
+    if (size == 0)
+        return;
+    if (offset > size_ || size > size_ - offset) {
+        sage_fatal("read past end of ", describe(), ": [", offset, ", ",
+                   offset + size, ") in ", size_, " bytes");
+    }
+    std::memcpy(dst, data_ + offset, size);
+}
+
+const uint8_t *
+MemorySource::view(uint64_t offset, size_t size) const
+{
+    if (offset > size_ || size > size_ - offset)
+        return nullptr;
+    return data_ + offset;
+}
+
+void
+MemorySink::write(const void *data, size_t size)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
+} // namespace sage

@@ -1,0 +1,162 @@
+#include "io/container.hh"
+
+#include <algorithm>
+
+#include "util/crc32.hh"
+#include "util/logging.hh"
+
+namespace sage {
+
+namespace {
+
+/** Sequential varint reader over a bounded prefix of a source. */
+class VarintCursor
+{
+  public:
+    VarintCursor(const ByteSource &source, uint64_t limit)
+        : source_(source), limit_(limit)
+    {}
+
+    uint64_t position() const { return pos_; }
+
+    void
+    skip(uint64_t bytes)
+    {
+        pos_ += bytes;
+    }
+
+    uint64_t
+    next()
+    {
+        uint64_t value = 0;
+        unsigned shift = 0;
+        for (;;) {
+            if (pos_ >= limit_) {
+                sage_fatal("truncated archive ", source_.describe(),
+                           ": varint runs past byte ", limit_);
+            }
+            uint8_t byte;
+            source_.readAt(pos_++, &byte, 1);
+            value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return value;
+            shift += 7;
+            if (shift >= 64) {
+                sage_fatal("malformed archive ", source_.describe(),
+                           ": varint overflow at byte ", pos_);
+            }
+        }
+    }
+
+  private:
+    const ByteSource &source_;
+    uint64_t limit_;
+    uint64_t pos_ = 0;
+};
+
+} // namespace
+
+StreamDirectory
+StreamDirectory::parse(const ByteSource &source)
+{
+    const uint64_t total = source.size();
+    if (total < 4) {
+        sage_fatal("archive ", source.describe(), " too small (", total,
+                   " bytes): not a SAGe container");
+    }
+    const uint64_t body = total - 4; // CRC32 trailer.
+
+    StreamDirectory dir;
+    VarintCursor cursor(source, body);
+    const uint64_t count = cursor.next();
+    for (uint64_t i = 0; i < count; i++) {
+        const uint64_t name_len = cursor.next();
+        if (name_len > body - std::min(cursor.position(), body)) {
+            sage_fatal("truncated archive ", source.describe(),
+                       ": stream name runs past the body");
+        }
+        std::string name(name_len, '\0');
+        if (name_len > 0)
+            source.readAt(cursor.position(), name.data(),
+                          static_cast<size_t>(name_len));
+        cursor.skip(name_len);
+
+        StreamExtent extent;
+        extent.size = cursor.next();
+        extent.offset = cursor.position();
+        if (extent.size > body - std::min(extent.offset, body)) {
+            sage_fatal("truncated archive ", source.describe(),
+                       ": stream '", name, "' claims ", extent.size,
+                       " bytes at offset ", extent.offset, " of a ",
+                       body, "-byte body");
+        }
+        cursor.skip(extent.size);
+        dir.extents_[name] = extent;
+    }
+    return dir;
+}
+
+bool
+StreamDirectory::has(const std::string &name) const
+{
+    return extents_.count(name) > 0;
+}
+
+const StreamExtent &
+StreamDirectory::extent(const std::string &name) const
+{
+    auto it = extents_.find(name);
+    if (it == extents_.end())
+        sage_fatal("missing stream: ", name);
+    return it->second;
+}
+
+std::vector<uint8_t>
+StreamDirectory::load(const ByteSource &source,
+                      const std::string &name) const
+{
+    const StreamExtent &ext = extent(name);
+    return source.read(ext.offset, static_cast<size_t>(ext.size));
+}
+
+std::map<std::string, uint64_t>
+StreamDirectory::sizes() const
+{
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, extent] : extents_)
+        out[name] = extent.size;
+    return out;
+}
+
+bool
+verifyArchiveChecksum(const ByteSource &source)
+{
+    const uint64_t total = source.size();
+    if (total < 4)
+        return false;
+    const uint64_t body = total - 4;
+
+    Crc32 crc;
+    constexpr size_t kBlock = 1 << 20;
+    std::vector<uint8_t> block;
+    for (uint64_t pos = 0; pos < body; pos += kBlock) {
+        const size_t span = static_cast<size_t>(
+            std::min<uint64_t>(kBlock, body - pos));
+        if (const uint8_t *direct = source.view(pos, span)) {
+            crc.update(direct, span);
+        } else {
+            block.resize(span);
+            source.readAt(pos, block.data(), span);
+            crc.update(block.data(), span);
+        }
+    }
+
+    uint8_t trailer[4];
+    source.readAt(body, trailer, 4);
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; i++)
+        stored |= static_cast<uint32_t>(trailer[i]) << (8 * i);
+    return crc.value() == stored;
+}
+
+} // namespace sage

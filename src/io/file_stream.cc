@@ -1,0 +1,169 @@
+#include "io/file_stream.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+namespace {
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+} // namespace
+
+FileSource::FileSource(const std::string &path)
+    : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDONLY);
+    if (fd_ < 0)
+        sage_fatal("cannot open ", path, " for reading: ", errnoText());
+    struct stat st;
+    if (::fstat(fd_, &st) != 0)
+        sage_fatal("cannot stat ", path, ": ", errnoText());
+    size_ = static_cast<uint64_t>(st.st_size);
+}
+
+FileSource::~FileSource()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+FileSource::preadExact(uint64_t offset, void *dst, size_t size) const
+{
+    uint8_t *out = static_cast<uint8_t *>(dst);
+    while (size > 0) {
+        const ssize_t got = ::pread(fd_, out, size,
+                                    static_cast<off_t>(offset));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            sage_fatal("read error on ", path_, " at offset ", offset,
+                       ": ", errnoText());
+        }
+        if (got == 0) {
+            sage_fatal("short read on ", path_, ": wanted ", size,
+                       " more bytes at offset ", offset, " (file is ",
+                       size_, " bytes)");
+        }
+        out += got;
+        offset += static_cast<uint64_t>(got);
+        size -= static_cast<size_t>(got);
+    }
+}
+
+void
+FileSource::readAt(uint64_t offset, void *dst, size_t size) const
+{
+    if (size == 0)
+        return;
+    if (offset > size_ || size > size_ - offset) {
+        sage_fatal("read past end of ", path_, ": [", offset, ", ",
+                   offset + size, ") in ", size_, " bytes");
+    }
+
+    // Everything but tiny directory reads bypasses the cache; pread
+    // is thread-safe, so concurrent chunk fetches never contend here.
+    if (size > kCachedReadBytes) {
+        preadExact(offset, dst, size);
+        return;
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool hit = offset >= cacheOffset_ &&
+        offset + size <= cacheOffset_ + cache_.size();
+    if (!hit) {
+        cacheOffset_ = offset;
+        cache_.resize(static_cast<size_t>(
+            std::min<uint64_t>(kCacheBytes, size_ - offset)));
+        preadExact(cacheOffset_, cache_.data(), cache_.size());
+    }
+    std::memcpy(dst, cache_.data() + (offset - cacheOffset_), size);
+}
+
+FileSink::FileSink(const std::string &path)
+    : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ < 0)
+        sage_fatal("cannot open ", path, " for writing: ", errnoText());
+    buffer_.reserve(kBufferBytes);
+}
+
+FileSink::~FileSink()
+{
+    if (fd_ >= 0)
+        close();
+}
+
+void
+FileSink::write(const void *data, size_t size)
+{
+    sage_assert(fd_ >= 0, "write to closed FileSink: ", path_);
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    written_ += size;
+    // Buffer small appends; spill oversized ones straight through.
+    if (buffer_.size() + size <= kBufferBytes) {
+        buffer_.insert(buffer_.end(), bytes, bytes + size);
+        if (buffer_.size() == kBufferBytes)
+            flush();
+        return;
+    }
+    flush();
+    while (size > 0) {
+        const ssize_t put = ::write(fd_, bytes, size);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            sage_fatal("write error on ", path_, ": ", errnoText());
+        }
+        bytes += put;
+        size -= static_cast<size_t>(put);
+    }
+}
+
+void
+FileSink::flush()
+{
+    if (fd_ < 0 || buffer_.empty())
+        return;
+    const uint8_t *bytes = buffer_.data();
+    size_t size = buffer_.size();
+    while (size > 0) {
+        const ssize_t put = ::write(fd_, bytes, size);
+        if (put < 0) {
+            if (errno == EINTR)
+                continue;
+            sage_fatal("write error on ", path_, ": ", errnoText());
+        }
+        bytes += put;
+        size -= static_cast<size_t>(put);
+    }
+    buffer_.clear();
+}
+
+void
+FileSink::close()
+{
+    if (fd_ < 0)
+        return;
+    flush();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0)
+        sage_fatal("close error on ", path_, ": ", errnoText());
+}
+
+} // namespace sage

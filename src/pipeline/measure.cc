@@ -114,6 +114,10 @@ measureWorkload(const SimulatedDataset &ds, const MeasureConfig &config)
         SageDecoder info_probe(sage.bytes);
         art.work.sageDnaStreamBytes = info_probe.info().dnaStreamBytes();
         art.sageWorkingSetBytes = info_probe.workingSetBytes();
+        // Per-chunk fetch costs let the pipeline model overlap chunk
+        // I/O with decode (chunk-weighted batches, pipeline.cc).
+        if (info_probe.chunkCount() > 1)
+            art.work.sageChunkBytes = info_probe.chunkCompressedBytes();
     }
     // DNA-only decode: the mapping pipeline never touches quality
     // scores (paper §5.1.5); they stay compressed and are fetched

@@ -202,6 +202,39 @@ stageTotals(const WorkloadMeasurement &work, PrepConfig prep,
     return tot;
 }
 
+/**
+ * Batch weights for the flow shop. By default @p batches uniform
+ * batches; SAGe configurations with a multi-chunk archive batch by
+ * real chunks instead, each weighted by its compressed bytes — chunks
+ * are the archive's unit of independent I/O and decode, so this
+ * overlaps per-chunk fetches with per-chunk decompression exactly the
+ * way a chunk-granular host pipeline (SageReader::decodeRange over a
+ * striped device array) would.
+ */
+std::vector<double>
+batchWeights(const WorkloadMeasurement &work, PrepConfig prep,
+             unsigned batches)
+{
+    const bool sage_prep = prep == PrepConfig::SageSW ||
+        prep == PrepConfig::SageHW || prep == PrepConfig::SageSSD;
+    if (sage_prep && work.sageChunkBytes.size() > 1) {
+        uint64_t total = 0;
+        for (uint64_t bytes : work.sageChunkBytes)
+            total += bytes;
+        if (total > 0) {
+            std::vector<double> weights;
+            weights.reserve(work.sageChunkBytes.size());
+            for (uint64_t bytes : work.sageChunkBytes) {
+                weights.push_back(static_cast<double>(bytes) /
+                                  static_cast<double>(total));
+            }
+            return weights;
+        }
+    }
+    return std::vector<double>(std::max(1u, batches),
+                               1.0 / std::max(1u, batches));
+}
+
 } // namespace
 
 EndToEndResult
@@ -210,11 +243,14 @@ evaluateEndToEnd(const WorkloadMeasurement &work, PrepConfig prep,
 {
     const StageTotals tot = stageTotals(work, prep, system);
 
-    // Split stage totals uniformly over batches and run the flow shop.
-    const unsigned batches = std::max(1u, system.batches);
-    std::vector<std::vector<double>> t(
-        batches, {tot.io / batches, tot.prep / batches,
-                  tot.isf / batches, tot.map / batches});
+    // Split stage totals over batches and run the flow shop.
+    const std::vector<double> weights =
+        batchWeights(work, prep, system.batches);
+    std::vector<std::vector<double>> t;
+    t.reserve(weights.size());
+    for (double w : weights)
+        t.push_back({tot.io * w, tot.prep * w, tot.isf * w,
+                     tot.map * w});
     EndToEndResult result;
     result.seconds = pipelineMakespan(t);
     result.ioSeconds = tot.io;
@@ -249,9 +285,12 @@ dataPrepSeconds(const WorkloadMeasurement &work, PrepConfig prep,
                 const SystemConfig &system)
 {
     const StageTotals tot = stageTotals(work, prep, system);
-    const unsigned batches = std::max(1u, system.batches);
-    std::vector<std::vector<double>> t(
-        batches, {tot.io / batches, tot.prep / batches});
+    const std::vector<double> weights =
+        batchWeights(work, prep, system.batches);
+    std::vector<std::vector<double>> t;
+    t.reserve(weights.size());
+    for (double w : weights)
+        t.push_back({tot.io * w, tot.prep * w});
     return pipelineMakespan(t);
 }
 

@@ -70,6 +70,16 @@ struct WorkloadMeasurement
 
     double isfFilterFraction = 0.0;    ///< Functional ISF result.
 
+    /**
+     * Per-chunk compressed DNA bytes of the SAGe archive (v2 chunk
+     * table; empty for v1/single-chunk archives). When present, the
+     * SAGe pipeline configurations batch by real chunks — each batch's
+     * I/O time proportional to its chunk's bytes — so the flow shop
+     * overlaps per-chunk I/O with decode instead of assuming uniform
+     * batches (ROADMAP: multi-SSD sharding follow-on).
+     */
+    std::vector<uint64_t> sageChunkBytes;
+
     /** Scale factor vs the paper's dataset sizes (for reporting). */
     double scaleNote = 1.0;
 };

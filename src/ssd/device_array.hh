@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Multi-SSD device array (paper Fig. 15, §5.4): N SageDevices acting
+ * as one logical SAGe store.
+ *
+ * SAGe_Write stripes the serialized archive page-by-page round-robin
+ * across the devices (io/striped.hh — the §5.3 channel layout lifted
+ * to whole devices). SAGe_Read reassembles the shards through a
+ * StripedSource and runs the shared decoder core over it, so chunk
+ * fetches land on different devices and the NAND streaming time
+ * scales with the array width, while the decoded output stays
+ * byte-identical to a single-device SAGe_Read.
+ */
+
+#ifndef SAGE_SSD_DEVICE_ARRAY_HH
+#define SAGE_SSD_DEVICE_ARRAY_HH
+
+#include "ssd/sage_device.hh"
+
+namespace sage {
+
+class ThreadPool;
+
+/** An array of identical SSDs exposing the SAGe command set. */
+class SageDeviceArray
+{
+  public:
+    explicit SageDeviceArray(
+        unsigned devices, SsdModel model = SsdModel::pciePerformance(),
+        SageIntegration integration = SageIntegration::HostAttached);
+
+    unsigned
+    deviceCount() const
+    {
+        return static_cast<unsigned>(devices_.size());
+    }
+
+    SageDevice &device(unsigned index);
+    const SageDevice &device(unsigned index) const;
+
+    /** Archive bytes per stripe (one device page). */
+    uint64_t stripeBytes() const;
+
+    /** SAGe_Write: stripe @p archive across the array under @p name. */
+    void sageWrite(const std::string &name, const SageArchive &archive);
+
+    /**
+     * SAGe_Read across the array: decode the striped archive through a
+     * StripedSource (optionally chunk-parallel across @p pool). The
+     * packed output is byte-identical to a single device's sageRead;
+     * the modeled NAND/link seconds reflect the devices streaming
+     * their shards concurrently.
+     */
+    SageReadResult sageRead(const std::string &name, OutputFormat fmt,
+                            ThreadPool *pool = nullptr);
+
+    /** Total stored bytes of @p name across all shards. */
+    uint64_t fileBytes(const std::string &name) const;
+
+    /** Remove @p name's shards from every device. */
+    void remove(const std::string &name);
+
+  private:
+    std::vector<SageDevice> devices_;
+    SageIntegration integration_;
+};
+
+} // namespace sage
+
+#endif // SAGE_SSD_DEVICE_ARRAY_HH

@@ -148,6 +148,31 @@ SageFtl::translate(uint64_t lpn) const
     return lpn < l2p_.size() ? l2p_[lpn] : std::nullopt;
 }
 
+std::vector<std::optional<Ppa>>
+SageFtl::translateRange(uint64_t lpn, uint64_t pages) const
+{
+    std::vector<std::optional<Ppa>> out;
+    out.reserve(pages);
+    for (uint64_t p = 0; p < pages; p++)
+        out.push_back(translate(lpn + p));
+    return out;
+}
+
+unsigned
+SageFtl::channelsSpanned(uint64_t lpn, uint64_t pages) const
+{
+    std::vector<bool> seen(config_.channels, false);
+    unsigned count = 0;
+    for (uint64_t p = 0; p < pages; p++) {
+        const std::optional<Ppa> ppa = translate(lpn + p);
+        if (ppa && !seen[ppa->channel]) {
+            seen[ppa->channel] = true;
+            count++;
+        }
+    }
+    return count;
+}
+
 bool
 SageFtl::isGenomic(uint64_t lpn) const
 {

@@ -80,6 +80,15 @@ class SageFtl
     /** Translate one logical page. */
     std::optional<Ppa> translate(uint64_t lpn) const;
 
+    /** Translate a logical page extent [@p lpn, @p lpn + @p pages)
+     *  in one call (chunk-extent fetches, ssd/sage_device.hh). */
+    std::vector<std::optional<Ppa>> translateRange(uint64_t lpn,
+                                                   uint64_t pages) const;
+
+    /** Distinct channels the extent's mapped pages occupy — how wide a
+     *  multi-plane read across the extent can fan out (paper §5.3). */
+    unsigned channelsSpanned(uint64_t lpn, uint64_t pages) const;
+
     /** Whether @p lpn belongs to the genomic zone. */
     bool isGenomic(uint64_t lpn) const;
 

@@ -1,5 +1,8 @@
 #include "ssd/sage_device.hh"
 
+#include <algorithm>
+
+#include "io/container.hh"
 #include "util/logging.hh"
 
 namespace sage {
@@ -12,10 +15,17 @@ SageDevice::SageDevice(SsdModel model, SageIntegration integration)
 void
 SageDevice::sageWrite(const std::string &name, const SageArchive &archive)
 {
+    sageWriteShard(name, archive.bytes);
+}
+
+void
+SageDevice::sageWriteShard(const std::string &name,
+                           std::vector<uint8_t> shard)
+{
     File file;
-    file.data = archive.bytes;
+    file.data = std::move(shard);
     file.genomic = true;
-    file.pages = (archive.bytes.size() + model_.config().pageBytes - 1)
+    file.pages = (file.data.size() + model_.config().pageBytes - 1)
         / model_.config().pageBytes;
     file.firstLpn = ftl_.writeGenomic(std::max<uint64_t>(file.pages, 1));
     files_[name] = std::move(file);
@@ -67,10 +77,70 @@ SageDevice::write(const std::string &name,
     files_[name] = std::move(file);
 }
 
-const std::vector<uint8_t> &
+std::vector<uint8_t>
 SageDevice::read(const std::string &name) const
 {
     return lookup(name).data;
+}
+
+std::vector<SageChunkExtent>
+SageDevice::sageChunkExtents(const std::string &name) const
+{
+    const File &file = lookup(name);
+    sage_assert(file.genomic, "chunk extents of a non-genomic file: ",
+                name);
+
+    const MemorySource source(file.data);
+    const StreamDirectory dir = StreamDirectory::parse(source);
+    const SageParams params =
+        SageParams::deserialize(dir.load(source, "params"));
+
+    // DNA stream extents in ChunkStreamIndex order (docs/format.md).
+    std::array<StreamExtent, kChunkStreamCount> extents;
+    for (unsigned s = 0; s < kChunkStreamCount; s++)
+        extents[s] = dir.extent(kChunkStreamNames[s]);
+
+    // Per-chunk slice offsets: the chunk table for v2, one chunk
+    // spanning every stream for v1.
+    std::vector<std::array<uint64_t, kChunkStreamCount>> offsets;
+    if (params.version >= kFormatVersionChunked) {
+        const ChunkTable table =
+            ChunkTable::deserialize(dir.load(source, "chunks"));
+        for (const ChunkTable::Entry &entry : table.entries)
+            offsets.push_back(entry.offsets);
+    } else {
+        offsets.emplace_back();
+    }
+
+    const uint32_t page = model_.config().pageBytes;
+    std::vector<SageChunkExtent> out;
+    out.reserve(offsets.size());
+    for (size_t c = 0; c < offsets.size(); c++) {
+        SageChunkExtent extent;
+        uint64_t min_byte = UINT64_MAX;
+        uint64_t max_byte = 0;
+        for (unsigned s = 0; s < kChunkStreamCount; s++) {
+            const uint64_t begin =
+                extents[s].offset + offsets[c][s];
+            const uint64_t end = c + 1 < offsets.size()
+                ? extents[s].offset + offsets[c + 1][s]
+                : extents[s].offset + extents[s].size;
+            sage_assert(begin <= end, "chunk offsets out of order");
+            if (begin == end)
+                continue;
+            extent.bytes += end - begin;
+            min_byte = std::min(min_byte, begin);
+            max_byte = std::max(max_byte, end);
+        }
+        if (extent.bytes > 0) {
+            const uint64_t first_page = min_byte / page;
+            const uint64_t last_page = (max_byte - 1) / page;
+            extent.firstLpn = file.firstLpn + first_page;
+            extent.lpnCount = last_page - first_page + 1;
+        }
+        out.push_back(extent);
+    }
+    return out;
 }
 
 double

@@ -51,6 +51,23 @@ struct SageReadResult
     uint64_t deliveredBytes = 0;
 };
 
+/**
+ * Physical placement of one archive chunk on the device: the chunk's
+ * compressed bytes (summed over its 13 stream slices) and the logical
+ * page span covering them. Chunk slices are scattered across the
+ * archive's streams, so the span is a covering extent, not a dense
+ * run; its pages sit in the SAGe striped layout and can be fetched at
+ * full internal bandwidth (§5.3). This is what lets a device array
+ * assign whole chunks to devices and a host overlap per-chunk fetches
+ * with decode (Fig. 15).
+ */
+struct SageChunkExtent
+{
+    uint64_t bytes = 0;     ///< Compressed bytes belonging to the chunk.
+    uint64_t firstLpn = 0;  ///< First logical page of the covering span.
+    uint64_t lpnCount = 0;  ///< Pages in the covering span.
+};
+
 /** An SSD exposing the SAGe command set plus conventional I/O. */
 class SageDevice
 {
@@ -61,15 +78,36 @@ class SageDevice
     /** SAGe_Write: store an archive under @p name (striped layout). */
     void sageWrite(const std::string &name, const SageArchive &archive);
 
+    /**
+     * SAGe_Write of one stripe shard of a larger archive: the bytes go
+     * into the genomic zone like any SAGe object, but they are not a
+     * decodable archive on their own — a SageDeviceArray reassembles
+     * the shards through a StripedSource (Fig. 15 mode).
+     */
+    void sageWriteShard(const std::string &name,
+                        std::vector<uint8_t> shard);
+
     /** SAGe_Read: decompress + format an archive (paper §5.4). */
     SageReadResult sageRead(const std::string &name, OutputFormat fmt);
+
+    /**
+     * Per-chunk placement of a stored archive (v1 archives report one
+     * chunk spanning the file). Parses the chunk table in place on the
+     * device — the host never sees the archive bytes.
+     */
+    std::vector<SageChunkExtent>
+    sageChunkExtents(const std::string &name) const;
 
     /** Conventional write of an opaque file (baseline archives). */
     void write(const std::string &name,
                const std::vector<uint8_t> &data);
 
-    /** Conventional read; returns bytes plus models the link time. */
-    const std::vector<uint8_t> &read(const std::string &name) const;
+    /**
+     * Conventional read. Returns a copy: the device owns its file
+     * table, and the bytes must stay valid across a later remove() or
+     * write() of the same name.
+     */
+    std::vector<uint8_t> read(const std::string &name) const;
 
     /** Seconds to deliver file @p name to the host conventionally. */
     double conventionalReadSeconds(const std::string &name) const;
