@@ -177,6 +177,8 @@ main(int argc, char **argv)
     }
     std::fprintf(json, "{\n");
     std::fprintf(json, "  \"bench\": \"decode_scale\",\n");
+    std::fprintf(json, "  \"host\": %s,\n",
+                 bench::hostMetaJson().c_str());
     std::fprintf(json, "  \"reads\": %llu,\n",
                  static_cast<unsigned long long>(reads));
     std::fprintf(json, "  \"bases\": %llu,\n",

@@ -80,6 +80,8 @@ main()
         FILE *json = std::fopen(json_path.c_str(), "w");
         if (json) {
             std::fprintf(json, "{\n  \"bench\": \"fig14_dataprep\",\n");
+            std::fprintf(json, "  \"host\": %s,\n",
+                         bench::hostMetaJson().c_str());
             std::fprintf(json, "  \"gmeanSageOverPigz\": %.3f,\n",
                          bench::geomean(sage));
             std::fprintf(json, "  \"gmeanSageOverSpr\": %.3f,\n",

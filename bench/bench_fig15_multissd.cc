@@ -140,7 +140,8 @@ main()
     if (!json_path.empty()) {
         FILE *out = std::fopen(json_path.c_str(), "w");
         if (out) {
-            std::fprintf(out, "{%s,\"model\":[%s]}\n",
+            std::fprintf(out, "{\"host\":%s,%s,\"model\":[%s]}\n",
+                         bench::hostMetaJson().c_str(),
                          striped_json.c_str(), model_rows.c_str());
             std::fclose(out);
             std::printf("json report: %s\n", json_path.c_str());

@@ -64,6 +64,8 @@ main()
         FILE *json = std::fopen(json_path.c_str(), "w");
         if (json) {
             std::fprintf(json, "{\n  \"bench\": \"fig18_comptime\",\n");
+            std::fprintf(json, "  \"host\": %s,\n",
+                         bench::hostMetaJson().c_str());
             std::fprintf(json, "  \"perReadSet\": [\n");
             for (size_t i = 0; i < all.size(); i++) {
                 const auto &art = all[i];

@@ -4,17 +4,35 @@
  * field decode, gpzip round trips, SAGe software decode, banded
  * alignment and the quality range coder. These quantify the per-kernel
  * costs behind the Fig. 13/14 stage times.
+ *
+ * The sequence-kernel section (pack/unpack/revcomp) measures three
+ * tiers against each other — the historical per-bit BitReader/
+ * BitWriter loops, the table-driven scalar baseline, and the
+ * runtime-dispatched SIMD kernels (genomics/kernels.hh) — and writes a
+ * machine-readable BENCH_kernels.json (via SAGE_BENCH_JSON_DIR) with
+ * MB/s per tier plus host metadata, so CI baselines document how much
+ * the dispatched kernels buy on that host.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/bench_common.hh"
 #include "compress/gpzip.hh"
 #include "compress/quality.hh"
 #include "consensus/align.hh"
 #include "core/sage.hh"
+#include "genomics/kernels.hh"
 #include "simgen/synthesize.hh"
 #include "util/bitio.hh"
+#include "util/cpu.hh"
 #include "util/rng.hh"
+#include "util/timing.hh"
 
 namespace sage {
 namespace {
@@ -155,7 +173,301 @@ BM_QualityRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_QualityRoundTrip);
 
+// ---------------------------------------------------------------------
+// Sequence kernels: per-bit vs scalar-LUT vs dispatched SIMD
+// ---------------------------------------------------------------------
+
+/** One 4 MB ACGT sequence + its ACGTN sibling, shared by the BMs. */
+struct SeqFixture
+{
+    static constexpr size_t kBases = 4 << 20;
+
+    SeqFixture()
+    {
+        Rng rng(7);
+        acgt.reserve(kBases);
+        acgtn.reserve(kBases);
+        for (size_t i = 0; i < kBases; i++) {
+            acgt.push_back("ACGT"[rng.nextBelow(4)]);
+            acgtn.push_back("ACGTN"[rng.nextBelow(5)]);
+        }
+        packed2.resize((kBases + 3) / 4);
+        kernels::pack2bit(acgt.data(), kBases, packed2.data());
+        packed3.resize((3 * kBases + 7) / 8);
+        kernels::pack3bit(acgtn.data(), kBases, packed3.data());
+    }
+
+    static const SeqFixture &
+    get()
+    {
+        static const SeqFixture fixture;
+        return fixture;
+    }
+
+    std::string acgt, acgtn;
+    std::vector<uint8_t> packed2, packed3;
+};
+
+void
+BM_Unpack2BitPerBit(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    for (auto _ : state) {
+        BitReader br(f.packed2.data(), f.packed2.size());
+        for (size_t i = 0; i < SeqFixture::kBases; i++)
+            out[i] = codeToBase(static_cast<uint8_t>(br.readBits(2)));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_Unpack2BitPerBit);
+
+void
+BM_Unpack2BitScalar(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    for (auto _ : state) {
+        kernels::scalar::unpack2bit(f.packed2.data(), f.packed2.size(),
+                                    SeqFixture::kBases, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_Unpack2BitScalar);
+
+void
+BM_Unpack2BitDispatched(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    for (auto _ : state) {
+        kernels::unpack2bit(f.packed2.data(), f.packed2.size(),
+                            SeqFixture::kBases, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_Unpack2BitDispatched);
+
+void
+BM_Unpack3BitDispatched(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    for (auto _ : state) {
+        kernels::unpack3bit(f.packed3.data(), f.packed3.size(),
+                            SeqFixture::kBases, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_Unpack3BitDispatched);
+
+void
+BM_Pack2BitDispatched(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::vector<uint8_t> out((SeqFixture::kBases + 3) / 4);
+    for (auto _ : state) {
+        kernels::pack2bit(f.acgt.data(), SeqFixture::kBases,
+                          out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_Pack2BitDispatched);
+
+void
+BM_RevCompDispatched(benchmark::State &state)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    for (auto _ : state) {
+        kernels::reverseComplement(f.acgtn.data(), SeqFixture::kBases,
+                                   out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(state.iterations() * SeqFixture::kBases);
+}
+BENCHMARK(BM_RevCompDispatched);
+
+// ---------------------------------------------------------------------
+// JSON report: deterministic best-of-N MB/s per kernel tier
+// ---------------------------------------------------------------------
+
+double
+bestMbPerSec(const std::function<void()> &fn)
+{
+    constexpr int kReps = 5;
+    double best = 0.0;
+    for (int r = 0; r < kReps; r++) {
+        Stopwatch clock;
+        fn();
+        const double s = clock.seconds();
+        const double mbps =
+            s > 0.0 ? SeqFixture::kBases / 1e6 / s : 0.0;
+        best = std::max(best, mbps);
+    }
+    return best;
+}
+
+struct KernelRow
+{
+    const char *kernel;
+    double perBit;
+    double scalarLut;
+    double dispatched;
+};
+
+void
+writeKernelJson(const std::string &path)
+{
+    const SeqFixture &f = SeqFixture::get();
+    std::string out(SeqFixture::kBases, '\0');
+    std::vector<uint8_t> pk2((SeqFixture::kBases + 3) / 4);
+    std::vector<uint8_t> pk3((3 * SeqFixture::kBases + 7) / 8);
+
+    std::vector<KernelRow> rows;
+    rows.push_back(
+        {"unpack2bit",
+         bestMbPerSec([&] {
+             BitReader br(f.packed2.data(), f.packed2.size());
+             for (size_t i = 0; i < SeqFixture::kBases; i++)
+                 out[i] =
+                     codeToBase(static_cast<uint8_t>(br.readBits(2)));
+         }),
+         bestMbPerSec([&] {
+             kernels::scalar::unpack2bit(f.packed2.data(),
+                                         f.packed2.size(),
+                                         SeqFixture::kBases,
+                                         out.data());
+         }),
+         bestMbPerSec([&] {
+             kernels::unpack2bit(f.packed2.data(), f.packed2.size(),
+                                 SeqFixture::kBases, out.data());
+         })});
+    rows.push_back(
+        {"unpack3bit",
+         bestMbPerSec([&] {
+             BitReader br(f.packed3.data(), f.packed3.size());
+             for (size_t i = 0; i < SeqFixture::kBases; i++)
+                 out[i] =
+                     codeToBase(static_cast<uint8_t>(br.readBits(3)));
+         }),
+         bestMbPerSec([&] {
+             kernels::scalar::unpack3bit(f.packed3.data(),
+                                         f.packed3.size(),
+                                         SeqFixture::kBases,
+                                         out.data());
+         }),
+         bestMbPerSec([&] {
+             kernels::unpack3bit(f.packed3.data(), f.packed3.size(),
+                                 SeqFixture::kBases, out.data());
+         })});
+    rows.push_back(
+        {"pack2bit",
+         bestMbPerSec([&] {
+             BitWriter bw;
+             for (char c : f.acgt)
+                 bw.writeBits(baseToCode(c), 2);
+             benchmark::DoNotOptimize(bw.bytes().data());
+         }),
+         bestMbPerSec([&] {
+             kernels::scalar::pack2bit(f.acgt.data(),
+                                       SeqFixture::kBases, pk2.data());
+         }),
+         bestMbPerSec([&] {
+             kernels::pack2bit(f.acgt.data(), SeqFixture::kBases,
+                               pk2.data());
+         })});
+    rows.push_back(
+        {"pack3bit",
+         bestMbPerSec([&] {
+             BitWriter bw;
+             for (char c : f.acgtn)
+                 bw.writeBits(baseToCode(c), 3);
+             benchmark::DoNotOptimize(bw.bytes().data());
+         }),
+         bestMbPerSec([&] {
+             kernels::scalar::pack3bit(f.acgtn.data(),
+                                       SeqFixture::kBases, pk3.data());
+         }),
+         bestMbPerSec([&] {
+             kernels::pack3bit(f.acgtn.data(), SeqFixture::kBases,
+                               pk3.data());
+         })});
+    rows.push_back(
+        {"reverseComplement",
+         bestMbPerSec([&] {
+             for (size_t i = 0; i < SeqFixture::kBases; i++)
+                 out[i] = complementBase(
+                     f.acgtn[SeqFixture::kBases - 1 - i]);
+         }),
+         bestMbPerSec([&] {
+             kernels::scalar::reverseComplement(
+                 f.acgtn.data(), SeqFixture::kBases, out.data());
+         }),
+         bestMbPerSec([&] {
+             kernels::reverseComplement(f.acgtn.data(),
+                                        SeqFixture::kBases,
+                                        out.data());
+         })});
+
+    FILE *json = std::fopen(path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(json, "{\n  \"bench\": \"kernels\",\n");
+    std::fprintf(json, "  \"host\": %s,\n",
+                 bench::hostMetaJson().c_str());
+    std::fprintf(json, "  \"megabases\": %zu,\n",
+                 SeqFixture::kBases / (1 << 20));
+    std::fprintf(json, "  \"kernels\": [\n");
+    for (size_t i = 0; i < rows.size(); i++) {
+        const KernelRow &r = rows[i];
+        std::fprintf(json,
+                     "    {\"kernel\": \"%s\", "
+                     "\"perBitMbPerSec\": %.1f, "
+                     "\"scalarLutMbPerSec\": %.1f, "
+                     "\"dispatchedMbPerSec\": %.1f, "
+                     "\"speedupOverPerBit\": %.2f}%s\n",
+                     r.kernel, r.perBit, r.scalarLut, r.dispatched,
+                     r.perBit > 0.0 ? r.dispatched / r.perBit : 0.0,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote %s (dispatch tier: %s)\n", path.c_str(),
+                kernels::activeLevelName());
+}
+
 } // namespace
 } // namespace sage
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // MB/s table + JSON first (deterministic, independent of
+    // google-benchmark's timers); path from SAGE_BENCH_JSON_DIR, or
+    // pass --json=<path> explicitly.
+    std::string json_path = sage::bench::jsonReportPath("kernels");
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--json=", 0) == 0)
+            json_path = arg.substr(7);
+    }
+    std::printf("sequence-kernel dispatch: %s (hardware %s%s)\n",
+                sage::kernels::activeLevelName(),
+                sage::simdLevelName(sage::hardwareSimdLevel()),
+                sage::simdForcedScalar() ? ", SAGE_FORCE_SCALAR" : "");
+    if (!json_path.empty())
+        sage::writeKernelJson(json_path);
+
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    ::benchmark::Shutdown();
+    return 0;
+}

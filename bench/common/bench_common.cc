@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "genomics/kernels.hh"
+#include "util/cpu.hh"
 #include "util/logging.hh"
 
 namespace sage {
@@ -39,6 +41,10 @@ writeArtifacts(std::ostream &out, const MeasuredArtifacts &art)
     out << "sageSwDecompSeconds " << w.sageSwDecompSeconds << "\n";
     out << "sageSwParDecompSeconds " << w.sageSwParDecompSeconds << "\n";
     out << "sageSwDecodeThreads " << w.sageSwDecodeThreads << "\n";
+    out << "sageSwFileDecompSeconds " << w.sageSwFileDecompSeconds
+        << "\n";
+    out << "sageSwFilePrefetchSeconds " << w.sageSwFilePrefetchSeconds
+        << "\n";
     out << "isfFilterFraction " << w.isfFilterFraction << "\n";
     if (!w.sageChunkBytes.empty()) {
         out << "sageChunkBytes ";
@@ -109,6 +115,8 @@ readArtifacts(std::istream &in, MeasuredArtifacts &art)
     w.sageSwDecompSeconds = f64("sageSwDecompSeconds");
     w.sageSwParDecompSeconds = f64("sageSwParDecompSeconds");
     w.sageSwDecodeThreads = f64("sageSwDecodeThreads");
+    w.sageSwFileDecompSeconds = f64("sageSwFileDecompSeconds");
+    w.sageSwFilePrefetchSeconds = f64("sageSwFilePrefetchSeconds");
     w.isfFilterFraction = f64("isfFilterFraction");
     if (kv.count("sageChunkBytes")) {
         std::istringstream list(kv["sageChunkBytes"]);
@@ -217,6 +225,20 @@ jsonReportPath(const std::string &name)
     if (!dir || !*dir)
         return "";
     return std::string(dir) + "/BENCH_" + name + ".json";
+}
+
+std::string
+hostMetaJson()
+{
+    std::ostringstream out;
+    out << "{\"hardwareConcurrency\": " << hardwareConcurrency()
+        << ", \"compiler\": \"" << compilerVersion() << "\""
+        << ", \"simdDetected\": \""
+        << simdLevelName(hardwareSimdLevel()) << "\""
+        << ", \"kernelDispatch\": \"" << kernels::activeLevelName()
+        << "\"" << ", \"forcedScalar\": "
+        << (simdForcedScalar() ? "true" : "false") << "}";
+    return out.str();
 }
 
 void

@@ -19,7 +19,7 @@ namespace sage {
 namespace bench {
 
 /** Bump when any format/measurement change invalidates cached runs. */
-constexpr int kCacheVersion = 8;
+constexpr int kCacheVersion = 9;
 
 /**
  * Measure all five RS presets (synthesize + compress with every tool +
@@ -45,6 +45,16 @@ void printHeader(const std::string &experiment,
  * uploads the BENCH_*.json files as baseline artifacts.
  */
 std::string jsonReportPath(const std::string &name);
+
+/**
+ * Host-metadata JSON object value for bench reports: hardware
+ * concurrency, compiler, detected SIMD level and the active kernel
+ * dispatch (after SAGE_FORCE_SCALAR). Every BENCH_*.json embeds it as
+ * `"host": ...` so a committed baseline names the machine shape it was
+ * measured on — a 1-core container baseline is then self-documenting
+ * instead of a trap (ROADMAP perf follow-on).
+ */
+std::string hostMetaJson();
 
 /** Scale note: our datasets are ~1000x smaller than the paper's. */
 void printScaleNote();

@@ -105,10 +105,9 @@ compress(const ReadSet &rs, std::string_view consensus,
             continue;
         }
 
-        // Orientation: edits were extracted on the oriented read.
-        const std::string oriented = cls.mapping.reverse
-            ? reverseComplement(read.bases) : read.bases;
-
+        // (Edits were extracted on the oriented read during prep; the
+        // encode pass replays cls.mapping and never needs the oriented
+        // bases themselves.)
         const uint64_t primary = cls.mapping.primaryPosition();
         putVarint(matchpos, primary - prev_primary); // Sorted: monotone.
         prev_primary = primary;
@@ -377,8 +376,9 @@ decompress(const std::vector<uint8_t> &archive, ThreadPool *pool)
             }
 
             std::string oriented = reconstructRead(consensus, mapping);
-            read.bases = mapping.reverse
-                ? reverseComplement(oriented) : std::move(oriented);
+            if (mapping.reverse)
+                reverseComplementInPlace(oriented);
+            read.bases = std::move(oriented);
         }
 
         if (!quals.empty())

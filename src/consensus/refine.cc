@@ -3,6 +3,7 @@
 #include <array>
 
 #include "genomics/alphabet.hh"
+#include "genomics/kernels.hh"
 
 namespace sage {
 
@@ -22,6 +23,11 @@ refineConsensus(std::string_view draft, const ReadSet &rs,
         const std::string oriented = mapping.reverse
             ? reverseComplement(rs.reads[i].bases)
             : rs.reads[i].bases;
+        // Convert the whole read to codes once (bulk kernel) instead
+        // of re-deriving a code per covered position below.
+        std::vector<uint8_t> codes(oriented.size());
+        kernels::basesToCodes(oriented.data(), oriented.size(),
+                              codes.data());
 
         // Walk the alignment exactly as reconstruction does, crediting
         // the read base at each consensus position it covers (copies
@@ -31,8 +37,7 @@ refineConsensus(std::string_view draft, const ReadSet &rs,
             uint32_t read_i = 0;
             auto vote_until = [&](uint32_t target) {
                 while (read_i < target && cons_j < draft.size()) {
-                    const uint8_t code = baseToCode(
-                        oriented[seg.readStart + read_i]);
+                    const uint8_t code = codes[seg.readStart + read_i];
                     if (code < 4)
                         votes[cons_j][code]++;
                     cons_j++;

@@ -62,6 +62,28 @@ struct SageDecoder::ChunkCursor
                 span.data = span.owned.data();
             }
         }
+        initReaders();
+    }
+
+    /** Adopt slices already fetched by the prefetcher. */
+    ChunkCursor(const ChunkSlice &slice, ChunkBytes &&bytes)
+        : remaining(slice.readCount)
+    {
+        for (unsigned s = 0; s < kChunkStreamCount; s++) {
+            Span &span = spans[s];
+            span.owned = std::move(bytes.streams[s]);
+            span.size = span.owned.size();
+            sage_assert(span.size == slice.sizes[s],
+                        "prefetched chunk slice size mismatch");
+            if (span.size > 0)
+                span.data = span.owned.data();
+        }
+        initReaders();
+    }
+
+    void
+    initReaders()
+    {
         auto reader = [&](unsigned s) {
             return BitReader(spans[s].data, spans[s].size);
         };
@@ -117,7 +139,113 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
     parseContainer(dna_only);
 }
 
-SageDecoder::~SageDecoder() = default;
+SageDecoder::~SageDecoder()
+{
+    // An in-flight prefetch task references this decoder; wait it out.
+    std::unique_lock<std::mutex> lock(prefetchMutex_);
+    prefetchCv_.wait(lock, [&] {
+        return prefetchState_ != PrefetchState::InFlight;
+    });
+}
+
+void
+SageDecoder::setPrefetchPool(ThreadPool *pool)
+{
+    std::unique_lock<std::mutex> lock(prefetchMutex_);
+    prefetchCv_.wait(lock, [&] {
+        return prefetchState_ != PrefetchState::InFlight;
+    });
+    prefetchState_ = PrefetchState::Idle;
+    prefetchBytes_ = ChunkBytes{};
+    prefetchPool_ = pool;
+}
+
+SageDecoder::ChunkBytes
+SageDecoder::fetchChunkBytes(const ChunkSlice &slice) const
+{
+    ChunkBytes bytes;
+    for (unsigned s = 0; s < kChunkStreamCount; s++) {
+        const uint64_t size = slice.sizes[s];
+        if (size == 0)
+            continue;
+        const uint64_t offset =
+            dnaExtents_[s].offset + slice.offsets[s];
+        bytes.streams[s] =
+            source_->read(offset, static_cast<size_t>(size));
+    }
+    return bytes;
+}
+
+void
+SageDecoder::startPrefetch(size_t chunk)
+{
+    {
+        std::lock_guard<std::mutex> lock(prefetchMutex_);
+        // The slot can still be busy with a speculation a random
+        // access abandoned; never stack fetches behind it.
+        if (prefetchState_ != PrefetchState::Idle)
+            return;
+        prefetchState_ = PrefetchState::InFlight;
+        prefetchChunk_ = chunk;
+    }
+    prefetchPool_->submit([this, chunk] {
+        ChunkBytes bytes = fetchChunkBytes(chunks_[chunk]);
+        std::lock_guard<std::mutex> lock(prefetchMutex_);
+        prefetchBytes_ = std::move(bytes);
+        prefetchState_ = PrefetchState::Ready;
+        prefetchCv_.notify_all();
+    });
+}
+
+bool
+SageDecoder::takePrefetched(size_t chunk, ChunkBytes &out)
+{
+    std::unique_lock<std::mutex> lock(prefetchMutex_);
+    // Wait only for a fetch of the chunk we want; an in-flight fetch
+    // of some other chunk means a random access jumped past the
+    // speculation — fetch inline instead of blocking behind it (its
+    // stale payload is discarded by a later take).
+    prefetchCv_.wait(lock, [&] {
+        return prefetchState_ != PrefetchState::InFlight ||
+            prefetchChunk_ != chunk;
+    });
+    if (prefetchState_ == PrefetchState::InFlight)
+        return false;
+    const bool hit =
+        prefetchState_ == PrefetchState::Ready && prefetchChunk_ == chunk;
+    if (hit)
+        out = std::move(prefetchBytes_);
+    prefetchBytes_ = ChunkBytes{};
+    prefetchState_ = PrefetchState::Idle;
+    return hit;
+}
+
+std::unique_ptr<SageDecoder::ChunkCursor>
+SageDecoder::openChunk(size_t index)
+{
+    if (!prefetchPool_)
+        return std::make_unique<ChunkCursor>(*this, chunks_[index]);
+
+    // Double buffering: adopt the slices fetched behind chunk index-1
+    // (or fetch in line on a miss — first chunk, or a range jump),
+    // then put the slot to work on chunk index+1 while the caller
+    // decodes this one. Speculate only while the walk looks
+    // sequential (first open, successor of the last open, or a
+    // prefetch hit): scattered random access would otherwise pay a
+    // wasted full-chunk fetch per open.
+    ChunkBytes bytes;
+    const bool hit = takePrefetched(index, bytes);
+    if (!hit)
+        bytes = fetchChunkBytes(chunks_[index]);
+    const bool sequential = hit ||
+        lastOpenedChunk_ == SIZE_MAX ||
+        index == lastOpenedChunk_ + 1;
+    lastOpenedChunk_ = index;
+    if (sequential && index + 1 < chunks_.size())
+        startPrefetch(index + 1);
+    return std::make_unique<ChunkCursor>(chunks_[index],
+                                         std::move(bytes));
+}
 
 void
 SageDecoder::parseContainer(bool dna_only)
@@ -442,8 +570,11 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
     }
 
     cur.prevPrimary = primary;
-    read.bases = reverse ? reverseComplement(oriented)
-                         : std::move(oriented);
+    // Reverse strands flip through the SIMD kernel without an extra
+    // per-read allocation (thread-local scratch in alphabet.cc).
+    if (reverse)
+        reverseComplementInPlace(oriented);
+    read.bases = std::move(oriented);
     take_quals();
     return read;
 }
@@ -455,8 +586,7 @@ SageDecoder::next()
     while (!cursor_ || cursor_->remaining == 0) {
         sage_assert(nextChunk_ < chunks_.size(),
                     "chunk table exhausted before read count");
-        cursor_ = std::make_unique<ChunkCursor>(*this,
-                                                chunks_[nextChunk_++]);
+        cursor_ = openChunk(nextChunk_++);
     }
     cursor_->remaining--;
     Read read = decodeOne(*cursor_, emitted_, events_,
@@ -518,11 +648,11 @@ SageDecoder::decodeChunks(size_t first, size_t count, ThreadPool *pool)
     } else {
         for (size_t c = first; c < first + count; c++) {
             const ChunkSlice &slice = chunks_[c];
-            ChunkCursor cur(*this, slice);
+            const std::unique_ptr<ChunkCursor> cur = openChunk(c);
             for (uint64_t r = 0; r < slice.readCount; r++) {
                 const uint64_t idx = slice.firstRead + r;
                 rs.reads[static_cast<size_t>(idx - base)] =
-                    decodeOne(cur, idx, events_,
+                    decodeOne(*cur, idx, events_,
                               /*consume_host=*/false);
             }
         }

@@ -34,8 +34,10 @@
 #ifndef SAGE_CORE_DECODER_HH
 #define SAGE_CORE_DECODER_HH
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -145,6 +147,22 @@ class SageDecoder
     std::vector<std::vector<uint8_t>>
     decodeAllPacked(OutputFormat fmt, ThreadPool *pool = nullptr);
 
+    /**
+     * Enable prefetch-next-chunk mode: while the sequential decode
+     * paths (next(), and decodeChunks()/decodeAll() without a decode
+     * pool) work through chunk i, a task on @p pool fetches chunk
+     * i+1's byte slices through the ByteSource, so real FileSource /
+     * StripedSource I/O overlaps decode — the host-software analogue
+     * of the paper's NAND-streaming/decode double buffering (§5.2.2).
+     * Output is byte-identical to non-prefetched decoding.
+     *
+     * The pool must outlive this decoder (one thread is enough: the
+     * fetch task blocks on pread, not CPU). Pass nullptr to disable.
+     * Chunk-parallel decodes ignore the prefetcher — their workers
+     * already overlap fetch and decode per chunk.
+     */
+    void setPrefetchPool(ThreadPool *pool);
+
     /** Decoder working-set bytes: registers + consensus window model.
      *  (The HW streams the consensus; software keeps it resident.) */
     uint64_t workingSetBytes() const;
@@ -164,7 +182,30 @@ class SageDecoder
         std::array<uint64_t, kChunkStreamCount> sizes{};
     };
 
+    /** One chunk's byte slices, owned (the prefetcher's payload). */
+    struct ChunkBytes
+    {
+        std::array<std::vector<uint8_t>, kChunkStreamCount> streams;
+    };
+
     void parseContainer(bool dna_only);
+
+    /** Synchronously read every stream slice of @p slice. */
+    ChunkBytes fetchChunkBytes(const ChunkSlice &slice) const;
+
+    /** Queue a background fetch of chunk @p chunk (requires an idle
+     *  prefetch slot; callers take the slot first). */
+    void startPrefetch(size_t chunk);
+
+    /** Claim the prefetch slot: wait out any in-flight fetch, then
+     *  move its payload into @p out when it was for @p chunk.
+     *  Leaves the slot idle. Returns whether @p out was filled. */
+    bool takePrefetched(size_t chunk, ChunkBytes &out);
+
+    /** Open chunk @p index for sequential decode: consume a matching
+     *  prefetched payload (or fetch in line), then kick off the fetch
+     *  of chunk @p index+1 when prefetching is on. */
+    std::unique_ptr<ChunkCursor> openChunk(size_t index);
 
     /** Decode one read via @p cur; @p read_index is its stored-order
      *  position (indexes headers_/quals_). @p consume_host moves the
@@ -208,6 +249,20 @@ class SageDecoder
     size_t nextChunk_ = 0;                 ///< Next chunk to open.
     uint64_t emitted_ = 0;
     uint64_t events_ = 0;
+
+    // Prefetch-next-chunk state: a one-deep slot (double buffering —
+    // the chunk being decoded plus the chunk in flight, exactly the
+    // paper's two decompression-window registers).
+    enum class PrefetchState { Idle, InFlight, Ready };
+    ThreadPool *prefetchPool_ = nullptr;
+    std::mutex prefetchMutex_;
+    std::condition_variable prefetchCv_;
+    PrefetchState prefetchState_ = PrefetchState::Idle;
+    size_t prefetchChunk_ = 0;      ///< Chunk the slot refers to.
+    ChunkBytes prefetchBytes_;      ///< Payload when Ready.
+    /** Last chunk openChunk() served; SIZE_MAX before the first open.
+     *  Speculation continues only across sequential opens. */
+    size_t lastOpenedChunk_ = SIZE_MAX;
 };
 
 /** One-call convenience: decode a SAGe archive into a ReadSet. */

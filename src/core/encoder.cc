@@ -328,8 +328,9 @@ sageEncodeToBundle(const ReadSet &rs, std::string_view consensus,
             continue;
         }
 
-        const std::string oriented = cls.mapping.reverse
-            ? reverseComplement(read.bases) : read.bases;
+        // (The oriented read is not needed here: every edit op was
+        // extracted against the oriented bases during prep, so pass 2
+        // only replays cls.mapping — no per-read reverse complement.)
         const uint64_t primary = cls.mapping.primaryPosition();
         match_codec.encode(arrays.mpa, arrays.mpga,
                            config.reorderReads ? primary - prev_primary

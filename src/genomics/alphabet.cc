@@ -1,8 +1,39 @@
 #include "genomics/alphabet.hh"
 
-#include "util/bitio.hh"
+#include "genomics/kernels.hh"
 
 namespace sage {
+
+// Every bulk transform here routes through the runtime-dispatched
+// kernel layer (genomics/kernels.hh): table-driven scalar baseline,
+// SSSE3/AVX2 when the host has them, SAGE_FORCE_SCALAR=1 to override.
+// Output is byte-identical to the historical per-bit implementations.
+
+std::string
+reverseComplement(std::string_view seq)
+{
+    std::string out(seq.size(), '\0');
+    kernels::reverseComplement(seq.data(), seq.size(), out.data());
+    return out;
+}
+
+void
+reverseComplementInPlace(std::string &seq)
+{
+    // The SIMD kernels mirror while storing, so in-place needs a
+    // scratch; keep it thread-local to spare the hot decode loop an
+    // allocation per reverse-strand read.
+    thread_local std::string scratch;
+    scratch.assign(seq.size(), '\0');
+    kernels::reverseComplement(seq.data(), seq.size(), scratch.data());
+    seq.swap(scratch);
+}
+
+bool
+isAcgtOnly(std::string_view seq)
+{
+    return kernels::isAcgtOnly(seq.data(), seq.size());
+}
 
 std::vector<uint8_t>
 packSequence(std::string_view seq, OutputFormat fmt)
@@ -10,17 +41,14 @@ packSequence(std::string_view seq, OutputFormat fmt)
     if (fmt == OutputFormat::Ascii)
         return std::vector<uint8_t>(seq.begin(), seq.end());
 
-    const unsigned width = bitsPerBase(fmt);
-    BitWriter bw;
-    for (char c : seq) {
-        const uint8_t code = baseToCode(c);
-        if (fmt == OutputFormat::TwoBit) {
-            sage_assert(code < 4,
-                        "2-bit packing requires ACGT-only sequence");
-        }
-        bw.writeBits(code, width);
+    if (fmt == OutputFormat::TwoBit) {
+        std::vector<uint8_t> out((seq.size() + 3) / 4);
+        kernels::pack2bit(seq.data(), seq.size(), out.data());
+        return out;
     }
-    return bw.take();
+    std::vector<uint8_t> out((3 * seq.size() + 7) / 8);
+    kernels::pack3bit(seq.data(), seq.size(), out.data());
+    return out;
 }
 
 std::string
@@ -30,12 +58,11 @@ unpackSequence(const uint8_t *packed, size_t packed_size,
     if (fmt == OutputFormat::Ascii)
         return std::string(packed, packed + packed_size);
 
-    const unsigned width = bitsPerBase(fmt);
-    BitReader br(packed, packed_size);
-    std::string out;
-    out.reserve(num_bases);
-    for (size_t i = 0; i < num_bases; i++)
-        out.push_back(codeToBase(static_cast<uint8_t>(br.readBits(width))));
+    std::string out(num_bases, '\0');
+    if (fmt == OutputFormat::TwoBit)
+        kernels::unpack2bit(packed, packed_size, num_bases, out.data());
+    else
+        kernels::unpack3bit(packed, packed_size, num_bases, out.data());
     return out;
 }
 

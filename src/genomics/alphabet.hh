@@ -62,26 +62,14 @@ complementBase(char c)
     }
 }
 
-/** Reverse complement of a sequence. */
-inline std::string
-reverseComplement(std::string_view seq)
-{
-    std::string out(seq.size(), 'N');
-    for (size_t i = 0; i < seq.size(); i++)
-        out[i] = complementBase(seq[seq.size() - 1 - i]);
-    return out;
-}
+/** Reverse complement of a sequence (SIMD-dispatched, kernels.hh). */
+std::string reverseComplement(std::string_view seq);
 
-/** True if the sequence contains only A/C/G/T. */
-inline bool
-isAcgtOnly(std::string_view seq)
-{
-    for (char c : seq) {
-        if (baseToCode(c) >= 4)
-            return false;
-    }
-    return true;
-}
+/** Reverse complement @p seq in place (SIMD-dispatched). */
+void reverseComplementInPlace(std::string &seq);
+
+/** True if the sequence contains only A/C/G/T (SIMD-dispatched). */
+bool isAcgtOnly(std::string_view seq);
 
 /** Output formats SAGe_Read can request (paper §5.4). */
 enum class OutputFormat : uint8_t {

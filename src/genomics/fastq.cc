@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "genomics/kernels.hh"
 #include "io/file_stream.hh"
 #include "util/logging.hh"
 
@@ -39,6 +40,11 @@ fromFastq(std::string_view text, const std::string &name)
         if (end == std::string_view::npos)
             end = text.size();
         line = text.substr(pos, end - pos);
+        // CRLF input: the '\r' is line framing, not data — without
+        // this it would land in the stored bases/quals (and trip the
+        // base-character guard below).
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
         pos = end + 1;
         return true;
     };
@@ -56,6 +62,18 @@ fromFastq(std::string_view text, const std::string &name)
         if (!quals.empty() && quals.size() != bases.size()) {
             sage_fatal("FASTQ quality length ", quals.size(),
                        " != base length ", bases.size());
+        }
+        // Bulk-validate the sequence line (table-driven scan): binary
+        // garbage and control characters die here with the record
+        // named, instead of silently becoming N bases later.
+        const size_t bad =
+            kernels::findInvalidBase(bases.data(), bases.size());
+        if (bad < bases.size()) {
+            sage_fatal("FASTQ record ", header, ": invalid base ",
+                       "character (byte value ",
+                       static_cast<unsigned>(
+                           static_cast<uint8_t>(bases[bad])),
+                       ") at position ", bad);
         }
         Read read;
         read.header = std::string(header.substr(1));

@@ -4,6 +4,7 @@
 
 #include "compress/streams.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace sage {
 
@@ -80,6 +81,7 @@ SageReader::SageReader(const ByteSource &source,
     : decoder_(std::make_unique<SageDecoder>(source, options.dnaOnly,
                                              options.verifyChecksum))
 {
+    enablePrefetch(options);
 }
 
 SageReader::SageReader(const std::string &path, SageReaderOptions options)
@@ -87,6 +89,21 @@ SageReader::SageReader(const std::string &path, SageReaderOptions options)
       decoder_(std::make_unique<SageDecoder>(*file_, options.dnaOnly,
                                              options.verifyChecksum))
 {
+    enablePrefetch(options);
+}
+
+void
+SageReader::enablePrefetch(const SageReaderOptions &options)
+{
+    if (!options.prefetch)
+        return;
+    ThreadPool *pool = options.prefetchPool;
+    if (!pool) {
+        // One thread suffices: the fetch task blocks on I/O, not CPU.
+        prefetchPool_ = std::make_unique<ThreadPool>(1);
+        pool = prefetchPool_.get();
+    }
+    decoder_->setPrefetchPool(pool);
 }
 
 SageReader::~SageReader() = default;

@@ -119,15 +119,19 @@ stageTotals(const WorkloadMeasurement &work, PrepConfig prep,
         break;
       case PrepConfig::SageSW: {
         tot.io = conventional_io(work.sageBytes);
-        // Projection from the sequential measurement, capped by the
-        // chunk-parallel decode actually measured on this host (v2
-        // archives decode per-chunk across cores): the modeled host
-        // cannot be slower than a real multi-core run.
-        const double projected = work.sageSwDecompSeconds
+        // Projection from the sequential measurement, capped by what
+        // was actually measured on this host: the chunk-parallel
+        // decode (v2 archives decode per-chunk across cores) and the
+        // prefetch-overlapped file decode (SageReader prefetch mode:
+        // chunk I/O hidden behind decode, I/O included in the wall
+        // clock). The modeled host cannot be slower than a real run.
+        double prep = work.sageSwDecompSeconds
             / system.hostParallelSpeedup;
-        tot.prep = work.sageSwParDecompSeconds > 0.0
-            ? std::min(projected, work.sageSwParDecompSeconds)
-            : projected;
+        if (work.sageSwParDecompSeconds > 0.0)
+            prep = std::min(prep, work.sageSwParDecompSeconds);
+        if (work.sageSwFilePrefetchSeconds > 0.0)
+            prep = std::min(prep, work.sageSwFilePrefetchSeconds);
+        tot.prep = prep;
         tot.hostCpuBusy = tot.prep;
         tot.hostDramBusy = tot.prep;
         tot.ssdBusy =

@@ -271,5 +271,25 @@ TEST(FastqEdge, ToleratesMissingTrailingNewline)
     EXPECT_EQ(rs.reads[0].quals, "IIII");
 }
 
+TEST(FastqEdge, CrlfLineEndingsAreFraming)
+{
+    // The '\r' of CRLF input is line framing, not data: it must not
+    // reach the stored bases/quals nor trip the base-character guard.
+    const ReadSet rs =
+        fromFastq("@r1\r\nACGT\r\n+\r\nIIII\r\n@r2\r\nTTNN\r\n+\r\n"
+                  "JJJJ\r\n");
+    ASSERT_EQ(rs.reads.size(), 2u);
+    EXPECT_EQ(rs.reads[0].header, "r1");
+    EXPECT_EQ(rs.reads[0].bases, "ACGT");
+    EXPECT_EQ(rs.reads[0].quals, "IIII");
+    EXPECT_EQ(rs.reads[1].bases, "TTNN");
+}
+
+TEST(FastqEdge, BinaryGarbageInBasesDies)
+{
+    EXPECT_EXIT({ fromFastq("@r\nAC\x01G\n+\nIIII\n"); },
+                ::testing::ExitedWithCode(1), "invalid base character");
+}
+
 } // namespace
 } // namespace sage

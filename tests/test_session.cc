@@ -47,6 +47,17 @@ scratchPath(const std::string &name)
     return ::testing::TempDir() + "sage_session_" + name;
 }
 
+/** Scratch path unique to the running test: ctest runs every test as
+ *  its own parallel process, so fixture files must not collide. */
+std::string
+perTestScratchPath(const std::string &suffix)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return scratchPath(std::string(info->test_suite_name()) + "_" +
+                       info->name() + "_" + suffix);
+}
+
 /** Compress @p ds with @p config through the legacy one-call API. */
 SageArchive
 compress(const SimulatedDataset &ds, const SageConfig &config = {})
@@ -112,7 +123,7 @@ class RangeDecode : public ::testing::Test
         SageConfig config;
         config.chunkReads = 13;
         archive_ = compress(ds_, config);
-        path_ = scratchPath("range.sage");
+        path_ = perTestScratchPath("range.sage");
         {
             FileSink sink(path_);
             sink.writeBytes(archive_.bytes);
@@ -308,6 +319,120 @@ TEST(SageReaderTest, StripedDecodeByteIdenticalAcrossWidths)
             EXPECT_EQ(got[i], expect[i])
                 << width << " stripes, read " << i;
     }
+}
+
+// ---------------------------------------------------------------------
+// Prefetch-next-chunk mode
+// ---------------------------------------------------------------------
+
+class PrefetchDecode : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ds_ = synthesizeDataset(makeTinySpec(false));
+        SageConfig config;
+        config.chunkReads = 11;
+        config.preserveOrder = true;
+        archive_ = compress(ds_, config);
+        path_ = perTestScratchPath("prefetch.sage");
+        {
+            FileSink sink(path_);
+            sink.writeBytes(archive_.bytes);
+        }
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    SageReaderOptions
+    prefetchOptions() const
+    {
+        SageReaderOptions options;
+        options.prefetch = true;
+        return options;
+    }
+
+    SimulatedDataset ds_;
+    SageArchive archive_;
+    std::string path_;
+};
+
+TEST_F(PrefetchDecode, DecodeAllOverFileSourceIsByteIdentical)
+{
+    SageReader plain(path_);
+    const ReadSet expect = plain.decodeAll();
+
+    SageReader prefetched(path_, prefetchOptions());
+    ASSERT_GT(prefetched.chunkCount(), 2u);
+    const ReadSet got = prefetched.decodeAll();
+    expectSameReads(got.reads, expect.reads);
+}
+
+TEST_F(PrefetchDecode, NextWalkOverFileSourceIsByteIdentical)
+{
+    SageReader plain(path_);
+    SageReader prefetched(path_, prefetchOptions());
+    while (plain.hasNext()) {
+        ASSERT_TRUE(prefetched.hasNext());
+        const Read a = plain.next();
+        const Read b = prefetched.next();
+        EXPECT_EQ(b.bases, a.bases);
+        EXPECT_EQ(b.quals, a.quals);
+        EXPECT_EQ(b.header, a.header);
+    }
+    EXPECT_FALSE(prefetched.hasNext());
+}
+
+TEST_F(PrefetchDecode, RangeAndRandomAccessSurvivePrefetchMisses)
+{
+    SageReader plain(path_);
+    SageReader prefetched(path_, prefetchOptions());
+    const size_t chunks = plain.chunkCount();
+    ASSERT_GT(chunks, 3u);
+
+    // Out-of-order chunk access: every open misses the prefetched
+    // slot (it holds the *next* chunk), exercising the discard path.
+    for (size_t c : {chunks - 1, size_t{0}, size_t{2}, size_t{1}}) {
+        expectSameReads(prefetched.readChunk(c), plain.readChunk(c));
+    }
+    // Ranges, including one that rides the slot across chunks.
+    const ReadSet a = plain.decodeRange(1, chunks - 1);
+    const ReadSet b = prefetched.decodeRange(1, chunks - 1);
+    expectSameReads(b.reads, a.reads);
+}
+
+TEST_F(PrefetchDecode, AbandonedPrefetchShutsDownCleanly)
+{
+    // Open, decode one chunk (leaving chunk 2's fetch in flight or
+    // ready), and destroy: the decoder must drain the slot first.
+    SageReader prefetched(path_, prefetchOptions());
+    ASSERT_GT(prefetched.chunkCount(), 1u);
+    const std::vector<Read> chunk = prefetched.readChunk(0);
+    EXPECT_FALSE(chunk.empty());
+}
+
+TEST_F(PrefetchDecode, PrefetchOverMemorySourceIsByteIdentical)
+{
+    MemorySource source(archive_.bytes);
+    SageReader plain(source);
+    SageReader prefetched(source, prefetchOptions());
+    const ReadSet expect = plain.decodeAll();
+    const ReadSet got = prefetched.decodeAll();
+    expectSameReads(got.reads, expect.reads);
+}
+
+TEST_F(PrefetchDecode, PrefetchComposesWithDecodePool)
+{
+    // A decode pool takes the parallel path (prefetcher idle); the
+    // result must still match, and the reader must shut down cleanly
+    // with both pools alive.
+    SageReader plain(path_);
+    const ReadSet expect = plain.decodeAll();
+    ThreadPool pool(3);
+    SageReader prefetched(path_, prefetchOptions());
+    const ReadSet got = prefetched.decodeAll(&pool);
+    expectSameReads(got.reads, expect.reads);
 }
 
 // ---------------------------------------------------------------------
