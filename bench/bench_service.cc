@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Archive-service benchmark: aggregate serving throughput of one
+ * SageArchiveService (service/service.hh) as the number of concurrent
+ * clients grows, across decoded-chunk cache budgets — the shared-
+ * archive analogue of bench_decode_scale. Every client performs a full
+ * sequential walk through its own ServiceSession, so N clients demand
+ * N copies of the read stream while the cache bounds how many times a
+ * chunk is actually decoded.
+ *
+ * Also measures the warm-cache effect directly: the same client fleet
+ * re-run against an already-populated cache, reported as a speedup
+ * over the cold pass (acceptance figure for the serving layer).
+ *
+ * Writes a machine-readable JSON report (default BENCH_service.json,
+ * override with argv[1]) with host metadata so CI can archive
+ * baselines.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+#include "util/timing.hh"
+
+using namespace sage;
+
+namespace {
+
+struct ServePoint
+{
+    unsigned clients = 0;
+    uint64_t cacheBudgetBytes = 0;
+    double seconds = 0.0;
+    double aggMbPerSec = 0.0;  ///< clients x bases / wall.
+    double hitRate = 0.0;
+    uint64_t evictions = 0;
+    double p50Ms = 0.0;
+    double p99Ms = 0.0;
+};
+
+/** All @p clients walk the full archive concurrently; returns wall
+ *  seconds. The service (and its cache state) is the caller's. */
+double
+runClients(SageArchiveService &service, unsigned clients)
+{
+    Stopwatch clock;
+    std::vector<std::thread> fleet;
+    for (unsigned c = 0; c < clients; c++) {
+        fleet.emplace_back([&service] {
+            ServiceSession session = service.openSession();
+            while (session.hasNext())
+                session.read(1024);  // Bulk stride: copy out and drop.
+        });
+    }
+    for (auto &client : fleet)
+        client.join();
+    return clock.seconds();
+}
+
+ServePoint
+measureServe(const std::string &path, uint64_t bases, unsigned clients,
+             uint64_t cache_budget)
+{
+    ServiceOptions options;
+    options.cacheBudgetBytes = cache_budget;
+    SageArchiveService service(path, options);
+    ServePoint point;
+    point.clients = clients;
+    point.cacheBudgetBytes = cache_budget;
+    point.seconds = runClients(service, clients);
+    const ServiceStats stats = service.stats();
+    point.aggMbPerSec = point.seconds > 0.0
+        ? static_cast<double>(clients) * static_cast<double>(bases)
+            / 1e6 / point.seconds
+        : 0.0;
+    point.hitRate = stats.cache.hitRate();
+    point.evictions = stats.cache.evictions;
+    point.p50Ms = stats.p50LatencySeconds * 1e3;
+    point.p99Ms = stats.p99LatencySeconds * 1e3;
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_service.json";
+
+    bench::printHeader(
+        "Archive service: multi-client serving throughput",
+        "shared, scheduled archive access (the at-scale consumer of "
+        "SAGe's cheap decode; cf. paper §7 end-to-end pipeline)");
+
+    // Same shape as bench_decode_scale but smaller: 64 clients walk
+    // the whole thing, so total served volume is ~64x the read set.
+    DatasetSpec spec = makeRs2Spec();
+    spec.name = "service-bench";
+    spec.genome.referenceLength = 1 << 19;
+    spec.depth = 12.0;
+    std::fprintf(stderr, "[bench] synthesizing %s ...\n",
+                 spec.name.c_str());
+    const SimulatedDataset ds = synthesizeDataset(spec);
+    const uint64_t bases = ds.readSet.totalBases();
+    const uint64_t payload =
+        ds.readSet.dnaBytes() + ds.readSet.qualityBytes();
+
+    SageConfig config;
+    config.chunkReads = 4096;
+    std::fprintf(stderr, "[bench] compressing (chunkReads=%u) ...\n",
+                 config.chunkReads);
+    const SageArchive archive =
+        sageCompress(ds.readSet, ds.reference, config);
+
+    // Serve off a real file, as a deployment would.
+    const std::string path = "sage_bench_service." +
+        std::to_string(static_cast<long>(::getpid())) + ".sage.tmp";
+    {
+        FileSink sink(path);
+        sink.writeBytes(archive.bytes);
+    }
+    std::printf("archive: %zu B, %zu reads, %llu bases (payload %llu "
+                "B/client)\n",
+                archive.bytes.size(), ds.readSet.reads.size(),
+                static_cast<unsigned long long>(bases),
+                static_cast<unsigned long long>(payload));
+
+    // ---- client x cache-budget sweep ---------------------------------
+    const std::vector<unsigned> client_counts = {1, 4, 16, 64};
+    // 0 = decode per request; 4 MiB = partial working set (eviction
+    // traffic); 256 MiB = whole decoded archive stays resident.
+    const std::vector<uint64_t> budgets = {0, 4ull << 20, 256ull << 20};
+    std::vector<ServePoint> sweep;
+    TextTable table;
+    table.setHeader({"clients", "cacheMB", "seconds", "aggMB/s",
+                     "hitRate", "evict", "p50ms", "p99ms"});
+    for (uint64_t budget : budgets) {
+        for (unsigned clients : client_counts) {
+            const ServePoint point =
+                measureServe(path, bases, clients, budget);
+            sweep.push_back(point);
+            table.addRow(
+                {std::to_string(point.clients),
+                 TextTable::num(static_cast<double>(budget) / 1e6, 0),
+                 TextTable::num(point.seconds, 3),
+                 TextTable::num(point.aggMbPerSec, 1),
+                 TextTable::num(point.hitRate, 3),
+                 std::to_string(point.evictions),
+                 TextTable::num(point.p50Ms, 2),
+                 TextTable::num(point.p99Ms, 2)});
+        }
+    }
+    std::printf("\nclient x cache-budget sweep (full session walks):\n");
+    table.print();
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    if (hw_threads < 4) {
+        std::printf("note: this host exposes %u hardware thread(s); "
+                    "client scaling is concurrency-limited here.\n",
+                    hw_threads);
+    }
+
+    // ---- warm-cache speedup ------------------------------------------
+    // One service, big budget: pass 1 decodes every chunk (cold), pass
+    // 2 serves entirely from the decoded-chunk cache (warm).
+    double cold_seconds = 0.0, warm_seconds = 0.0, warm_hit_rate = 0.0;
+    {
+        ServiceOptions options;
+        options.cacheBudgetBytes = 256ull << 20;
+        SageArchiveService service(path, options);
+        cold_seconds = runClients(service, 4);
+        const uint64_t cold_misses = service.stats().cache.misses;
+        warm_seconds = runClients(service, 4);
+        const ServiceStats stats = service.stats();
+        warm_hit_rate = stats.cache.hitRate();
+        if (stats.cache.misses != cold_misses) {
+            std::printf("WARNING: warm pass decoded %llu chunks\n",
+                        static_cast<unsigned long long>(
+                            stats.cache.misses - cold_misses));
+        }
+    }
+    const double warm_speedup =
+        warm_seconds > 0.0 ? cold_seconds / warm_seconds : 0.0;
+    std::printf("\nwarm-cache effect (4 clients, resident budget): "
+                "cold %.3fs -> warm %.3fs (%.2fx, hit rate %.3f)\n",
+                cold_seconds, warm_seconds, warm_speedup,
+                warm_hit_rate);
+
+    std::remove(path.c_str());
+
+    // ---- JSON report -------------------------------------------------
+    FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"bench\": \"service\",\n");
+    std::fprintf(json, "  \"host\": %s,\n",
+                 bench::hostMetaJson().c_str());
+    std::fprintf(json, "  \"reads\": %zu,\n", ds.readSet.reads.size());
+    std::fprintf(json, "  \"bases\": %llu,\n",
+                 static_cast<unsigned long long>(bases));
+    std::fprintf(json, "  \"payloadBytesPerClient\": %llu,\n",
+                 static_cast<unsigned long long>(payload));
+    std::fprintf(json, "  \"chunkReads\": %u,\n", config.chunkReads);
+    std::fprintf(json, "  \"coldSeconds\": %.6f,\n", cold_seconds);
+    std::fprintf(json, "  \"warmSeconds\": %.6f,\n", warm_seconds);
+    std::fprintf(json, "  \"warmSpeedup\": %.3f,\n", warm_speedup);
+    std::fprintf(json, "  \"warmHitRate\": %.4f,\n", warm_hit_rate);
+    std::fprintf(json, "  \"clientSweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); i++) {
+        const ServePoint &p = sweep[i];
+        std::fprintf(
+            json,
+            "    {\"clients\": %u, \"cacheBudgetBytes\": %llu, "
+            "\"seconds\": %.6f, \"aggMbPerSec\": %.2f, "
+            "\"hitRate\": %.4f, \"evictions\": %llu, "
+            "\"p50Ms\": %.3f, \"p99Ms\": %.3f}%s\n",
+            p.clients,
+            static_cast<unsigned long long>(p.cacheBudgetBytes),
+            p.seconds, p.aggMbPerSec, p.hitRate,
+            static_cast<unsigned long long>(p.evictions), p.p50Ms,
+            p.p99Ms, i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n");
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s (warm-cache speedup: %.2fx)\n",
+                json_path.c_str(), warm_speedup);
+    return 0;
+}

@@ -45,6 +45,8 @@ writeArtifacts(std::ostream &out, const MeasuredArtifacts &art)
         << "\n";
     out << "sageSwFilePrefetchSeconds " << w.sageSwFilePrefetchSeconds
         << "\n";
+    out << "sageSwServeSeconds " << w.sageSwServeSeconds << "\n";
+    out << "sageSwServeClients " << w.sageSwServeClients << "\n";
     out << "isfFilterFraction " << w.isfFilterFraction << "\n";
     if (!w.sageChunkBytes.empty()) {
         out << "sageChunkBytes ";
@@ -117,6 +119,8 @@ readArtifacts(std::istream &in, MeasuredArtifacts &art)
     w.sageSwDecodeThreads = f64("sageSwDecodeThreads");
     w.sageSwFileDecompSeconds = f64("sageSwFileDecompSeconds");
     w.sageSwFilePrefetchSeconds = f64("sageSwFilePrefetchSeconds");
+    w.sageSwServeSeconds = f64("sageSwServeSeconds");
+    w.sageSwServeClients = f64("sageSwServeClients");
     w.isfFilterFraction = f64("isfFilterFraction");
     if (kv.count("sageChunkBytes")) {
         std::istringstream list(kv["sageChunkBytes"]);

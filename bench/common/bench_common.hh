@@ -19,7 +19,7 @@ namespace sage {
 namespace bench {
 
 /** Bump when any format/measurement change invalidates cached runs. */
-constexpr int kCacheVersion = 9;
+constexpr int kCacheVersion = 10;
 
 /**
  * Measure all five RS presets (synthesize + compress with every tool +

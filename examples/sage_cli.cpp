@@ -3,11 +3,12 @@
  * sage_cli: a command-line front end over the library — the shape of
  * tool a downstream genomics user would actually invoke.
  *
- *   sage_cli compress   <in.fastq> <reference.txt> <out.sage> [--drop-quality] [--keep-order]
- *   sage_cli decompress <in.sage> <out.fastq> [--threads N]
- *   sage_cli range      <in.sage> <out.fastq> <first-chunk> <count> [--threads N]
- *   sage_cli inspect    <in.sage>
- *   sage_cli demo       <workdir>      (generates inputs, runs all of the above)
+ *   sage_cli compress     <in.fastq> <reference.txt> <out.sage> [--drop-quality] [--keep-order]
+ *   sage_cli decompress   <in.sage> <out.fastq> [--threads N]
+ *   sage_cli range        <in.sage> <out.fastq> <first-chunk> <count> [--threads N]
+ *   sage_cli inspect      <in.sage>
+ *   sage_cli serve-stress <in.sage> [--clients N] [--cache-mb M] [--threads N] [--passes P]
+ *   sage_cli demo         <workdir>    (generates inputs, runs all of the above)
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
  * Built on the streaming session API (io/session.hh): compression
@@ -22,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "simgen/synthesize.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
+#include "util/timing.hh"
 
 namespace {
 
@@ -209,6 +212,126 @@ cmdInspect(int argc, char **argv)
     return 0;
 }
 
+/**
+ * Drive a SageArchiveService with a fleet of concurrent session
+ * clients (service/service.hh) and report the aggregate serving
+ * throughput plus the service's own counters — a smoke/perf harness
+ * for shared-archive deployments.
+ */
+int
+cmdServeStress(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: sage_cli serve-stress <in.sage> "
+                     "[--clients N] [--cache-mb M] [--threads N] "
+                     "[--passes P]\n");
+        return 1;
+    }
+    unsigned clients = 16, cache_mb = 256, threads = 0, passes = 1;
+    bool bad_value = false;
+    for (int i = 3; i < argc; i++) {
+        const auto uintArg = [&](const char *flag, unsigned &out,
+                                 int max) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                const int n = std::atoi(argv[++i]);
+                if (n < 0 || n > max) {
+                    std::fprintf(stderr, "%s must be in [0, %d]\n",
+                                 flag, max);
+                    bad_value = true;
+                }
+                out = static_cast<unsigned>(n);
+                return true;
+            }
+            return false;
+        };
+        if (!uintArg("--clients", clients, 4096) &&
+            !uintArg("--cache-mb", cache_mb, 1 << 20) &&
+            !uintArg("--threads", threads, 1024) &&
+            !uintArg("--passes", passes, 1 << 20)) {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (bad_value)
+        return 1;
+    if (clients == 0) {
+        std::fprintf(stderr, "--clients must be at least 1\n");
+        return 1;
+    }
+
+    ServiceOptions options;
+    options.cacheBudgetBytes = static_cast<uint64_t>(cache_mb) << 20;
+    options.ownedPoolThreads = threads;
+    SageArchiveService service(argv[2], options);
+    std::printf("serving %s: %llu reads in %zu chunks, cache budget "
+                "%u MiB, %zu workers\n",
+                argv[2],
+                static_cast<unsigned long long>(service.readCount()),
+                service.chunkCount(), cache_mb,
+                service.pool().threadCount());
+
+    double total_seconds = 0.0;
+    uint64_t total_bytes = 0;
+    for (unsigned pass = 0; pass < std::max(1u, passes); pass++) {
+        const uint64_t bytes_before = service.stats().bytesServed;
+        Stopwatch clock;
+        std::vector<std::thread> fleet;
+        for (unsigned c = 0; c < clients; c++) {
+            fleet.emplace_back([&service] {
+                ServiceSession session = service.openSession();
+                while (session.hasNext())
+                    session.read(1024);
+            });
+        }
+        for (auto &client : fleet)
+            client.join();
+        const double seconds = clock.seconds();
+        const uint64_t bytes =
+            service.stats().bytesServed - bytes_before;
+        total_seconds += seconds;
+        total_bytes += bytes;
+        std::printf("pass %u: %u clients x full walk in %.3fs "
+                    "(%.1f MB/s aggregate)\n",
+                    pass + 1, clients, seconds,
+                    seconds > 0.0
+                        ? static_cast<double>(bytes) / 1e6 / seconds
+                        : 0.0);
+    }
+
+    const ServiceStats stats = service.stats();
+    std::printf("served %.1f MB in %.3fs (%.1f MB/s aggregate)\n",
+                static_cast<double>(total_bytes) / 1e6, total_seconds,
+                total_seconds > 0.0 ? static_cast<double>(total_bytes)
+                        / 1e6 / total_seconds
+                                    : 0.0);
+    std::printf("  requests:        %llu (interactive %llu / normal "
+                "%llu / background %llu)\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(
+                    stats.requestsByPriority[0]),
+                static_cast<unsigned long long>(
+                    stats.requestsByPriority[1]),
+                static_cast<unsigned long long>(
+                    stats.requestsByPriority[2]));
+    std::printf("  cache:           %.1f%% hit rate, %llu decodes, "
+                "%llu evictions, %.1f MB resident\n",
+                100.0 * stats.cache.hitRate(),
+                static_cast<unsigned long long>(stats.cache.misses),
+                static_cast<unsigned long long>(stats.cache.evictions),
+                static_cast<double>(stats.cache.residentBytes) / 1e6);
+    std::printf("  request latency: p50 %.2fms, p99 %.2fms, max "
+                "%.2fms (%llu samples)\n",
+                stats.p50LatencySeconds * 1e3,
+                stats.p99LatencySeconds * 1e3,
+                stats.maxLatencySeconds * 1e3,
+                static_cast<unsigned long long>(stats.latencySamples));
+    std::printf("  queue depth:     max %llu, readahead warms %llu\n",
+                static_cast<unsigned long long>(stats.maxQueueDepth),
+                static_cast<unsigned long long>(stats.readaheadWarms));
+    return 0;
+}
+
 int
 cmdDemo(int argc, char **argv)
 {
@@ -249,8 +372,16 @@ cmdDemo(int argc, char **argv)
                                  first, count};
     cmdRange(static_cast<int>(rargs.size()), rargs.data());
 
-    char c3[] = "decompress";
-    std::vector<char *> dargs = {prog, c3,
+    char c3[] = "serve-stress";
+    char copt[] = "--clients";
+    char cnum[] = "4";
+    std::vector<char *> sargs = {prog, c3,
+                                 const_cast<char *>(archive.c_str()),
+                                 copt, cnum};
+    cmdServeStress(static_cast<int>(sargs.size()), sargs.data());
+
+    char c4[] = "decompress";
+    std::vector<char *> dargs = {prog, c4,
                                  const_cast<char *>(archive.c_str()),
                                  const_cast<char *>(restored.c_str())};
     return cmdDecompress(static_cast<int>(dargs.size()), dargs.data());
@@ -264,7 +395,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: sage_cli "
-                     "<compress|decompress|range|inspect|demo> ...\n");
+                     "<compress|decompress|range|inspect|serve-stress|"
+                     "demo> ...\n");
         return 1;
     }
     if (std::strcmp(argv[1], "compress") == 0)
@@ -275,6 +407,8 @@ main(int argc, char **argv)
         return cmdRange(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0)
         return cmdInspect(argc, argv);
+    if (std::strcmp(argv[1], "serve-stress") == 0)
+        return cmdServeStress(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0)
         return cmdDemo(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);

@@ -46,6 +46,11 @@ struct SageDecoder::ChunkCursor
     ChunkCursor(const SageDecoder &d, const ChunkSlice &slice)
         : remaining(slice.readCount)
     {
+        // Zero-copy views where the source provides them; everything
+        // else is gathered in one batched read (FileSource coalesces
+        // the slices into preadv calls instead of 13 separate preads).
+        std::array<ByteSource::Extent, kChunkStreamCount> fetch;
+        size_t fetches = 0;
         for (unsigned s = 0; s < kChunkStreamCount; s++) {
             const StreamExtent &extent = d.dnaExtents_[s];
             const uint64_t offset = extent.offset + slice.offsets[s];
@@ -58,10 +63,14 @@ struct SageDecoder::ChunkCursor
                     d.source_->view(offset, span.size)) {
                 span.data = direct;
             } else {
-                span.owned = d.source_->read(offset, span.size);
+                span.owned.resize(span.size);
                 span.data = span.owned.data();
+                fetch[fetches++] = {offset, span.owned.data(),
+                                    span.size};
             }
         }
+        if (fetches > 0)
+            d.source_->readBatch(fetch.data(), fetches);
         initReaders();
     }
 
@@ -163,16 +172,23 @@ SageDecoder::setPrefetchPool(ThreadPool *pool)
 SageDecoder::ChunkBytes
 SageDecoder::fetchChunkBytes(const ChunkSlice &slice) const
 {
+    // One batched read covers all 13 stream slices (coalesced into
+    // preadv calls by FileSource).
     ChunkBytes bytes;
+    std::array<ByteSource::Extent, kChunkStreamCount> fetch;
+    size_t fetches = 0;
     for (unsigned s = 0; s < kChunkStreamCount; s++) {
         const uint64_t size = slice.sizes[s];
         if (size == 0)
             continue;
         const uint64_t offset =
             dnaExtents_[s].offset + slice.offsets[s];
-        bytes.streams[s] =
-            source_->read(offset, static_cast<size_t>(size));
+        bytes.streams[s].resize(static_cast<size_t>(size));
+        fetch[fetches++] = {offset, bytes.streams[s].data(),
+                            static_cast<size_t>(size)};
     }
+    if (fetches > 0)
+        source_->readBatch(fetch.data(), fetches);
     return bytes;
 }
 
@@ -658,6 +674,24 @@ SageDecoder::decodeChunks(size_t first, size_t count, ThreadPool *pool)
         }
     }
     return rs;
+}
+
+std::vector<Read>
+SageDecoder::decodeChunkShared(size_t chunk)
+{
+    sage_assert(chunk < chunks_.size(), "chunk index out of range");
+    const ChunkSlice &slice = chunks_[chunk];
+    // A private cursor and a local event counter: nothing here writes
+    // decoder state, which is what makes concurrent calls safe.
+    ChunkCursor cur(*this, slice);
+    std::vector<Read> reads;
+    reads.reserve(static_cast<size_t>(slice.readCount));
+    uint64_t events = 0;
+    for (uint64_t r = 0; r < slice.readCount; r++) {
+        reads.push_back(decodeOne(cur, slice.firstRead + r, events,
+                                  /*consume_host=*/false));
+    }
+    return reads;
 }
 
 ReadSet

@@ -131,6 +131,20 @@ class SageDecoder
                          ThreadPool *pool = nullptr);
 
     /**
+     * Decode chunk @p chunk alone into stored-order reads — the
+     * service layer's decode-into-cache entry point. Unlike the other
+     * decode calls this touches no sequential, prefetch or event
+     * state, so any number of threads may call it concurrently on one
+     * decoder (each call fetches its own byte slices through the
+     * thread-safe ByteSource and copies headers/quality rather than
+     * consuming them; the same chunk decodes repeatably). Must not be
+     * mixed with a concurrent decodeAll()/decodeAllPacked(), which
+     * move the host streams out. Decoded mismatch events are not
+     * added to eventsDecoded().
+     */
+    std::vector<Read> decodeChunkShared(size_t chunk);
+
+    /**
      * Decode everything into a ReadSet (restores original order when
      * the archive preserved it). With a pool and a multi-chunk archive,
      * chunks decode in parallel; the result is identical to the

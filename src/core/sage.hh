@@ -22,6 +22,15 @@
  *   sage::ReadSet back = sage::sageDecompress(ar.bytes);
  * @endcode
  *
+ * To serve one archive to many concurrent clients, open it through
+ * service/service.hh instead (decoded-chunk cache + request
+ * scheduling):
+ * @code
+ *   sage::SageArchiveService service("reads.sage");
+ *   sage::ServiceSession client = service.openSession();
+ *   while (client.hasNext()) process(client.next());
+ * @endcode
+ *
  * For storage/accelerator integration see ssd/sage_device.hh
  * (SAGe_Read / SAGe_Write interface commands, per-chunk LPN extents),
  * ssd/device_array.hh (chunk striping across a device array, Fig. 15)
@@ -37,5 +46,6 @@
 #include "core/tuned_array.hh"
 #include "core/version.hh"
 #include "io/session.hh"
+#include "service/service.hh"
 
 #endif // SAGE_CORE_SAGE_HH

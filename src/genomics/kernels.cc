@@ -363,6 +363,115 @@ unpack2bitAvx2(const uint8_t *packed, size_t packed_size, size_t count,
     }
 }
 
+// ---------------------------------------------------------------------
+// Shuffle-based 3-bit unpack (genozip-style pshufb gathers).
+//
+// Eight 3-bit codes live in three bytes; code k of a group starts at
+// bit 3k, i.e. inside byte 3k>>3 at shift 3k&7. pshufb replicates each
+// code's covering byte *pair* into its own 16-bit lane, a per-lane
+// multiply by 1 << (13 - shift) slides the field to bits 13..15 (the
+// lanes' shifts differ, so the "variable shift" SSE lacks becomes a
+// pmullw by per-lane constants), and one constant psrlw-by-13 drops
+// every lane's code into bits 0..2. packus + a 16-entry ASCII table
+// shuffle finish the job. Validation matches the scalar kernel: codes
+// 5-7 render as 'N' and fail the stream assert.
+// ---------------------------------------------------------------------
+
+/** Byte-pair gather for codes 0-7 of a 3-byte group at offset @p base:
+ *  lane k reads bytes (3k>>3)+base and (3k>>3)+base+1. */
+#define SAGE_UNPACK3_SHUF(base)                                             \
+    (base), (base) + 1, (base), (base) + 1, (base), (base) + 1,             \
+        (base) + 1, (base) + 2, (base) + 1, (base) + 2, (base) + 1,         \
+        (base) + 2, (base) + 2, (base) + 3, (base) + 2, (base) + 3
+/** Per-lane 1 << (13 - (3k & 7)) multipliers for codes 0-7. */
+#define SAGE_UNPACK3_MUL 8192, 1024, 128, 4096, 512, 64, 2048, 256
+
+SAGE_TARGET_SSSE3 void
+unpack3bitSsse3(const uint8_t *packed, size_t packed_size, size_t count,
+                char *out)
+{
+    sage_assert(packed_size >= (3 * count + 7) / 8,
+                "3-bit stream underrun");
+    const __m128i shufLo = _mm_setr_epi8(SAGE_UNPACK3_SHUF(0));
+    const __m128i shufHi = _mm_setr_epi8(SAGE_UNPACK3_SHUF(3));
+    const __m128i mul = _mm_setr_epi16(SAGE_UNPACK3_MUL);
+    const __m128i ascii =
+        _mm_setr_epi8('A', 'C', 'G', 'T', 'N', 'N', 'N', 'N', 0, 0, 0,
+                      0, 0, 0, 0, 0);
+    const __m128i four = _mm_set1_epi8(4);
+    __m128i badAcc = _mm_setzero_si128();
+    size_t i = 0, o = 0;
+    // Each iteration loads 16 bytes but consumes 6 (16 codes), so the
+    // loop also needs the full load to stay inside the stream; the
+    // last few groups fall through to the scalar kernel.
+    for (; i + 16 <= count && o + 16 <= packed_size; i += 16, o += 6) {
+        const __m128i x = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(packed + o));
+        const __m128i lo = _mm_srli_epi16(
+            _mm_mullo_epi16(_mm_shuffle_epi8(x, shufLo), mul), 13);
+        const __m128i hi = _mm_srli_epi16(
+            _mm_mullo_epi16(_mm_shuffle_epi8(x, shufHi), mul), 13);
+        const __m128i codes = _mm_packus_epi16(lo, hi);
+        badAcc = _mm_or_si128(badAcc, _mm_cmpgt_epi8(codes, four));
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(out + i),
+                         _mm_shuffle_epi8(ascii, codes));
+    }
+    sage_assert(_mm_movemask_epi8(badAcc) == 0,
+                "bad base code in 3-bit stream");
+    if (i < count) {
+        // i is a multiple of 8, so 3i/8 whole bytes are consumed.
+        unpack3bitScalar(packed + o, packed_size - o, count - i,
+                         out + i);
+    }
+}
+
+SAGE_TARGET_AVX2 void
+unpack3bitAvx2(const uint8_t *packed, size_t packed_size, size_t count,
+               char *out)
+{
+    sage_assert(packed_size >= (3 * count + 7) / 8,
+                "3-bit stream underrun");
+    // One 16-byte load broadcast to both lanes feeds all 32 codes:
+    // pshufb is in-lane, so the two shuffle controls give lane 0 codes
+    // 0-7 / 16-23 and lane 1 codes 8-15 / 24-31 (byte offsets 0/3 and
+    // 6/9 — at most byte 12 of the load).
+    const __m256i shufA = _mm256_setr_epi8(SAGE_UNPACK3_SHUF(0),
+                                           SAGE_UNPACK3_SHUF(3));
+    const __m256i shufB = _mm256_setr_epi8(SAGE_UNPACK3_SHUF(6),
+                                           SAGE_UNPACK3_SHUF(9));
+    const __m256i mul = _mm256_setr_epi16(SAGE_UNPACK3_MUL,
+                                          SAGE_UNPACK3_MUL);
+    const __m256i ascii = _mm256_setr_epi8(
+        'A', 'C', 'G', 'T', 'N', 'N', 'N', 'N', 0, 0, 0, 0, 0, 0, 0, 0,
+        'A', 'C', 'G', 'T', 'N', 'N', 'N', 'N', 0, 0, 0, 0, 0, 0, 0,
+        0);
+    const __m256i four = _mm256_set1_epi8(4);
+    __m256i badAcc = _mm256_setzero_si256();
+    size_t i = 0, o = 0;
+    for (; i + 32 <= count && o + 16 <= packed_size; i += 32, o += 12) {
+        const __m256i x = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(packed + o)));
+        const __m256i a = _mm256_srli_epi16(
+            _mm256_mullo_epi16(_mm256_shuffle_epi8(x, shufA), mul), 13);
+        const __m256i b = _mm256_srli_epi16(
+            _mm256_mullo_epi16(_mm256_shuffle_epi8(x, shufB), mul), 13);
+        // packus interleaves per lane (a0 b0 | a1 b1 in 64-bit units
+        // holding codes 0-7, 16-23, 8-15, 24-31); permute to order.
+        const __m256i codes = _mm256_permute4x64_epi64(
+            _mm256_packus_epi16(a, b), 0xD8);
+        badAcc =
+            _mm256_or_si256(badAcc, _mm256_cmpgt_epi8(codes, four));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            _mm256_shuffle_epi8(ascii, codes));
+    }
+    sage_assert(_mm256_movemask_epi8(badAcc) == 0,
+                "bad base code in 3-bit stream");
+    if (i < count) {
+        unpack3bitSsse3(packed + o, packed_size - o, count - i,
+                        out + i);
+    }
+}
+
 SAGE_TARGET_SSSE3 void
 pack2bitSsse3(const char *bases, size_t count, uint8_t *out)
 {
@@ -536,18 +645,18 @@ resolveKernels()
     if (level >= SimdLevel::SSSE3) {
         table.pack2 = pack2bitSsse3;
         table.unpack2 = unpack2bitSsse3;
+        table.unpack3 = unpack3bitSsse3;
         table.revcomp = reverseComplementSsse3;
         table.acgtOnly = isAcgtOnlySsse3;
         table.level = SimdLevel::SSSE3;
     }
     if (level >= SimdLevel::AVX2) {
         table.unpack2 = unpack2bitAvx2;
+        table.unpack3 = unpack3bitAvx2;
         table.revcomp = reverseComplementAvx2;
         table.acgtOnly = isAcgtOnlyAvx2;
         table.level = SimdLevel::AVX2;
     }
-    // 3-bit fields straddle byte boundaries; the word-at-a-time scalar
-    // kernel (8 bases per 3-byte load) is the baseline at every tier.
 #endif
     return table;
 }

@@ -22,6 +22,15 @@ ByteSource::readAll() const
 }
 
 void
+ByteSource::readBatch(const Extent *extents, size_t count) const
+{
+    for (size_t i = 0; i < count; i++) {
+        if (extents[i].size > 0)
+            readAt(extents[i].offset, extents[i].dst, extents[i].size);
+    }
+}
+
+void
 MemorySource::readAt(uint64_t offset, void *dst, size_t size) const
 {
     if (size == 0)

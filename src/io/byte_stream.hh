@@ -59,6 +59,26 @@ class ByteSource
         return nullptr;
     }
 
+    /** One extent of a batched read: @p size bytes at @p offset into
+     *  @p dst. */
+    struct Extent
+    {
+        uint64_t offset = 0;
+        void *dst = nullptr;
+        size_t size = 0;
+    };
+
+    /**
+     * Read several extents in one call. Semantically identical to
+     * calling readAt() per extent (same fatal-on-error contract, safe
+     * for concurrent callers); sources with a cheaper scatter path
+     * override it — FileSource coalesces near-adjacent extents into
+     * preadv(2) calls, so fetching a chunk's 13 stream slices costs a
+     * couple of syscalls instead of 13. Extents may arrive in any
+     * order and may be empty.
+     */
+    virtual void readBatch(const Extent *extents, size_t count) const;
+
     /** Human-readable identity for error messages (path or kind). */
     virtual std::string describe() const = 0;
 

@@ -131,6 +131,25 @@ stageTotals(const WorkloadMeasurement &work, PrepConfig prep,
             prep = std::min(prep, work.sageSwParDecompSeconds);
         if (work.sageSwFilePrefetchSeconds > 0.0)
             prep = std::min(prep, work.sageSwFilePrefetchSeconds);
+        // Shared-archive consumers: the measured multi-client serving
+        // wall clock (SageArchiveService, decoded-chunk cache +
+        // single-flight decode) delivered the full stream to
+        // sageSwServeClients concurrent consumers. A fleet larger
+        // than the measured one still amortizes decode, but the
+        // copy-out/serving work grows with consumers, so scale the
+        // measured wall linearly in fleet ratio before using it as a
+        // cap — never extrapolate a 4-client figure to 64 consumers
+        // unscaled.
+        if (system.sharedConsumers > 1 &&
+            work.sageSwServeSeconds > 0.0 &&
+            work.sageSwServeClients > 0.0) {
+            const double fleet_ratio =
+                std::max(1.0, static_cast<double>(
+                                  system.sharedConsumers) /
+                                  work.sageSwServeClients);
+            prep = std::min(prep,
+                            work.sageSwServeSeconds * fleet_ratio);
+        }
         tot.prep = prep;
         tot.hostCpuBusy = tot.prep;
         tot.hostDramBusy = tot.prep;

@@ -80,6 +80,19 @@ struct WorkloadMeasurement
     double sageSwFileDecompSeconds = 0.0;
     double sageSwFilePrefetchSeconds = 0.0;
 
+    /**
+     * Measured multi-client serving wall clock: sageSwServeClients
+     * concurrent consumers each received the complete read stream from
+     * one file-backed SageArchiveService (shared decoded-chunk cache +
+     * request scheduling, service/service.hh) in this many seconds.
+     * Because hot chunks decode once and are served from cache, this
+     * is the per-consumer data-preparation time a shared-archive
+     * deployment actually observes (0 when not measured, e.g. stale
+     * caches).
+     */
+    double sageSwServeSeconds = 0.0;
+    double sageSwServeClients = 0.0;
+
     double isfFilterFraction = 0.0;    ///< Functional ISF result.
 
     /**
@@ -117,6 +130,18 @@ struct SystemConfig
      * is inherently serial and never receives this factor.
      */
     double hostParallelSpeedup = 24.0;
+    /**
+     * Consumers sharing one archive through a SageArchiveService.
+     * At 1 (default), every configuration models a private pipeline.
+     * Above 1, the SageSW preparation stage additionally caps at the
+     * measured multi-client serving time (sageSwServeSeconds, scaled
+     * linearly when the modeled fleet exceeds the measured
+     * sageSwServeClients): the decoded-chunk cache amortizes decode
+     * across consumers, while the per-consumer serving work still
+     * grows with the fleet. Other prep configurations are unaffected
+     * (they have no serving layer to share).
+     */
+    unsigned sharedConsumers = 1;
 };
 
 /** Per-component energy accounting (joules). */

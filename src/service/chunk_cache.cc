@@ -1,0 +1,174 @@
+#include "service/chunk_cache.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/logging.hh"
+
+namespace sage {
+
+uint64_t
+DecodedChunk::residentBytes(const std::vector<Read> &reads)
+{
+    // String payloads plus the Read object itself; small-string
+    // storage is approximated by the payload size, which is close
+    // enough for budget enforcement.
+    uint64_t bytes = 0;
+    for (const Read &read : reads) {
+        bytes += read.bases.size() + read.quals.size() +
+            read.header.size() + sizeof(Read);
+    }
+    return bytes;
+}
+
+ChunkCache::ChunkCache(uint64_t budget_bytes, unsigned shards)
+    : budget_(budget_bytes)
+{
+    const unsigned n = std::max(1u, shards);
+    shardBudget_ = budget_bytes / n;
+    shards_.reserve(n);
+    for (unsigned s = 0; s < n; s++)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ChunkCache::Shard &
+ChunkCache::shardFor(size_t chunk)
+{
+    return *shards_[chunk % shards_.size()];
+}
+
+const ChunkCache::Shard &
+ChunkCache::shardFor(size_t chunk) const
+{
+    return *shards_[chunk % shards_.size()];
+}
+
+void
+ChunkCache::insertAndTrim(Shard &shard, size_t chunk,
+                          const DecodedChunkPtr &data)
+{
+    sage_assert(shard.map.find(chunk) == shard.map.end(),
+                "double insert of chunk ", chunk);
+    shard.lru.push_front(Entry{chunk, data});
+    shard.map.emplace(chunk, shard.lru.begin());
+    shard.residentBytes += data->bytes;
+    shard.inserts++;
+    // Evict LRU-first down to the shard's budget. The entry just
+    // inserted is evicted too when it alone exceeds the budget —
+    // callers hold their own reference, so an oversized chunk is
+    // served without ever being retained.
+    while (shard.residentBytes > shardBudget_ && !shard.lru.empty()) {
+        const Entry &victim = shard.lru.back();
+        shard.residentBytes -= victim.data->bytes;
+        shard.map.erase(victim.chunk);
+        shard.lru.pop_back();
+        shard.evictions++;
+    }
+}
+
+DecodedChunkPtr
+ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode)
+{
+    Shard &shard = shardFor(chunk);
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto hit = shard.map.find(chunk);
+        if (hit != shard.map.end()) {
+            shard.hits++;
+            // Touch: move to the front of the LRU list.
+            shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+            return hit->second->data;
+        }
+        auto inflight = shard.flights.find(chunk);
+        if (inflight != shard.flights.end()) {
+            shard.coalescedWaits++;
+            flight = inflight->second;
+        } else {
+            shard.misses++;
+            flight = std::make_shared<Flight>();
+            flight->generation = shard.generation;
+            shard.flights.emplace(chunk, flight);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        // Join the in-flight decode. The leader publishes exactly once.
+        std::unique_lock<std::mutex> lock(flight->mutex);
+        flight->done.wait(lock, [&] { return flight->ready; });
+        return flight->result;
+    }
+
+    // Leader: decode outside every lock (this is the expensive part —
+    // a full chunk fetch + decompression), then publish and cache. A
+    // decode that throws (std::bad_alloc is the realistic case) must
+    // not unwind past the flight: waiters parked on it — and every
+    // future requester joining it — would hang forever. Decode
+    // failure is fatal, like every other I/O/decode failure in this
+    // codebase.
+    DecodedChunkPtr data;
+    try {
+        data = decode(chunk);
+    } catch (const std::exception &error) {
+        sage_fatal("decode of chunk ", chunk,
+                   " failed with exception: ", error.what());
+    }
+    sage_assert(data != nullptr, "chunk decode returned null");
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.flights.erase(chunk);
+        // A clear() while this decode was in flight bumped the
+        // generation; honoring it means serving the waiters but not
+        // re-populating the cache the caller just released.
+        if (flight->generation == shard.generation)
+            insertAndTrim(shard, chunk, data);
+    }
+    {
+        std::lock_guard<std::mutex> lock(flight->mutex);
+        flight->result = data;
+        flight->ready = true;
+    }
+    flight->done.notify_all();
+    return data;
+}
+
+bool
+ChunkCache::contains(size_t chunk) const
+{
+    const Shard &shard = shardFor(chunk);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.find(chunk) != shard.map.end();
+}
+
+void
+ChunkCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->map.clear();
+        shard->residentBytes = 0;
+        shard->generation++;  // Invalidate in-flight publishes.
+    }
+}
+
+ChunkCacheStats
+ChunkCache::stats() const
+{
+    ChunkCacheStats total;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.evictions += shard->evictions;
+        total.inserts += shard->inserts;
+        total.coalescedWaits += shard->coalescedWaits;
+        total.residentBytes += shard->residentBytes;
+        total.residentChunks += shard->lru.size();
+    }
+    return total;
+}
+
+} // namespace sage

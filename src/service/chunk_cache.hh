@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Decoded-chunk cache for the archive service layer
+ * (service/service.hh): a sharded, byte-budgeted LRU over immutable
+ * decoded chunks, with single-flight decode so N clients hitting the
+ * same cold chunk trigger exactly one decompression.
+ *
+ * Decoded chunks are shared as shared_ptr<const DecodedChunk>: an
+ * eviction never invalidates a chunk a client is still reading — the
+ * cache merely drops its reference, and the memory goes away when the
+ * last reader does. That is what lets the cache run with a tiny
+ * budget under heavy concurrency (the stress tests do exactly this)
+ * without copying read data per client.
+ */
+
+#ifndef SAGE_SERVICE_CHUNK_CACHE_HH
+#define SAGE_SERVICE_CHUNK_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "genomics/read.hh"
+
+namespace sage {
+
+/** One decoded, immutable archive chunk (stored-order reads). */
+struct DecodedChunk
+{
+    std::vector<Read> reads;
+    uint64_t firstRead = 0;  ///< Stored-order index of reads[0].
+    uint64_t bytes = 0;      ///< Resident-size estimate for budgeting.
+
+    /** Estimate the resident footprint of @p reads (string payloads
+     *  plus per-read bookkeeping). */
+    static uint64_t residentBytes(const std::vector<Read> &reads);
+};
+
+using DecodedChunkPtr = std::shared_ptr<const DecodedChunk>;
+
+/** Aggregated cache counters (snapshot; see ChunkCache::stats). */
+struct ChunkCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;       ///< Each miss is one decode.
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    /** Requests that joined another request's in-flight decode
+     *  instead of starting their own (single-flight coalescing). */
+    uint64_t coalescedWaits = 0;
+    uint64_t residentBytes = 0;
+    uint64_t residentChunks = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t lookups = hits + misses + coalescedWaits;
+        return lookups == 0
+            ? 0.0
+            : static_cast<double>(hits + coalescedWaits) /
+                static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Sharded LRU cache of decoded chunks.
+ *
+ * The byte budget is split evenly across shards; chunk index modulo
+ * shard count picks the shard, so a sequential client walk spreads
+ * across every shard lock. All methods are thread-safe. The decode
+ * callback passed to getOrDecode runs outside any shard lock.
+ */
+class ChunkCache
+{
+  public:
+    /** @p budget_bytes total decoded-byte budget (0 disables caching:
+     *  every lookup decodes, nothing is retained); @p shards is
+     *  clamped to at least 1. */
+    explicit ChunkCache(uint64_t budget_bytes, unsigned shards = 8);
+
+    ChunkCache(const ChunkCache &) = delete;
+    ChunkCache &operator=(const ChunkCache &) = delete;
+
+    using DecodeFn = std::function<DecodedChunkPtr(size_t chunk)>;
+
+    /**
+     * Return chunk @p chunk, decoding at most once across all
+     * concurrent callers: a hit returns the cached pointer; the first
+     * misser runs @p decode (unlocked) while later requesters for the
+     * same chunk block on its completion; the result is inserted and
+     * the shard evicted down to budget (LRU order). An entry larger
+     * than its shard's budget is served but not retained.
+     */
+    DecodedChunkPtr getOrDecode(size_t chunk, const DecodeFn &decode);
+
+    /** True when @p chunk is resident right now (no stats impact, no
+     *  LRU touch — a test/introspection helper). */
+    bool contains(size_t chunk) const;
+
+    /** Drop every resident entry (in-flight decodes are unaffected
+     *  and still publish to their waiters, but are not retained). */
+    void clear();
+
+    /** Aggregate counters across shards. */
+    ChunkCacheStats stats() const;
+
+    uint64_t budgetBytes() const { return budget_; }
+    unsigned shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+  private:
+    /** An in-flight decode other callers can join. */
+    struct Flight
+    {
+        std::mutex mutex;
+        std::condition_variable done;
+        DecodedChunkPtr result;  ///< Set exactly once, then notified.
+        bool ready = false;
+        /** Shard generation at takeoff: a clear() in between bumps
+         *  the shard's counter, and the stale flight's result is then
+         *  served to its waiters but not retained. */
+        uint64_t generation = 0;
+    };
+
+    struct Entry
+    {
+        size_t chunk = 0;
+        DecodedChunkPtr data;
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<size_t, std::list<Entry>::iterator> map;
+        std::unordered_map<size_t, std::shared_ptr<Flight>> flights;
+        uint64_t residentBytes = 0;
+        uint64_t generation = 0;  ///< Bumped by clear().
+
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t evictions = 0;
+        uint64_t inserts = 0;
+        uint64_t coalescedWaits = 0;
+    };
+
+    Shard &shardFor(size_t chunk);
+    const Shard &shardFor(size_t chunk) const;
+
+    /** Insert under the shard lock, then evict to budget. */
+    void insertAndTrim(Shard &shard, size_t chunk,
+                       const DecodedChunkPtr &data);
+
+    uint64_t budget_;
+    uint64_t shardBudget_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace sage
+
+#endif // SAGE_SERVICE_CHUNK_CACHE_HH

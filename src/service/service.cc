@@ -1,0 +1,411 @@
+#include "service/service.hh"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+#include "util/timing.hh"
+
+namespace sage {
+
+namespace {
+
+/** Payload bytes a read vector delivers to a client. */
+uint64_t
+payloadBytes(const std::vector<Read> &reads)
+{
+    uint64_t bytes = 0;
+    for (const Read &read : reads)
+        bytes += read.bases.size() + read.quals.size();
+    return bytes;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------
+
+SageArchiveService::SageArchiveService(const ByteSource &source,
+                                       ServiceOptions options)
+    : decoder_(std::make_unique<SageDecoder>(source, options.dnaOnly)),
+      options_(options),
+      pool_(options.pool),
+      cache_(options.cacheBudgetBytes, options.cacheShards)
+{
+    init();
+}
+
+SageArchiveService::SageArchiveService(const std::string &path,
+                                       ServiceOptions options)
+    : file_(std::make_unique<FileSource>(path)),
+      decoder_(std::make_unique<SageDecoder>(*file_, options.dnaOnly)),
+      options_(options),
+      pool_(options.pool),
+      cache_(options.cacheBudgetBytes, options.cacheShards)
+{
+    init();
+}
+
+void
+SageArchiveService::init()
+{
+    if (!pool_) {
+        ownedPool_ =
+            std::make_unique<ThreadPool>(options_.ownedPoolThreads);
+        pool_ = ownedPool_.get();
+    }
+    chunkFirstRead_.reserve(decoder_->chunkCount());
+    for (size_t c = 0; c < decoder_->chunkCount(); c++)
+        chunkFirstRead_.push_back(decoder_->chunkFirstRead(c));
+}
+
+SageArchiveService::~SageArchiveService()
+{
+    // Drain: every enqueued request holds a reference to this service,
+    // so teardown must wait until the last one has left runOne().
+    std::unique_lock<std::mutex> lock(schedMutex_);
+    schedIdle_.wait(lock,
+                    [&] { return queued_ == 0 && executing_ == 0; });
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+void
+SageArchiveService::enqueue(RequestPriority priority,
+                            std::function<void()> work)
+{
+    {
+        std::lock_guard<std::mutex> lock(schedMutex_);
+        queues_[static_cast<size_t>(priority)].push_back(
+            std::move(work));
+        queued_++;
+        maxQueueDepth_ = std::max(maxQueueDepth_, queued_);
+    }
+    // The pool task is a generic "run the best queued request"
+    // trampoline: the pool drains FIFO, but each trampoline re-picks
+    // the highest-priority request at execution time, so Interactive
+    // requests overtake queued Background work while equal priorities
+    // keep arrival order.
+    pool_->submit([this] { runOne(); });
+}
+
+void
+SageArchiveService::runOne()
+{
+    std::function<void()> work;
+    {
+        std::lock_guard<std::mutex> lock(schedMutex_);
+        for (auto &queue : queues_) {
+            if (!queue.empty()) {
+                work = std::move(queue.front());
+                queue.pop_front();
+                break;
+            }
+        }
+        sage_assert(work != nullptr,
+                    "scheduler trampoline found no queued request");
+        queued_--;
+        executing_++;
+    }
+    // A throwing request (std::bad_alloc while assembling reads) must
+    // not unwind past the executing_ decrement below: the destructor's
+    // drain would wait on it forever. Request failure is fatal.
+    try {
+        work();
+    } catch (const std::exception &error) {
+        sage_fatal("service request failed with exception: ",
+                   error.what());
+    }
+    {
+        // Notify under the lock: once the destructor's drain wakes and
+        // takes the mutex, this trampoline no longer touches service
+        // state.
+        std::lock_guard<std::mutex> lock(schedMutex_);
+        executing_--;
+        if (queued_ == 0 && executing_ == 0)
+            schedIdle_.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chunk plumbing
+// ---------------------------------------------------------------------
+
+size_t
+SageArchiveService::chunkForRead(uint64_t read_index) const
+{
+    sage_assert(read_index < readCount(), "read index ", read_index,
+                " out of range (", readCount(), " reads)");
+    const auto it = std::upper_bound(chunkFirstRead_.begin(),
+                                     chunkFirstRead_.end(), read_index);
+    return static_cast<size_t>(it - chunkFirstRead_.begin()) - 1;
+}
+
+DecodedChunkPtr
+SageArchiveService::fetchChunk(size_t chunk)
+{
+    return cache_.getOrDecode(chunk, [this](size_t index) {
+        auto decoded = std::make_shared<DecodedChunk>();
+        decoded->reads = decoder_->decodeChunkShared(index);
+        decoded->firstRead = decoder_->chunkFirstRead(index);
+        decoded->bytes = DecodedChunk::residentBytes(decoded->reads);
+        return decoded;
+    });
+}
+
+DecodedChunkPtr
+SageArchiveService::fetchChunkForSession(size_t chunk)
+{
+    DecodedChunkPtr data = fetchChunk(chunk);
+    // Speculate the client's next sequential chunk into the cache as
+    // Background work — the serving-layer analogue of the reader's
+    // prefetch-next-chunk mode, but per client and deduplicated by
+    // the cache's single-flight machinery. Pointless without a
+    // retaining cache (the warm's decode would be evicted on insert
+    // and re-done when the session arrives), so a zero budget
+    // disables speculation.
+    if (options_.sessionReadahead && cache_.budgetBytes() > 0 &&
+        chunk + 1 < chunkCount() && !cache_.contains(chunk + 1)) {
+        warmChunk(chunk + 1);
+    }
+    return data;
+}
+
+std::vector<Read>
+SageArchiveService::assembleRange(uint64_t first_read, uint64_t count)
+{
+    std::vector<Read> out;
+    out.reserve(static_cast<size_t>(count));
+    uint64_t pos = first_read;
+    const uint64_t end = first_read + count;
+    while (pos < end) {
+        const DecodedChunkPtr chunk = fetchChunk(chunkForRead(pos));
+        const uint64_t chunk_end =
+            chunk->firstRead + chunk->reads.size();
+        const uint64_t take = std::min(end, chunk_end) - pos;
+        for (uint64_t i = 0; i < take; i++) {
+            out.push_back(
+                chunk->reads[static_cast<size_t>(
+                    pos - chunk->firstRead + i)]);
+        }
+        pos += take;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+void
+SageArchiveService::recordRequest(RequestPriority priority,
+                                  double seconds,
+                                  const std::vector<Read> &served)
+{
+    readsServed_.fetch_add(served.size(), std::memory_order_relaxed);
+    bytesServed_.fetch_add(payloadBytes(served),
+                           std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    requests_++;
+    requestsByPriority_[static_cast<size_t>(priority)]++;
+    latency_.record(seconds);
+}
+
+void
+SageArchiveService::scheduleRange(
+    uint64_t first_read, uint64_t count, RequestPriority priority,
+    std::function<void(std::vector<Read>)> deliver)
+{
+    sage_assert(first_read <= readCount() &&
+                count <= readCount() - first_read,
+                "read range [", first_read, ", ", first_read + count,
+                ") exceeds the archive's ", readCount(), " reads");
+    const Stopwatch clock;  // Latency includes the queue wait.
+    enqueue(priority, [this, first_read, count, priority, clock,
+                       deliver = std::move(deliver)] {
+        std::vector<Read> out = assembleRange(first_read, count);
+        recordRequest(priority, clock.seconds(), out);
+        deliver(std::move(out));
+    });
+}
+
+std::future<std::vector<Read>>
+SageArchiveService::readRangeAsync(uint64_t first_read, uint64_t count,
+                                   RequestPriority priority)
+{
+    auto promise =
+        std::make_shared<std::promise<std::vector<Read>>>();
+    std::future<std::vector<Read>> future = promise->get_future();
+    scheduleRange(first_read, count, priority,
+                  [promise](std::vector<Read> reads) {
+                      promise->set_value(std::move(reads));
+                  });
+    return future;
+}
+
+std::future<std::vector<Read>>
+SageArchiveService::readChunkAsync(size_t chunk,
+                                   RequestPriority priority)
+{
+    sage_assert(chunk < chunkCount(), "chunk index ", chunk,
+                " out of range (", chunkCount(), " chunks)");
+    return readRangeAsync(decoder_->chunkFirstRead(chunk),
+                          decoder_->chunkReadCount(chunk), priority);
+}
+
+std::vector<Read>
+SageArchiveService::readRange(uint64_t first_read, uint64_t count,
+                              RequestPriority priority)
+{
+    return readRangeAsync(first_read, count, priority).get();
+}
+
+std::vector<Read>
+SageArchiveService::readChunk(size_t chunk, RequestPriority priority)
+{
+    return readChunkAsync(chunk, priority).get();
+}
+
+void
+SageArchiveService::readRangeCallback(
+    uint64_t first_read, uint64_t count,
+    std::function<void(std::vector<Read>)> done,
+    RequestPriority priority)
+{
+    scheduleRange(first_read, count, priority, std::move(done));
+}
+
+void
+SageArchiveService::warmChunk(size_t chunk)
+{
+    if (chunk >= chunkCount() || cache_.contains(chunk))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        readaheadWarms_++;
+    }
+    const Stopwatch clock;
+    enqueue(RequestPriority::Background, [this, chunk, clock] {
+        fetchChunk(chunk);
+        recordRequest(RequestPriority::Background, clock.seconds(), {});
+    });
+}
+
+ServiceStats
+SageArchiveService::stats() const
+{
+    ServiceStats out;
+    out.readsServed = readsServed_.load(std::memory_order_relaxed);
+    out.bytesServed = bytesServed_.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        out.requests = requests_;
+        out.requestsByPriority = requestsByPriority_;
+        out.readaheadWarms = readaheadWarms_;
+        out.latencySamples = latency_.count();
+        out.meanLatencySeconds = latency_.meanSeconds();
+        out.p50LatencySeconds = latency_.quantileSeconds(0.50);
+        out.p99LatencySeconds = latency_.quantileSeconds(0.99);
+        out.maxLatencySeconds = latency_.maxSeconds();
+    }
+    {
+        std::lock_guard<std::mutex> lock(schedMutex_);
+        out.queueDepth = queued_;
+        out.maxQueueDepth = maxQueueDepth_;
+    }
+    out.cache = cache_.stats();
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ServiceSession
+// ---------------------------------------------------------------------
+
+uint64_t
+ServiceSession::remaining() const
+{
+    return service_->readCount() - position_;
+}
+
+void
+ServiceSession::seek(uint64_t read_index)
+{
+    sage_assert(read_index <= service_->readCount(),
+                "seek past end of archive");
+    position_ = read_index;
+    chunk_.reset();
+}
+
+void
+ServiceSession::ensureChunk()
+{
+    if (chunk_ && position_ >= chunk_->firstRead &&
+        position_ < chunk_->firstRead + chunk_->reads.size()) {
+        return;
+    }
+    // Chunk fetches go through the scheduler like any other request
+    // so a flood of Background warms cannot starve them.
+    const size_t index = service_->chunkForRead(position_);
+    auto promise = std::make_shared<std::promise<DecodedChunkPtr>>();
+    std::future<DecodedChunkPtr> future = promise->get_future();
+    const Stopwatch clock;
+    SageArchiveService *service = service_;
+    const RequestPriority priority = priority_;
+    service_->enqueue(priority, [service, index, priority, promise,
+                                 clock] {
+        DecodedChunkPtr data = service->fetchChunkForSession(index);
+        service->recordRequest(priority, clock.seconds(), {});
+        promise->set_value(std::move(data));
+    });
+    chunk_ = future.get();
+}
+
+Read
+ServiceSession::next()
+{
+    sage_assert(hasNext(), "session exhausted");
+    ensureChunk();
+    Read read =
+        chunk_->reads[static_cast<size_t>(position_ -
+                                          chunk_->firstRead)];
+    position_++;
+    service_->readsServed_.fetch_add(1, std::memory_order_relaxed);
+    service_->bytesServed_.fetch_add(
+        read.bases.size() + read.quals.size(),
+        std::memory_order_relaxed);
+    return read;
+}
+
+std::vector<Read>
+ServiceSession::read(uint64_t count)
+{
+    count = std::min(count, remaining());
+    std::vector<Read> out;
+    out.reserve(static_cast<size_t>(count));
+    uint64_t taken_bytes = 0;
+    while (count > 0) {
+        ensureChunk();
+        const uint64_t chunk_end =
+            chunk_->firstRead + chunk_->reads.size();
+        const uint64_t take = std::min(count, chunk_end - position_);
+        for (uint64_t i = 0; i < take; i++) {
+            const Read &read = chunk_->reads[static_cast<size_t>(
+                position_ - chunk_->firstRead + i)];
+            taken_bytes += read.bases.size() + read.quals.size();
+            out.push_back(read);
+        }
+        position_ += take;
+        count -= take;
+    }
+    service_->readsServed_.fetch_add(out.size(),
+                                     std::memory_order_relaxed);
+    service_->bytesServed_.fetch_add(taken_bytes,
+                                     std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace sage

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * SageArchiveService: a concurrent, multi-client serving layer over
+ * one open SAGe archive.
+ *
+ * The paper's thesis is that decode stops being the bottleneck once
+ * it is cheap and overlapped with I/O (§5.2); this layer addresses
+ * the next bottleneck at scale — many consumers of the *same*
+ * archive each re-reading and re-decoding the same chunks. The
+ * service owns an open archive (any ByteSource: file, memory, or a
+ * striped device array) and serves N clients through:
+ *
+ *   - a sharded, byte-budgeted LRU cache of decoded chunks
+ *     (service/chunk_cache.hh) with single-flight decode, so a hot
+ *     chunk is decompressed once no matter how many clients want it;
+ *   - a request scheduler that drains readRange()/readChunk()
+ *     requests onto a shared util/thread_pool in FIFO-within-priority
+ *     order (an Interactive request overtakes queued Background
+ *     warms, requests of equal priority run in arrival order);
+ *   - per-client ServiceSession handles that track sequential
+ *     position, letting the service speculate each client's next
+ *     chunk into the cache (the serving-layer analogue of
+ *     SageReaderOptions::prefetch);
+ *   - ServiceStats: request/byte counters, cache hit rate, queue
+ *     depth and p50/p99 request latency (util/histogram.hh's
+ *     LatencyHistogram).
+ *
+ * Requests address reads by stored-order index — readRange(first,
+ * count) spans chunk boundaries transparently — or whole chunks by
+ * index. Sync, future- and callback-based async flavors all funnel
+ * through the same scheduler. See docs/service.md for the cache and
+ * scheduling model plus sizing guidance.
+ */
+
+#ifndef SAGE_SERVICE_SERVICE_HH
+#define SAGE_SERVICE_SERVICE_HH
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/decoder.hh"
+#include "io/file_stream.hh"
+#include "service/chunk_cache.hh"
+#include "util/histogram.hh"
+
+namespace sage {
+
+class ThreadPool;
+
+/** Scheduling class of a service request. */
+enum class RequestPriority : uint8_t {
+    Interactive = 0,  ///< Latency-sensitive foreground reads.
+    Normal = 1,       ///< Default for client requests.
+    Background = 2,   ///< Cache warms / session readahead.
+};
+
+constexpr unsigned kRequestPriorityCount = 3;
+
+/** Service construction knobs. */
+struct ServiceOptions
+{
+    /** Decoded-chunk cache budget. The decoded working set is roughly
+     *  the FASTQ size of the cached span (docs/service.md has sizing
+     *  guidance); 0 disables retention (every request decodes). */
+    uint64_t cacheBudgetBytes = 256ull << 20;
+
+    /** Cache shards (lock striping; power of two recommended). */
+    unsigned cacheShards = 8;
+
+    /** Skip host-side header/quality streams, like
+     *  SageReaderOptions::dnaOnly (accelerator-feeding deployments). */
+    bool dnaOnly = false;
+
+    /** Worker pool the scheduler drains onto (must outlive the
+     *  service). When null the service owns a pool of
+     *  @ref ownedPoolThreads workers. */
+    ThreadPool *pool = nullptr;
+
+    /** Owned-pool size when @ref pool is null (0 = hardware
+     *  concurrency). */
+    unsigned ownedPoolThreads = 0;
+
+    /** Speculate each session's next chunk into the cache as a
+     *  Background request when its sequential walk crosses a chunk
+     *  boundary. */
+    bool sessionReadahead = true;
+};
+
+/** Snapshot of the service's counters (see stats()). */
+struct ServiceStats
+{
+    /** Completed requests, total and per priority class. */
+    uint64_t requests = 0;
+    std::array<uint64_t, kRequestPriorityCount> requestsByPriority{};
+
+    uint64_t readsServed = 0;  ///< Reads delivered to clients.
+    uint64_t bytesServed = 0;  ///< Payload bytes (bases + quality).
+
+    /** Requests queued right now / high-water mark. */
+    uint64_t queueDepth = 0;
+    uint64_t maxQueueDepth = 0;
+
+    /** Background cache warms issued by session readahead. */
+    uint64_t readaheadWarms = 0;
+
+    /** Cache counters (hit rate, evictions, resident bytes). */
+    ChunkCacheStats cache;
+
+    /** Request latency, enqueue to completion. */
+    uint64_t latencySamples = 0;
+    double meanLatencySeconds = 0.0;
+    double p50LatencySeconds = 0.0;
+    double p99LatencySeconds = 0.0;
+    double maxLatencySeconds = 0.0;
+};
+
+class SageArchiveService;
+
+/**
+ * Per-client handle: a sequential cursor over the archive served
+ * through the shared cache. Cheap to create (no decode until the
+ * first read); must not outlive its service. Not thread-safe — one
+ * session per client thread, any number of sessions per service.
+ */
+class ServiceSession
+{
+  public:
+    /** Stored-order index of the next read this session returns. */
+    uint64_t position() const { return position_; }
+
+    /** Reads left until the archive is exhausted. */
+    uint64_t remaining() const;
+
+    bool hasNext() const { return remaining() > 0; }
+
+    /** Next read in stored order (copies out of the shared decoded
+     *  chunk; chunk-grained fetches + readahead behind the scenes). */
+    Read next();
+
+    /** Next @p count reads in stored order (clamped to remaining). */
+    std::vector<Read> read(uint64_t count);
+
+    /** Jump the cursor (a non-sequential client). */
+    void seek(uint64_t read_index);
+
+  private:
+    friend class SageArchiveService;
+    ServiceSession(SageArchiveService &service, RequestPriority priority)
+        : service_(&service), priority_(priority)
+    {}
+
+    /** Ensure chunk_ covers position_ (fetch + readahead on miss). */
+    void ensureChunk();
+
+    SageArchiveService *service_;
+    RequestPriority priority_;
+    uint64_t position_ = 0;
+    DecodedChunkPtr chunk_;  ///< Shared decoded chunk under the cursor.
+};
+
+/** Concurrent multi-client server over one open archive. */
+class SageArchiveService
+{
+  public:
+    /** Serve @p source (must outlive the service). */
+    explicit SageArchiveService(const ByteSource &source,
+                                ServiceOptions options = {});
+
+    /** Serve a file (owned FileSource; fatal naming the path). */
+    explicit SageArchiveService(const std::string &path,
+                                ServiceOptions options = {});
+
+    /** Drains outstanding requests before tearing down. */
+    ~SageArchiveService();
+
+    SageArchiveService(const SageArchiveService &) = delete;
+    SageArchiveService &operator=(const SageArchiveService &) = delete;
+
+    // ---- structure ---------------------------------------------------
+
+    const ArchiveInfo &info() const { return decoder_->info(); }
+    size_t chunkCount() const { return decoder_->chunkCount(); }
+    uint64_t readCount() const { return info().params.numReads; }
+
+    // ---- synchronous API (blocks the calling client thread) ----------
+
+    /**
+     * Reads [@p first_read, @p first_read + @p count) in stored
+     * order, assembled from the covering chunks through the cache.
+     * Scheduled like every other request; the caller blocks until its
+     * turn completes. Fatal on an out-of-range span.
+     */
+    std::vector<Read>
+    readRange(uint64_t first_read, uint64_t count,
+              RequestPriority priority = RequestPriority::Normal);
+
+    /** All of chunk @p chunk's reads, in stored order. */
+    std::vector<Read>
+    readChunk(size_t chunk,
+              RequestPriority priority = RequestPriority::Normal);
+
+    // ---- asynchronous API --------------------------------------------
+
+    /** Future-based flavor of readRange. */
+    std::future<std::vector<Read>>
+    readRangeAsync(uint64_t first_read, uint64_t count,
+                   RequestPriority priority = RequestPriority::Normal);
+
+    /** Future-based flavor of readChunk. */
+    std::future<std::vector<Read>>
+    readChunkAsync(size_t chunk,
+                   RequestPriority priority = RequestPriority::Normal);
+
+    /**
+     * Callback-based flavor: @p done runs on a worker thread with the
+     * assembled reads once the request is served. The callback must
+     * not block on another sync request to this service from the same
+     * thread pool (it would occupy the worker it is waiting for).
+     */
+    void readRangeCallback(uint64_t first_read, uint64_t count,
+                           std::function<void(std::vector<Read>)> done,
+                           RequestPriority priority =
+                               RequestPriority::Normal);
+
+    // ---- sessions / cache control ------------------------------------
+
+    /** Open a sequential per-client cursor. */
+    ServiceSession
+    openSession(RequestPriority priority = RequestPriority::Normal)
+    {
+        return ServiceSession(*this, priority);
+    }
+
+    /**
+     * Fire-and-forget cache warm of @p chunk at Background priority
+     * (no-op when resident or out of range). Single-flight makes
+     * duplicate warms free.
+     */
+    void warmChunk(size_t chunk);
+
+    /** Counter snapshot. */
+    ServiceStats stats() const;
+
+    /** The worker pool requests execute on. */
+    ThreadPool &pool() { return *pool_; }
+
+  private:
+    friend class ServiceSession;
+
+    /** Shared constructor tail (pool setup, chunk prefix table). */
+    void init();
+
+    /** Chunk containing stored-order read @p read_index. */
+    size_t chunkForRead(uint64_t read_index) const;
+
+    /** Cache-mediated decoded chunk (single-flight on cold misses). */
+    DecodedChunkPtr fetchChunk(size_t chunk);
+
+    /** fetchChunk + session-readahead of the successor chunk. */
+    DecodedChunkPtr fetchChunkForSession(size_t chunk);
+
+    /** Copy the reads of [first, first+count) out of cached chunks. */
+    std::vector<Read> assembleRange(uint64_t first_read, uint64_t count);
+
+    /** Shared body of every range flavor: validate, enqueue, assemble,
+     *  record, then hand the reads to @p deliver on the worker. */
+    void scheduleRange(uint64_t first_read, uint64_t count,
+                       RequestPriority priority,
+                       std::function<void(std::vector<Read>)> deliver);
+
+    /** Queue @p work at @p priority; returns after enqueue. */
+    void enqueue(RequestPriority priority, std::function<void()> work);
+
+    /** Pop and run the oldest request of the best priority. */
+    void runOne();
+
+    /** Record a completed request's latency + served payload. */
+    void recordRequest(RequestPriority priority, double seconds,
+                       const std::vector<Read> &served);
+
+    std::unique_ptr<FileSource> file_;  ///< Owned for the path ctor.
+    std::unique_ptr<SageDecoder> decoder_;
+    ServiceOptions options_;
+    std::unique_ptr<ThreadPool> ownedPool_;
+    ThreadPool *pool_;
+    ChunkCache cache_;
+
+    /** Prefix read-start of every chunk (chunkForRead binary search). */
+    std::vector<uint64_t> chunkFirstRead_;
+
+    // Scheduler state: one deque per priority, drained best-first.
+    mutable std::mutex schedMutex_;
+    std::condition_variable schedIdle_;
+    std::array<std::deque<std::function<void()>>, kRequestPriorityCount>
+        queues_;
+    uint64_t queued_ = 0;       ///< Requests enqueued, not yet started.
+    uint64_t executing_ = 0;    ///< Requests currently running.
+    uint64_t maxQueueDepth_ = 0;
+
+    // Counter state (separate lock: hot request completions must not
+    // contend with scheduling). The served tallies are atomics, not
+    // mutex-guarded: sessions bump them per delivered read — the
+    // hottest path in the service — and must not serialize every
+    // client on one lock.
+    mutable std::mutex statsMutex_;
+    uint64_t requests_ = 0;
+    std::array<uint64_t, kRequestPriorityCount> requestsByPriority_{};
+    std::atomic<uint64_t> readsServed_{0};
+    std::atomic<uint64_t> bytesServed_{0};
+    uint64_t readaheadWarms_ = 0;
+    LatencyHistogram latency_;
+};
+
+} // namespace sage
+
+#endif // SAGE_SERVICE_SERVICE_HH

@@ -7,6 +7,7 @@
 #ifndef SAGE_UTIL_HISTOGRAM_HH
 #define SAGE_UTIL_HISTOGRAM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -98,6 +99,130 @@ class Histogram
   private:
     std::vector<uint64_t> counts_;
     uint64_t total_ = 0;
+};
+
+/**
+ * Fixed-footprint latency histogram for the archive service layer
+ * (service/service.hh): log-spaced buckets — four per power-of-two
+ * octave of microseconds — so p50/p99 over millions of requests costs
+ * a few KB and one array walk, with ~19% worst-case quantile error.
+ *
+ * Not internally synchronized; the service records under its stats
+ * mutex.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Record one latency sample. Negative samples clamp to zero. */
+    void
+    record(double seconds)
+    {
+        const uint64_t micros = seconds <= 0.0
+            ? 0
+            : static_cast<uint64_t>(seconds * 1e6);
+        counts_[bucketFor(micros)]++;
+        total_++;
+        sumSeconds_ += seconds > 0.0 ? seconds : 0.0;
+        if (seconds > maxSeconds_)
+            maxSeconds_ = seconds;
+    }
+
+    /** Samples recorded. */
+    uint64_t count() const { return total_; }
+
+    /** Sum of all samples (for mean latency). */
+    double totalSeconds() const { return sumSeconds_; }
+
+    /** Largest sample seen (exact, not bucketed). */
+    double maxSeconds() const { return maxSeconds_; }
+
+    /** Mean latency in seconds. */
+    double
+    meanSeconds() const
+    {
+        return total_ == 0 ? 0.0
+                           : sumSeconds_ / static_cast<double>(total_);
+    }
+
+    /**
+     * Latency at quantile @p q in (0, 1] (e.g. 0.5, 0.99): the upper
+     * edge of the smallest bucket whose cumulative count reaches q —
+     * a conservative (never-underreported) estimate.
+     */
+    double
+    quantileSeconds(double q) const
+    {
+        if (total_ == 0)
+            return 0.0;
+        uint64_t want = static_cast<uint64_t>(
+            q * static_cast<double>(total_));
+        if (want == 0)
+            want = 1;
+        uint64_t sum = 0;
+        for (size_t b = 0; b < kBuckets; b++) {
+            sum += counts_[b];
+            if (sum >= want) {
+                // The overflow bucket has no meaningful upper edge;
+                // the exact maximum is the only never-underreported
+                // answer there.
+                return b == kBuckets - 1 ? maxSeconds_
+                                         : bucketUpperMicros(b) / 1e6;
+            }
+        }
+        return maxSeconds_;
+    }
+
+    /** Merge another histogram into this one. */
+    void
+    merge(const LatencyHistogram &other)
+    {
+        for (size_t b = 0; b < kBuckets; b++)
+            counts_[b] += other.counts_[b];
+        total_ += other.total_;
+        sumSeconds_ += other.sumSeconds_;
+        if (other.maxSeconds_ > maxSeconds_)
+            maxSeconds_ = other.maxSeconds_;
+    }
+
+  private:
+    /** 4 sub-buckets per octave over 1 us .. ~64 s, plus overflow. */
+    static constexpr size_t kSubBuckets = 4;
+    static constexpr size_t kOctaves = 26;
+    static constexpr size_t kBuckets = kOctaves * kSubBuckets + 1;
+
+    static size_t
+    bucketFor(uint64_t micros)
+    {
+        if (micros < kSubBuckets)
+            return static_cast<size_t>(micros);
+        // Octave = position of the highest set bit; the next two bits
+        // select the sub-bucket within it.
+        unsigned octave = 63 - static_cast<unsigned>(
+            __builtin_clzll(micros));
+        const size_t sub =
+            static_cast<size_t>((micros >> (octave - 2)) & 3);
+        const size_t idx =
+            (static_cast<size_t>(octave) - 1) * kSubBuckets + sub;
+        return idx < kBuckets ? idx : kBuckets - 1;
+    }
+
+    /** Inclusive upper edge of bucket @p b, in microseconds. */
+    static double
+    bucketUpperMicros(size_t b)
+    {
+        if (b < kSubBuckets)
+            return static_cast<double>(b);
+        const size_t octave = b / kSubBuckets + 1;
+        const size_t sub = b % kSubBuckets;
+        // Bucket covers [2^octave * (1 + sub/4), 2^octave * (1 + (sub+1)/4)).
+        return static_cast<double>(uint64_t{1} << octave) *
+            (1.0 + (static_cast<double>(sub) + 1.0) / 4.0);
+    }
+
+    uint64_t counts_[kBuckets] = {};
+    uint64_t total_ = 0;
+    double sumSeconds_ = 0.0;
+    double maxSeconds_ = 0.0;
 };
 
 } // namespace sage

@@ -526,6 +526,41 @@ TEST(Pipeline, EndToEndOrderingMatchesPaper)
     EXPECT_NEAR(sage_hw, ideal, ideal * 0.05);
 }
 
+TEST(Pipeline, SharedConsumersCapSageSwPrepWithServeMeasurement)
+{
+    WorkloadMeasurement work = syntheticWorkload();
+    SystemConfig system;
+    system.mapper = gemAccelerator();
+    // Private-pipeline projection would be 0.35 / 24 with the default
+    // parallel factor; a faster measured serving figure must cap it
+    // when consumers share the archive.
+    work.sageSwServeSeconds = 0.002;
+    work.sageSwServeClients = 4.0;
+
+    const double solo =
+        dataPrepSeconds(work, PrepConfig::SageSW, system);
+    system.sharedConsumers = 16;
+    const double shared =
+        dataPrepSeconds(work, PrepConfig::SageSW, system);
+    EXPECT_LT(shared, solo);
+
+    // A slower serve measurement never worsens the projection, and
+    // the cap only applies when consumers actually share the archive.
+    work.sageSwServeSeconds = 10.0;
+    EXPECT_DOUBLE_EQ(dataPrepSeconds(work, PrepConfig::SageSW, system),
+                     solo);
+    system.sharedConsumers = 1;
+    work.sageSwServeSeconds = 0.002;
+    EXPECT_DOUBLE_EQ(dataPrepSeconds(work, PrepConfig::SageSW, system),
+                     solo);
+    // Other configurations have no serving layer: unaffected.
+    const double pigz =
+        dataPrepSeconds(work, PrepConfig::Pigz, system);
+    system.sharedConsumers = 16;
+    EXPECT_DOUBLE_EQ(dataPrepSeconds(work, PrepConfig::Pigz, system),
+                     pigz);
+}
+
 TEST(Pipeline, SageSsdWithIsfWinsWhenFilterIsStrong)
 {
     const WorkloadMeasurement work = syntheticWorkload();

@@ -121,6 +121,97 @@ TEST(FileStream, SinkSourceRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(FileStream, ReadBatchCoalescesArbitraryExtents)
+{
+    const std::string path = scratchPath("batch.bin");
+    const std::vector<uint8_t> data = pattern(512 * 1024);
+    {
+        FileSink sink(path);
+        sink.writeBytes(data);
+    }
+    FileSource source(path);
+
+    // Extents deliberately out of order, adjacent, gapped below and
+    // above the coalescing threshold, duplicated, and empty — the
+    // batched read must behave exactly like per-extent readAt().
+    struct Case
+    {
+        uint64_t offset;
+        size_t size;
+    };
+    const std::vector<Case> cases = {
+        {400 * 1024, 1000},  // Far extent first (sorting exercised).
+        {0, 13},
+        {13, 100},           // Adjacent to the previous one.
+        {200, 50},           // Small gap: same preadv run.
+        {90 * 1024, 4096},   // Gap > 64 KB: its own run.
+        {0, 13},             // Duplicate of an earlier extent.
+        {512 * 1024 - 7, 7}, // Runs to EOF exactly.
+        {1000, 0},           // Empty extent is skipped.
+    };
+    std::vector<std::vector<uint8_t>> buffers;
+    std::vector<ByteSource::Extent> extents;
+    for (const Case &c : cases) {
+        buffers.emplace_back(c.size, 0xAA);
+        extents.push_back({c.offset, buffers.back().data(), c.size});
+    }
+    source.readBatch(extents.data(), extents.size());
+    for (size_t i = 0; i < cases.size(); i++) {
+        const std::vector<uint8_t> want(
+            data.begin() + static_cast<ptrdiff_t>(cases[i].offset),
+            data.begin() +
+                static_cast<ptrdiff_t>(cases[i].offset + cases[i].size));
+        EXPECT_EQ(buffers[i], want) << "extent " << i;
+    }
+
+    // Many small extents overflowing one iovec budget still complete.
+    std::vector<std::vector<uint8_t>> many(300,
+                                           std::vector<uint8_t>(16));
+    std::vector<ByteSource::Extent> many_extents;
+    for (size_t i = 0; i < many.size(); i++)
+        many_extents.push_back({i * 32, many[i].data(), 16});
+    source.readBatch(many_extents.data(), many_extents.size());
+    for (size_t i = 0; i < many.size(); i++) {
+        const std::vector<uint8_t> want(
+            data.begin() + static_cast<ptrdiff_t>(i * 32),
+            data.begin() + static_cast<ptrdiff_t>(i * 32 + 16));
+        EXPECT_EQ(many[i], want) << "extent " << i;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(FileStream, ReadBatchPastEndDiesWithPath)
+{
+    const std::string path = scratchPath("batch_short.bin");
+    {
+        FileSink sink(path);
+        const std::vector<uint8_t> data = pattern(64);
+        sink.writeBytes(data);
+    }
+    FileSource source(path);
+    uint8_t buf[32];
+    ByteSource::Extent extent{40, buf, 32};
+    EXPECT_EXIT({ source.readBatch(&extent, 1); },
+                ::testing::ExitedWithCode(1), "batch_short.bin");
+    std::remove(path.c_str());
+}
+
+TEST(MemoryStream, ReadBatchMatchesPerExtentReads)
+{
+    const std::vector<uint8_t> data = pattern(4096);
+    MemorySource source(data);
+    std::vector<uint8_t> a(100), b(5), c(256);
+    std::vector<ByteSource::Extent> extents = {
+        {50, a.data(), a.size()},
+        {0, b.data(), b.size()},
+        {4096 - 256, c.data(), c.size()},
+    };
+    source.readBatch(extents.data(), extents.size());
+    EXPECT_EQ(a, source.read(50, 100));
+    EXPECT_EQ(b, source.read(0, 5));
+    EXPECT_EQ(c, source.read(4096 - 256, 256));
+}
+
 TEST(FileStream, MissingFileDiesWithPath)
 {
     EXPECT_EXIT({ FileSource source("/nonexistent/sage-no-such.bin"); },

@@ -165,6 +165,39 @@ TEST(Kernel2Bit, UnalignedBuffersDecodeIdentically)
     }
 }
 
+TEST(Kernel3Bit, UnalignedBuffersDecodeIdentically)
+{
+    // The shuffle-based 3-bit unpack loads 16 bytes per 6 consumed, so
+    // both unaligned sources and near-end-of-buffer streams exercise
+    // its bounds handling.
+    Rng rng(7);
+    const std::string seq = randomSeq(rng, 251, /*with_n=*/true);
+    std::vector<uint8_t> packed((3 * seq.size() + 7) / 8);
+    kernels::pack3bit(seq.data(), seq.size(), packed.data());
+
+    for (size_t misalign = 0; misalign < 16; misalign++) {
+        std::vector<uint8_t> shifted(misalign, 0xEE);
+        shifted.insert(shifted.end(), packed.begin(), packed.end());
+        std::string bases(seq.size(), '\0');
+        kernels::unpack3bit(shifted.data() + misalign, packed.size(),
+                            seq.size(), bases.data());
+        ASSERT_EQ(bases, seq) << "misalign " << misalign;
+    }
+
+    // Exactly-sized stream (no slack after the last group): the SIMD
+    // main loop must hand the tail to the scalar kernel instead of
+    // loading past the end.
+    for (size_t len : {8u, 16u, 24u, 40u, 48u, 250u, 251u}) {
+        std::string sub = seq.substr(0, len);
+        std::vector<uint8_t> tight((3 * len + 7) / 8);
+        kernels::pack3bit(sub.data(), len, tight.data());
+        std::string out(len, '\0');
+        kernels::unpack3bit(tight.data(), tight.size(), len,
+                            out.data());
+        ASSERT_EQ(out, sub) << "len " << len;
+    }
+}
+
 TEST(KernelRevComp, MatchesPerCharReferenceAcrossLengths)
 {
     Rng rng(4);

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for the concurrent archive service layer (service/service.hh):
+ * ChunkCache LRU/eviction/single-flight semantics, the request
+ * scheduler's priority ordering, sync/async/callback request APIs,
+ * per-client sessions with readahead, and the acceptance stress test —
+ * many clients over a FileSource-backed archive with a tiny cache
+ * budget must produce byte-identical reads vs one sequential
+ * SageReader. Runs under the ASan/UBSan and TSan presets in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/thread_pool.hh"
+
+namespace sage {
+namespace {
+
+/** Scratch path unique to the running test: ctest runs every test as
+ *  its own parallel process, so fixture files must not collide. */
+std::string
+perTestScratchPath(const std::string &suffix)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "sage_service_" +
+        std::string(info->test_suite_name()) + "_" + info->name() +
+        "_" + suffix;
+}
+
+/** Element-wise equality including headers. */
+void
+expectSameReads(const std::vector<Read> &a, const std::vector<Read> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].bases, b[i].bases) << "read " << i;
+        ASSERT_EQ(a[i].quals, b[i].quals) << "read " << i;
+        ASSERT_EQ(a[i].header, b[i].header) << "read " << i;
+    }
+}
+
+/** A decoded chunk of @p reads copies with ~@p bytes_each payload. */
+DecodedChunkPtr
+makeChunk(size_t chunk, uint64_t first_read, size_t reads,
+          size_t bytes_each)
+{
+    auto data = std::make_shared<DecodedChunk>();
+    data->firstRead = first_read;
+    for (size_t r = 0; r < reads; r++) {
+        Read read;
+        read.bases.assign(bytes_each, "ACGT"[(chunk + r) % 4]);
+        data->reads.push_back(std::move(read));
+    }
+    data->bytes = DecodedChunk::residentBytes(data->reads);
+    return data;
+}
+
+// ---------------------------------------------------------------------
+// ChunkCache
+// ---------------------------------------------------------------------
+
+TEST(ChunkCache, HitAvoidsSecondDecode)
+{
+    ChunkCache cache(1 << 20, 2);
+    std::atomic<int> decodes{0};
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        decodes++;
+        return makeChunk(chunk, 0, 4, 64);
+    };
+    const DecodedChunkPtr first = cache.getOrDecode(7, decode);
+    const DecodedChunkPtr again = cache.getOrDecode(7, decode);
+    EXPECT_EQ(decodes.load(), 1);
+    EXPECT_EQ(first.get(), again.get());
+    const ChunkCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.inserts, 1u);
+    EXPECT_EQ(stats.residentChunks, 1u);
+    EXPECT_GT(stats.residentBytes, 0u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+    EXPECT_TRUE(cache.contains(7));
+    EXPECT_FALSE(cache.contains(8));
+}
+
+TEST(ChunkCache, EvictsLeastRecentlyUsedWithinBudget)
+{
+    // One shard so the LRU order is global; each chunk ~1 KB, budget
+    // fits two.
+    const uint64_t chunk_bytes = makeChunk(0, 0, 4, 256)->bytes;
+    ChunkCache cache(2 * chunk_bytes + chunk_bytes / 2, 1);
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        return makeChunk(chunk, 0, 4, 256);
+    };
+    cache.getOrDecode(0, decode);
+    cache.getOrDecode(1, decode);
+    cache.getOrDecode(0, decode);  // Touch 0: 1 becomes the LRU victim.
+    cache.getOrDecode(2, decode);
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_FALSE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    const ChunkCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 1u);
+    EXPECT_LE(stats.residentBytes, cache.budgetBytes());
+}
+
+TEST(ChunkCache, ZeroBudgetServesWithoutRetaining)
+{
+    ChunkCache cache(0, 4);
+    std::atomic<int> decodes{0};
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        decodes++;
+        return makeChunk(chunk, 0, 2, 32);
+    };
+    const DecodedChunkPtr data = cache.getOrDecode(3, decode);
+    ASSERT_NE(data, nullptr);
+    EXPECT_EQ(data->reads.size(), 2u);
+    EXPECT_FALSE(cache.contains(3));
+    cache.getOrDecode(3, decode);
+    EXPECT_EQ(decodes.load(), 2);  // Nothing was retained.
+    EXPECT_EQ(cache.stats().residentBytes, 0u);
+}
+
+TEST(ChunkCache, ClearDropsResidents)
+{
+    ChunkCache cache(1 << 20, 2);
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        return makeChunk(chunk, 0, 2, 32);
+    };
+    cache.getOrDecode(0, decode);
+    cache.getOrDecode(1, decode);
+    EXPECT_EQ(cache.stats().residentChunks, 2u);
+    cache.clear();
+    EXPECT_EQ(cache.stats().residentChunks, 0u);
+    EXPECT_EQ(cache.stats().residentBytes, 0u);
+    EXPECT_FALSE(cache.contains(0));
+}
+
+TEST(ChunkCache, ClearDuringInFlightDecodeServesButDoesNotRetain)
+{
+    ChunkCache cache(1 << 20, 1);
+    std::promise<void> decode_entered;
+    std::promise<void> release_decode;
+    std::thread leader([&] {
+        const DecodedChunkPtr data =
+            cache.getOrDecode(0, [&](size_t chunk) {
+                decode_entered.set_value();
+                release_decode.get_future().wait();
+                return makeChunk(chunk, 0, 2, 32);
+            });
+        EXPECT_NE(data, nullptr);
+    });
+    decode_entered.get_future().wait();
+    cache.clear();  // Invalidates the in-flight decode's publish.
+    release_decode.set_value();
+    leader.join();
+    // The waiting caller got its chunk, but the memory the clear()
+    // released was not silently re-populated behind its back.
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_EQ(cache.stats().residentBytes, 0u);
+}
+
+TEST(ChunkCache, SingleFlightDecodesOnceUnderContention)
+{
+    ChunkCache cache(1 << 20, 1);
+    std::atomic<int> decodes{0};
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        decodes++;
+        // Hold the flight open long enough for followers to join.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return makeChunk(chunk, 0, 4, 64);
+    };
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    std::vector<DecodedChunkPtr> results(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            results[static_cast<size_t>(t)] =
+                cache.getOrDecode(5, decode);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    // However the threads interleave, exactly one decode ran and every
+    // caller observed the same chunk (leader, coalesced follower, or
+    // post-insert hit).
+    EXPECT_EQ(decodes.load(), 1);
+    for (const auto &result : results)
+        EXPECT_EQ(result.get(), results[0].get());
+    const ChunkCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits + stats.coalescedWaits,
+              static_cast<uint64_t>(kThreads - 1));
+    EXPECT_GT(stats.hitRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Service fixture
+// ---------------------------------------------------------------------
+
+class ServiceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        SimulatedDataset ds = synthesizeDataset(makeTinySpec(false));
+        SageConfig config;
+        config.chunkReads = 64;  // Many small chunks.
+        config.preserveOrder = false;
+        archive_ = sageCompress(ds.readSet, ds.reference, config);
+        path_ = perTestScratchPath("archive.sage");
+        {
+            FileSink sink(path_);
+            sink.writeBytes(archive_.bytes);
+        }
+
+        // Stored-order ground truth from a plain sequential reader.
+        SageReader reader(path_);
+        chunks_ = reader.chunkCount();
+        for (size_t c = 0; c < chunks_; c++) {
+            const std::vector<Read> reads = reader.readChunk(c);
+            expected_.insert(expected_.end(), reads.begin(),
+                             reads.end());
+        }
+        ASSERT_GT(chunks_, 4u);
+    }
+
+    void
+    TearDown() override
+    {
+        std::remove(path_.c_str());
+    }
+
+    SageArchive archive_;
+    std::string path_;
+    size_t chunks_ = 0;
+    std::vector<Read> expected_;  ///< All reads in stored order.
+};
+
+TEST_F(ServiceTest, ReadRangeMatchesSequentialReader)
+{
+    SageArchiveService service(path_);
+    EXPECT_EQ(service.chunkCount(), chunks_);
+    EXPECT_EQ(service.readCount(), expected_.size());
+
+    // Whole archive in one request.
+    expectSameReads(service.readRange(0, service.readCount()),
+                    expected_);
+
+    // Unaligned spans crossing chunk boundaries.
+    for (uint64_t first : {0ull, 1ull, 63ull, 64ull, 65ull, 130ull}) {
+        for (uint64_t count : {0ull, 1ull, 64ull, 129ull}) {
+            if (first + count > expected_.size())
+                continue;
+            const std::vector<Read> got =
+                service.readRange(first, count);
+            const std::vector<Read> want(
+                expected_.begin() + static_cast<ptrdiff_t>(first),
+                expected_.begin() +
+                    static_cast<ptrdiff_t>(first + count));
+            expectSameReads(got, want);
+        }
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_GT(stats.requests, 0u);
+    EXPECT_GT(stats.cache.hitRate(), 0.0);
+    EXPECT_GT(stats.latencySamples, 0u);
+    EXPECT_GE(stats.p99LatencySeconds, stats.p50LatencySeconds);
+}
+
+TEST_F(ServiceTest, ReadChunkMatchesReaderChunks)
+{
+    // Memory-backed source works identically to the file path.
+    MemorySource source(archive_.bytes);
+    SageArchiveService service(source);
+    uint64_t first = 0;
+    for (size_t c = 0; c < chunks_; c++) {
+        const std::vector<Read> got = service.readChunk(c);
+        const std::vector<Read> want(
+            expected_.begin() + static_cast<ptrdiff_t>(first),
+            expected_.begin() +
+                static_cast<ptrdiff_t>(first + got.size()));
+        expectSameReads(got, want);
+        first += got.size();
+    }
+    EXPECT_EQ(first, expected_.size());
+}
+
+TEST_F(ServiceTest, AsyncAndCallbackFlavorsMatchSync)
+{
+    SageArchiveService service(path_);
+    auto future_a = service.readRangeAsync(0, 100);
+    auto future_b = service.readChunkAsync(1);
+    expectSameReads(future_a.get(),
+                    {expected_.begin(), expected_.begin() + 100});
+    const std::vector<Read> chunk1 = service.readChunk(1);
+    expectSameReads(future_b.get(), chunk1);
+
+    std::promise<std::vector<Read>> done;
+    service.readRangeCallback(
+        5, 70,
+        [&](std::vector<Read> reads) {
+            done.set_value(std::move(reads));
+        });
+    expectSameReads(done.get_future().get(),
+                    {expected_.begin() + 5, expected_.begin() + 75});
+}
+
+TEST_F(ServiceTest, SessionWalksArchiveInStoredOrder)
+{
+    SageArchiveService service(path_);
+    ServiceSession session = service.openSession();
+    EXPECT_EQ(session.remaining(), expected_.size());
+    std::vector<Read> walked;
+    while (session.hasNext())
+        walked.push_back(session.next());
+    expectSameReads(walked, expected_);
+    EXPECT_EQ(session.remaining(), 0u);
+
+    // On a single-core pool every trampoline prefers the client's
+    // Normal-priority fetches, so the Background warms may all still
+    // be queued here — drain them before reading the counters.
+    service.pool().wait();
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.readsServed, expected_.size());
+    // A sequential walk triggers next-chunk readahead warms, and the
+    // drained warms find their chunks resident (or decode them for the
+    // session to hit), so the lookup mix can't be all misses.
+    EXPECT_GT(stats.readaheadWarms, 0u);
+    EXPECT_GT(stats.cache.hitRate(), 0.0);
+    EXPECT_EQ(stats.queueDepth, 0u);
+}
+
+TEST_F(ServiceTest, SessionBulkReadAndSeek)
+{
+    SageArchiveService service(path_);
+    ServiceSession session = service.openSession();
+    const std::vector<Read> bulk = session.read(150);
+    expectSameReads(bulk, {expected_.begin(), expected_.begin() + 150});
+    EXPECT_EQ(session.position(), 150u);
+
+    session.seek(10);
+    const std::vector<Read> after_seek = session.read(5);
+    expectSameReads(after_seek,
+                    {expected_.begin() + 10, expected_.begin() + 15});
+
+    // Clamped read at the end of the archive.
+    session.seek(expected_.size() - 3);
+    EXPECT_EQ(session.read(100).size(), 3u);
+    EXPECT_FALSE(session.hasNext());
+}
+
+TEST_F(ServiceTest, DnaOnlyServiceSkipsQuality)
+{
+    ServiceOptions options;
+    options.dnaOnly = true;
+    SageArchiveService service(path_, options);
+    const std::vector<Read> got = service.readRange(0, 64);
+    for (size_t i = 0; i < got.size(); i++) {
+        EXPECT_EQ(got[i].bases, expected_[i].bases) << "read " << i;
+        EXPECT_TRUE(got[i].quals.empty()) << "read " << i;
+    }
+}
+
+TEST_F(ServiceTest, SharedExternalPoolAndWarm)
+{
+    ThreadPool pool(2);
+    ServiceOptions options;
+    options.pool = &pool;
+    SageArchiveService service(path_, options);
+    EXPECT_EQ(&service.pool(), &pool);
+
+    service.warmChunk(2);
+    service.warmChunk(2);              // Duplicate warm is coalesced.
+    service.warmChunk(chunks_ + 100);  // Out of range: no-op.
+    pool.wait();
+    const ServiceStats stats = service.stats();
+    EXPECT_GE(stats.requestsByPriority[static_cast<size_t>(
+                  RequestPriority::Background)],
+              1u);
+    // The warmed chunk now hits without a decode.
+    const ChunkCacheStats before = service.stats().cache;
+    service.readChunk(2);
+    const ChunkCacheStats after = service.stats().cache;
+    EXPECT_EQ(after.misses, before.misses);
+    EXPECT_GT(after.hits, before.hits);
+}
+
+TEST_F(ServiceTest, DestructorDrainsOutstandingRequests)
+{
+    std::future<std::vector<Read>> abandoned;
+    {
+        SageArchiveService service(path_);
+        abandoned = service.readRangeAsync(0, expected_.size());
+        // Service destroyed with the request possibly still queued.
+    }
+    // The drain guarantees the request completed before teardown.
+    expectSameReads(abandoned.get(), expected_);
+}
+
+TEST_F(ServiceTest, TinyCacheBudgetStillServesCorrectly)
+{
+    ServiceOptions options;
+    options.cacheBudgetBytes = 1;  // Effectively uncacheable entries.
+    options.cacheShards = 2;
+    SageArchiveService service(path_, options);
+    expectSameReads(service.readRange(0, service.readCount()),
+                    expected_);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.residentBytes, 0u);
+    EXPECT_GT(stats.cache.evictions + stats.cache.misses, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Acceptance stress test: many concurrent clients, mixed hot/cold
+// access, tiny cache budget, FileSource-backed archive.
+// ---------------------------------------------------------------------
+
+TEST_F(ServiceTest, StressManyClientsByteIdenticalToSequentialReader)
+{
+    ServiceOptions options;
+    // A budget of ~4 decoded chunks: hot chunks stay resident, the
+    // sequential walks constantly evict — both paths exercised.
+    options.cacheBudgetBytes =
+        4 * DecodedChunk::residentBytes(
+                {expected_.begin(), expected_.begin() + 64});
+    options.cacheShards = 4;
+    options.ownedPoolThreads = 8;
+    SageArchiveService service(path_, options);
+
+    constexpr size_t kClients = 20;  // >= 16 per acceptance criteria.
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (size_t t = 0; t < kClients; t++) {
+        clients.emplace_back([&, t] {
+            const auto check = [&](const std::vector<Read> &got,
+                                   uint64_t first) {
+                for (size_t i = 0; i < got.size(); i++) {
+                    const Read &want =
+                        expected_[static_cast<size_t>(first) + i];
+                    if (got[i].bases != want.bases ||
+                        got[i].quals != want.quals ||
+                        got[i].header != want.header) {
+                        failures++;
+                        return;
+                    }
+                }
+            };
+            if (t % 4 == 0) {
+                // Hot client: hammers the first two chunks.
+                for (int it = 0; it < 20; it++)
+                    check(service.readRange(0, 128), 0);
+            } else if (t % 4 == 1) {
+                // Session client: full sequential walk.
+                ServiceSession session = service.openSession();
+                std::vector<Read> walked;
+                while (session.hasNext())
+                    walked.push_back(session.next());
+                check(walked, 0);
+            } else if (t % 4 == 2) {
+                // Strided cold client: chunk-grained random access.
+                for (size_t c = t % chunks_, n = 0; n < chunks_;
+                     n++, c = (c + 3) % chunks_) {
+                    // chunkReads=64, so chunk c starts at read 64*c.
+                    check(service.readChunk(c),
+                          64 * static_cast<uint64_t>(c));
+                }
+            } else {
+                // Async client: overlapping span futures.
+                std::vector<
+                    std::pair<uint64_t,
+                              std::future<std::vector<Read>>>>
+                    pending;
+                for (uint64_t first = t; first + 97 < expected_.size();
+                     first += 101) {
+                    pending.emplace_back(
+                        first, service.readRangeAsync(first, 97));
+                }
+                for (auto &[first, future] : pending)
+                    check(future.get(), first);
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    const ServiceStats stats = service.stats();
+    EXPECT_GT(stats.cache.hitRate(), 0.0);    // Acceptance criterion.
+    EXPECT_GT(stats.cache.evictions, 0u);     // Tiny budget really evicted.
+    EXPECT_GT(stats.requests, kClients);
+    EXPECT_GT(stats.readsServed, 0u);
+    EXPECT_GT(stats.bytesServed, 0u);
+    EXPECT_LE(stats.cache.residentBytes, options.cacheBudgetBytes);
+    EXPECT_GT(stats.latencySamples, 0u);
+    EXPECT_GE(stats.maxQueueDepth, 1u);
+}
+
+} // namespace
+} // namespace sage

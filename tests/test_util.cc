@@ -287,6 +287,60 @@ TEST(Histogram, EmptyIsSafe)
     EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
 }
 
+TEST(LatencyHistogram, QuantilesWithinBucketError)
+{
+    LatencyHistogram h;
+    // 90 fast samples at ~1 ms, 10 slow at ~100 ms.
+    for (int i = 0; i < 90; i++)
+        h.record(0.001);
+    for (int i = 0; i < 10; i++)
+        h.record(0.100);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_NEAR(h.meanSeconds(), (90 * 0.001 + 10 * 0.100) / 100.0,
+                1e-9);
+    EXPECT_DOUBLE_EQ(h.maxSeconds(), 0.100);
+    // Log-spaced buckets: quantiles land at a bucket upper edge, never
+    // more than ~25% above the true value, never below it.
+    EXPECT_GE(h.quantileSeconds(0.50), 0.001);
+    EXPECT_LE(h.quantileSeconds(0.50), 0.00130);
+    EXPECT_GE(h.quantileSeconds(0.99), 0.100);
+    EXPECT_LE(h.quantileSeconds(0.99), 0.130);
+    EXPECT_LE(h.quantileSeconds(0.50), h.quantileSeconds(0.99));
+}
+
+TEST(LatencyHistogram, EmptyZeroAndExtremeSamplesAreSafe)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.quantileSeconds(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(h.meanSeconds(), 0.0);
+
+    h.record(0.0);
+    h.record(-1.0);         // Clamped to zero.
+    h.record(1e-9);         // Sub-microsecond.
+    h.record(500.0);        // Beyond the top octave: overflow bucket.
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.maxSeconds(), 500.0);
+    // Overflow-bucket quantiles report the exact max (the bucket has
+    // no upper edge), preserving the never-underreport guarantee.
+    EXPECT_DOUBLE_EQ(h.quantileSeconds(1.0), 500.0);
+}
+
+TEST(LatencyHistogram, MergeAccumulates)
+{
+    LatencyHistogram a, b;
+    for (int i = 0; i < 50; i++)
+        a.record(0.002);
+    for (int i = 0; i < 50; i++)
+        b.record(0.050);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 100u);
+    EXPECT_DOUBLE_EQ(a.maxSeconds(), 0.050);
+    EXPECT_GE(a.quantileSeconds(0.99), 0.050);
+    EXPECT_NEAR(a.meanSeconds(), (50 * 0.002 + 50 * 0.050) / 100.0,
+                1e-9);
+}
+
 TEST(ThreadPool, ParallelForCoversAll)
 {
     ThreadPool pool(4);
