@@ -10,6 +10,7 @@
  *   service.openSession()     -> per-client sequential cursor
  *   service.readRange(a, n)   -> stored-order span, any priority
  *   service.readRangeAsync()  -> future-based flavor
+ *   RequestOptions            -> deadline + cancel token (qos.hh)
  *   service.stats()           -> hit rate, latency, queue counters
  */
 
@@ -78,17 +79,36 @@ main()
                     a.get().size(), b.get().size());
     });
 
+    // A latency-sensitive client: deadline + cancel token. The QoS
+    // overloads return ReadResult{status, reads} — check ok() before
+    // touching the data; an Expired/Cancelled request delivers none.
+    clients.emplace_back([&] {
+        CancelSource source;  // cancel() from any thread to abort.
+        RequestOptions qos;
+        qos.priority = RequestPriority::Interactive;
+        qos.deadline = RequestOptions::deadlineIn(0.100);
+        qos.cancel = source.token();
+        const ReadResult result = service.readRange(0, 200, qos);
+        std::printf("  qos client: %s, %zu reads\n",
+                    requestStatusName(result.status),
+                    result.reads.size());
+    });
+
     for (auto &client : clients)
         client.join();
 
     // 4. The service kept score.
     const ServiceStats stats = service.stats();
-    std::printf("stats: %llu requests, %.0f%% cache hit rate, "
-                "%llu decodes, p99 %.2f ms\n",
+    std::printf("stats: %llu requests (%llu expired, %llu cancelled), "
+                "%.0f%% cache hit rate, %llu decodes, "
+                "interactive p99 %.2f ms\n",
                 static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.cancelled),
                 100.0 * stats.cache.hitRate(),
                 static_cast<unsigned long long>(stats.cache.misses),
-                stats.p99LatencySeconds * 1e3);
+                stats.latencyByPriority[static_cast<size_t>(
+                    RequestPriority::Interactive)].p99Seconds * 1e3);
     std::remove(path.c_str());
     return 0;
 }

@@ -7,7 +7,8 @@
  *   sage_cli decompress   <in.sage> <out.fastq> [--threads N]
  *   sage_cli range        <in.sage> <out.fastq> <first-chunk> <count> [--threads N]
  *   sage_cli inspect      <in.sage>
- *   sage_cli serve-stress <in.sage> [--clients N] [--cache-mb M] [--threads N] [--passes P]
+ *   sage_cli serve-stress <in.sage|@synth> [--clients N] [--cache-mb M] [--threads N] [--passes P]
+ *                         [--deadline-ms D] [--cancel-every K]
  *   sage_cli demo         <workdir>    (generates inputs, runs all of the above)
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
@@ -18,10 +19,12 @@
  */
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <utility>
@@ -216,19 +219,26 @@ cmdInspect(int argc, char **argv)
  * Drive a SageArchiveService with a fleet of concurrent session
  * clients (service/service.hh) and report the aggregate serving
  * throughput plus the service's own counters — a smoke/perf harness
- * for shared-archive deployments.
+ * for shared-archive deployments. `--deadline-ms` puts a deadline on
+ * every client session; `--cancel-every K` gives every Kth client a
+ * cancel token that a churn thread fires mid-walk (the nightly
+ * cancellation-churn stress in .github/workflows/bench.yml). The
+ * special input `@synth` synthesizes and serves a throwaway archive,
+ * so CI needs no checked-in test data.
  */
 int
 cmdServeStress(int argc, char **argv)
 {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: sage_cli serve-stress <in.sage> "
+                     "usage: sage_cli serve-stress <in.sage|@synth> "
                      "[--clients N] [--cache-mb M] [--threads N] "
-                     "[--passes P]\n");
+                     "[--passes P] [--deadline-ms D] "
+                     "[--cancel-every K]\n");
         return 1;
     }
     unsigned clients = 16, cache_mb = 256, threads = 0, passes = 1;
+    unsigned deadline_ms = 0, cancel_every = 0;
     bool bad_value = false;
     for (int i = 3; i < argc; i++) {
         const auto uintArg = [&](const char *flag, unsigned &out,
@@ -248,7 +258,9 @@ cmdServeStress(int argc, char **argv)
         if (!uintArg("--clients", clients, 4096) &&
             !uintArg("--cache-mb", cache_mb, 1 << 20) &&
             !uintArg("--threads", threads, 1024) &&
-            !uintArg("--passes", passes, 1 << 20)) {
+            !uintArg("--passes", passes, 1 << 20) &&
+            !uintArg("--deadline-ms", deadline_ms, 1 << 20) &&
+            !uintArg("--cancel-every", cancel_every, 1 << 20)) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 1;
         }
@@ -260,32 +272,85 @@ cmdServeStress(int argc, char **argv)
         return 1;
     }
 
+    std::string archive_path = argv[2];
+    bool synthesized = false;
+    if (archive_path == "@synth") {
+        DatasetSpec spec = makeRs2Spec();
+        spec.name = "serve-stress";
+        spec.genome.referenceLength = 1 << 19;
+        spec.depth = 12.0;
+        std::fprintf(stderr, "synthesizing throwaway archive ...\n");
+        const SimulatedDataset ds = synthesizeDataset(spec);
+        SageConfig config;
+        config.chunkReads = 4096;  // ~10 chunks: real cache traffic.
+        const SageArchive archive =
+            sageCompress(ds.readSet, ds.reference, config);
+        archive_path = "serve_stress_synth.sage.tmp";
+        FileSink sink(archive_path);
+        sink.writeBytes(archive.bytes);
+        synthesized = true;
+    }
+
     ServiceOptions options;
     options.cacheBudgetBytes = static_cast<uint64_t>(cache_mb) << 20;
     options.ownedPoolThreads = threads;
-    SageArchiveService service(argv[2], options);
+    SageArchiveService service(archive_path, options);
     std::printf("serving %s: %llu reads in %zu chunks, cache budget "
                 "%u MiB, %zu workers\n",
-                argv[2],
+                archive_path.c_str(),
                 static_cast<unsigned long long>(service.readCount()),
                 service.chunkCount(), cache_mb,
                 service.pool().threadCount());
+    if (deadline_ms)
+        std::printf("  per-session deadline: %u ms\n", deadline_ms);
+    if (cancel_every)
+        std::printf("  cancellation churn: every %uth client\n",
+                    cancel_every);
 
     double total_seconds = 0.0;
     uint64_t total_bytes = 0;
     for (unsigned pass = 0; pass < std::max(1u, passes); pass++) {
         const uint64_t bytes_before = service.stats().bytesServed;
         Stopwatch clock;
+        // Every Kth client carries a cancel token; the churn thread
+        // fires them with a small stagger so cancellation races every
+        // phase of a walk (queued, decoding, between chunks).
+        std::vector<std::shared_ptr<CancelSource>> victims;
         std::vector<std::thread> fleet;
         for (unsigned c = 0; c < clients; c++) {
-            fleet.emplace_back([&service] {
-                ServiceSession session = service.openSession();
-                while (session.hasNext())
-                    session.read(1024);
+            RequestOptions session_options;
+            if (deadline_ms) {
+                session_options.deadline = RequestOptions::deadlineIn(
+                    static_cast<double>(deadline_ms) / 1e3);
+            }
+            if (cancel_every && (c + 1) % cancel_every == 0) {
+                victims.push_back(std::make_shared<CancelSource>());
+                session_options.cancel = victims.back()->token();
+            }
+            fleet.emplace_back([&service, session_options] {
+                ServiceSession session =
+                    service.openSession(session_options);
+                while (session.hasNext()) {
+                    if (session.read(1024).empty() &&
+                        session.lastStatus() != RequestStatus::Ok)
+                        break;  // Expired or cancelled: walk is over.
+                }
+            });
+        }
+        std::thread churn;
+        if (!victims.empty()) {
+            churn = std::thread([&victims] {
+                for (auto &victim : victims) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(1));
+                    victim->cancel();
+                }
             });
         }
         for (auto &client : fleet)
             client.join();
+        if (churn.joinable())
+            churn.join();
         const double seconds = clock.seconds();
         const uint64_t bytes =
             service.stats().bytesServed - bytes_before;
@@ -326,9 +391,28 @@ cmdServeStress(int argc, char **argv)
                 stats.p99LatencySeconds * 1e3,
                 stats.maxLatencySeconds * 1e3,
                 static_cast<unsigned long long>(stats.latencySamples));
+    for (size_t p = 0; p < kRequestPriorityCount; p++) {
+        const LatencySummary &lat = stats.latencyByPriority[p];
+        if (lat.samples == 0)
+            continue;
+        std::printf("    %-12s   p50 %.2fms, p99 %.2fms "
+                    "(%llu samples)\n",
+                    requestPriorityName(
+                        static_cast<RequestPriority>(p)),
+                    lat.p50Seconds * 1e3, lat.p99Seconds * 1e3,
+                    static_cast<unsigned long long>(lat.samples));
+    }
+    std::printf("  qos outcomes:    %llu expired, %llu cancelled, "
+                "%llu abandoned waits\n",
+                static_cast<unsigned long long>(stats.expired),
+                static_cast<unsigned long long>(stats.cancelled),
+                static_cast<unsigned long long>(
+                    stats.cache.abandonedWaits));
     std::printf("  queue depth:     max %llu, readahead warms %llu\n",
                 static_cast<unsigned long long>(stats.maxQueueDepth),
                 static_cast<unsigned long long>(stats.readaheadWarms));
+    if (synthesized)
+        std::remove(archive_path.c_str());
     return 0;
 }
 

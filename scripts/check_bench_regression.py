@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the archive service layer.
+
+Compares a freshly generated bench_service report against the
+committed baseline (BENCH_service.json) and fails the build when the
+serving layer regressed:
+
+  * any matching (clients, cacheBudgetBytes) sweep row whose
+    aggMbPerSec dropped more than --tolerance (default 30%);
+  * the contended-cache acceptance row: the 64-client 4 MiB run must
+    not be slower than the 64-client cache-off run by more than 10%
+    (the scan-resistant cache must never be worse than no cache);
+  * the mixed QoS scenario: interactive p99 must stay below batch p50,
+    and batch throughput must stay within 10% of the streamers-only
+    pass (when both reports carry a "mixed" block).
+
+Bench numbers only transfer between like machines, so the gate first
+compares the embedded host blocks (hardwareConcurrency, compiler,
+kernelDispatch, forcedScalar). On mismatch it prints a notice and
+exits 0 — a laptop run must not fail CI against a runner baseline,
+and vice versa. Refresh the baseline by committing the fresh report
+(see docs/perf.md).
+
+Usage:
+    check_bench_regression.py FRESH BASELINE [--tolerance 0.30]
+Exit codes: 0 ok / host mismatch, 1 regression, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+HOST_KEYS = ("hardwareConcurrency", "compiler", "kernelDispatch",
+             "forcedScalar")
+ACCEPT_CLIENTS = 64
+ACCEPT_BUDGET = 4 * 1024 * 1024
+CACHE_OFF_SLACK = 0.10  # Noise allowance for the cache-off comparison.
+MIXED_BATCH_SLACK = 0.10
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+
+def hosts_comparable(fresh, baseline):
+    mismatches = []
+    fresh_host = fresh.get("host", {})
+    base_host = baseline.get("host", {})
+    for key in HOST_KEYS:
+        if fresh_host.get(key) != base_host.get(key):
+            mismatches.append(
+                f"  {key}: fresh={fresh_host.get(key)!r} "
+                f"baseline={base_host.get(key)!r}")
+    return mismatches
+
+
+def sweep_index(report):
+    return {(row["clients"], row["cacheBudgetBytes"]): row
+            for row in report.get("clientSweep", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate bench_service results against a baseline.")
+    parser.add_argument("fresh", help="freshly generated report")
+    parser.add_argument("baseline", help="committed baseline report")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="max fractional aggMbPerSec drop per "
+                             "sweep row (default 0.30)")
+    args = parser.parse_args()
+
+    fresh = load(args.fresh)
+    baseline = load(args.baseline)
+
+    mismatches = hosts_comparable(fresh, baseline)
+    if mismatches:
+        print("bench gate: host shape differs from the baseline's — "
+              "numbers are not comparable, skipping:")
+        print("\n".join(mismatches))
+        return 0
+
+    failures = []
+    fresh_rows = sweep_index(fresh)
+    base_rows = sweep_index(baseline)
+
+    # Per-row throughput drop vs baseline.
+    for key, base_row in sorted(base_rows.items()):
+        fresh_row = fresh_rows.get(key)
+        if fresh_row is None:
+            failures.append(
+                f"sweep row clients={key[0]} budget={key[1]}: "
+                f"missing from fresh report")
+            continue
+        base_agg = base_row["aggMbPerSec"]
+        fresh_agg = fresh_row["aggMbPerSec"]
+        if base_agg > 0 and fresh_agg < base_agg * (1 - args.tolerance):
+            failures.append(
+                f"sweep row clients={key[0]} budget={key[1]}: "
+                f"aggMbPerSec {fresh_agg:.1f} is "
+                f"{100 * (1 - fresh_agg / base_agg):.1f}% below "
+                f"baseline {base_agg:.1f} "
+                f"(tolerance {100 * args.tolerance:.0f}%)")
+
+    # Contended-cache acceptance: scan-resistant admission must keep
+    # the small-budget row at least as fast as running with no cache.
+    accept = fresh_rows.get((ACCEPT_CLIENTS, ACCEPT_BUDGET))
+    cache_off = fresh_rows.get((ACCEPT_CLIENTS, 0))
+    if accept and cache_off:
+        floor = cache_off["aggMbPerSec"] * (1 - CACHE_OFF_SLACK)
+        if accept["aggMbPerSec"] < floor:
+            failures.append(
+                f"{ACCEPT_CLIENTS}-client 4MiB row: "
+                f"{accept['aggMbPerSec']:.1f} MB/s is slower than "
+                f"cache-off {cache_off['aggMbPerSec']:.1f} MB/s "
+                f"beyond {100 * CACHE_OFF_SLACK:.0f}% noise — the "
+                f"cache is hurting under contention")
+    else:
+        failures.append(
+            "fresh report lacks the 64-client 4MiB and/or cache-off "
+            "sweep rows needed for the contended-cache acceptance")
+
+    # Mixed QoS scenario gates.
+    mixed = fresh.get("mixed")
+    if mixed:
+        if mixed["interactiveP99Ms"] >= mixed["batchP50Ms"]:
+            failures.append(
+                f"mixed: interactive p99 {mixed['interactiveP99Ms']}ms "
+                f">= batch p50 {mixed['batchP50Ms']}ms — priority "
+                f"scheduling is not isolating the interactive client")
+        only = mixed["streamersOnlyAggMbPerSec"]
+        batch = mixed["batchAggMbPerSec"]
+        if only > 0 and batch < only * (1 - MIXED_BATCH_SLACK):
+            failures.append(
+                f"mixed: batch agg {batch:.1f} MB/s fell more than "
+                f"{100 * MIXED_BATCH_SLACK:.0f}% below streamers-only "
+                f"{only:.1f} MB/s — the interactive client is "
+                f"starving batch work")
+    elif baseline.get("mixed"):
+        failures.append("fresh report lacks the \"mixed\" block the "
+                        "baseline has")
+
+    if failures:
+        print("bench gate: REGRESSION")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+
+    print(f"bench gate: ok ({len(base_rows)} sweep rows within "
+          f"{100 * args.tolerance:.0f}%, contended-cache and mixed-QoS "
+          f"acceptance hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

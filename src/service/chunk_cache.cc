@@ -1,6 +1,7 @@
 #include "service/chunk_cache.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "util/logging.hh"
@@ -21,8 +22,9 @@ DecodedChunk::residentBytes(const std::vector<Read> &reads)
     return bytes;
 }
 
-ChunkCache::ChunkCache(uint64_t budget_bytes, unsigned shards)
-    : budget_(budget_bytes)
+ChunkCache::ChunkCache(uint64_t budget_bytes, unsigned shards,
+                       unsigned ghost_keys_per_shard)
+    : budget_(budget_bytes), ghostCapacity_(ghost_keys_per_shard)
 {
     const unsigned n = std::max(1u, shards);
     shardBudget_ = budget_bytes / n;
@@ -44,30 +46,88 @@ ChunkCache::shardFor(size_t chunk) const
 }
 
 void
+ChunkCache::ghostKey(Shard &shard, size_t chunk)
+{
+    if (ghostCapacity_ == 0)
+        return;
+    if (shard.ghostMap.find(chunk) != shard.ghostMap.end())
+        return;  // Already remembered (evicted twice in a window).
+    shard.ghosts.push_front(chunk);
+    shard.ghostMap.emplace(chunk, shard.ghosts.begin());
+    while (shard.ghosts.size() > ghostCapacity_) {
+        shard.ghostMap.erase(shard.ghosts.back());
+        shard.ghosts.pop_back();
+    }
+}
+
+void
+ChunkCache::evictToBudget(Shard &shard)
+{
+    // SIEVE sweep: the hand walks from the oldest entry toward the
+    // newest; a visited entry is spared once (bit cleared, hand moves
+    // on), an unvisited one is evicted and its key ghosted. The loop
+    // terminates: every iteration either clears a visited bit (finite
+    // supply) or removes an entry.
+    while (shard.residentBytes > shardBudget_ &&
+           !shard.entries.empty()) {
+        if (shard.hand == shard.entries.end())
+            shard.hand = std::prev(shard.entries.end());  // Oldest.
+        if (shard.hand->visited) {
+            shard.hand->visited = false;
+            // Toward the newest; wrap to the oldest off the front.
+            if (shard.hand == shard.entries.begin())
+                shard.hand = shard.entries.end();
+            else
+                --shard.hand;
+            continue;
+        }
+        const auto victim = shard.hand;
+        if (shard.hand == shard.entries.begin())
+            shard.hand = shard.entries.end();
+        else
+            --shard.hand;
+        shard.residentBytes -= victim->data->bytes;
+        shard.map.erase(victim->chunk);
+        ghostKey(shard, victim->chunk);
+        shard.entries.erase(victim);
+        shard.evictions++;
+    }
+}
+
+void
 ChunkCache::insertAndTrim(Shard &shard, size_t chunk,
                           const DecodedChunkPtr &data)
 {
     sage_assert(shard.map.find(chunk) == shard.map.end(),
                 "double insert of chunk ", chunk);
-    shard.lru.push_front(Entry{chunk, data});
-    shard.map.emplace(chunk, shard.lru.begin());
+    // Admission: an entry that alone exceeds the shard budget can
+    // never be resident — serve it to the caller (who holds a
+    // reference) without evicting the entire shard for nothing.
+    if (data->bytes > shardBudget_) {
+        shard.oversizedRejects++;
+        return;
+    }
+    // Ghost lookup: a re-decode of a recently evicted chunk proves
+    // re-reference — admit it pre-visited so the next hand sweep
+    // spares it (it earned residency; scan traffic did not).
+    bool visited = false;
+    const auto ghost = shard.ghostMap.find(chunk);
+    if (ghost != shard.ghostMap.end()) {
+        shard.ghosts.erase(ghost->second);
+        shard.ghostMap.erase(ghost);
+        shard.ghostHits++;
+        visited = true;
+    }
+    shard.entries.push_front(Entry{chunk, data, visited});
+    shard.map.emplace(chunk, shard.entries.begin());
     shard.residentBytes += data->bytes;
     shard.inserts++;
-    // Evict LRU-first down to the shard's budget. The entry just
-    // inserted is evicted too when it alone exceeds the budget —
-    // callers hold their own reference, so an oversized chunk is
-    // served without ever being retained.
-    while (shard.residentBytes > shardBudget_ && !shard.lru.empty()) {
-        const Entry &victim = shard.lru.back();
-        shard.residentBytes -= victim.data->bytes;
-        shard.map.erase(victim.chunk);
-        shard.lru.pop_back();
-        shard.evictions++;
-    }
+    evictToBudget(shard);
 }
 
 DecodedChunkPtr
-ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode)
+ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode,
+                        const RequestOptions *qos)
 {
     Shard &shard = shardFor(chunk);
     std::shared_ptr<Flight> flight;
@@ -77,8 +137,8 @@ ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode)
         auto hit = shard.map.find(chunk);
         if (hit != shard.map.end()) {
             shard.hits++;
-            // Touch: move to the front of the LRU list.
-            shard.lru.splice(shard.lru.begin(), shard.lru, hit->second);
+            // Mark re-referenced: the entry survives the next sweep.
+            hit->second->visited = true;
             return hit->second->data;
         }
         auto inflight = shard.flights.find(chunk);
@@ -95,9 +155,27 @@ ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode)
     }
 
     if (!leader) {
-        // Join the in-flight decode. The leader publishes exactly once.
+        // Join the in-flight decode. The leader publishes exactly
+        // once. A QoS-bearing follower re-checks its fate while
+        // parked: a cancelled/expired request walks away with nullptr
+        // instead of waiting out a decode it no longer wants — the
+        // leader and the other waiters are unaffected.
         std::unique_lock<std::mutex> lock(flight->mutex);
-        flight->done.wait(lock, [&] { return flight->ready; });
+        if (qos && qos->abandonable()) {
+            while (!flight->done.wait_for(
+                       lock, std::chrono::milliseconds(1),
+                       [&] { return flight->ready; })) {
+                if (qos->checkNow() != RequestStatus::Ok) {
+                    lock.unlock();
+                    std::lock_guard<std::mutex> shard_lock(
+                        shard.mutex);
+                    shard.abandonedWaits++;
+                    return nullptr;
+                }
+            }
+        } else {
+            flight->done.wait(lock, [&] { return flight->ready; });
+        }
         return flight->result;
     }
 
@@ -107,7 +185,8 @@ ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode)
     // not unwind past the flight: waiters parked on it — and every
     // future requester joining it — would hang forever. Decode
     // failure is fatal, like every other I/O/decode failure in this
-    // codebase.
+    // codebase. The leader never abandons mid-decode: followers may
+    // already be parked on its flight.
     DecodedChunkPtr data;
     try {
         data = decode(chunk);
@@ -147,8 +226,11 @@ ChunkCache::clear()
 {
     for (auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
-        shard->lru.clear();
+        shard->entries.clear();
         shard->map.clear();
+        shard->hand = shard->entries.end();
+        shard->ghosts.clear();
+        shard->ghostMap.clear();
         shard->residentBytes = 0;
         shard->generation++;  // Invalidate in-flight publishes.
     }
@@ -165,8 +247,12 @@ ChunkCache::stats() const
         total.evictions += shard->evictions;
         total.inserts += shard->inserts;
         total.coalescedWaits += shard->coalescedWaits;
+        total.abandonedWaits += shard->abandonedWaits;
+        total.ghostHits += shard->ghostHits;
+        total.oversizedRejects += shard->oversizedRejects;
         total.residentBytes += shard->residentBytes;
-        total.residentChunks += shard->lru.size();
+        total.residentChunks += shard->entries.size();
+        total.ghostChunks += shard->ghosts.size();
     }
     return total;
 }

@@ -1,9 +1,11 @@
 /**
  * @file
  * Decoded-chunk cache for the archive service layer
- * (service/service.hh): a sharded, byte-budgeted LRU over immutable
- * decoded chunks, with single-flight decode so N clients hitting the
- * same cold chunk trigger exactly one decompression.
+ * (service/service.hh): a sharded, byte-budgeted cache over immutable
+ * decoded chunks with scan-resistant (SIEVE-style) admission, a ghost
+ * set that lets genuinely re-referenced chunks earn protected
+ * residency, and single-flight decode so N clients hitting the same
+ * cold chunk trigger exactly one decompression.
  *
  * Decoded chunks are shared as shared_ptr<const DecodedChunk>: an
  * eviction never invalidates a chunk a client is still reading — the
@@ -11,6 +13,19 @@
  * last reader does. That is what lets the cache run with a tiny
  * budget under heavy concurrency (the stress tests do exactly this)
  * without copying read data per client.
+ *
+ * Why not LRU: when every client performs a sequential walk, pure LRU
+ * degenerates — each single-touch streaming chunk evicts something on
+ * insert, so a genuinely hot chunk is flushed by traffic that will
+ * never come back (BENCH_service.json's 4 MiB x 64-client row
+ * documented exactly this). SIEVE keeps a visited bit per entry and
+ * evicts at a hand that sweeps from the oldest entry toward the
+ * newest: one-touch scan traffic is evicted almost immediately, while
+ * an entry that was re-referenced since the hand last passed survives
+ * the sweep. The ghost set (recently evicted keys, no payload) closes
+ * the loop: a miss on a ghosted key means the chunk *was* wanted again
+ * after eviction, so its re-decode is admitted pre-visited — it
+ * re-enters as a protected resident rather than scan fodder.
  */
 
 #ifndef SAGE_SERVICE_CHUNK_CACHE_HH
@@ -26,6 +41,7 @@
 #include <vector>
 
 #include "genomics/read.hh"
+#include "service/qos.hh"
 
 namespace sage {
 
@@ -49,12 +65,23 @@ struct ChunkCacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;       ///< Each miss is one decode.
     uint64_t evictions = 0;
-    uint64_t inserts = 0;
+    uint64_t inserts = 0;      ///< Admissions into the resident set.
     /** Requests that joined another request's in-flight decode
      *  instead of starting their own (single-flight coalescing). */
     uint64_t coalescedWaits = 0;
+    /** Coalesced waiters that abandoned the wait (their request was
+     *  cancelled or expired); the leader still populates the cache. */
+    uint64_t abandonedWaits = 0;
+    /** Misses whose key was in the ghost set: the chunk was evicted
+     *  recently and wanted again, so it was re-admitted protected
+     *  (pre-visited — it survives the next hand sweep). */
+    uint64_t ghostHits = 0;
+    /** Decodes served but not retained because the entry alone
+     *  exceeds its shard's byte budget. */
+    uint64_t oversizedRejects = 0;
     uint64_t residentBytes = 0;
     uint64_t residentChunks = 0;
+    uint64_t ghostChunks = 0;  ///< Keys currently in the ghost set.
 
     double
     hitRate() const
@@ -68,7 +95,7 @@ struct ChunkCacheStats
 };
 
 /**
- * Sharded LRU cache of decoded chunks.
+ * Sharded, scan-resistant cache of decoded chunks.
  *
  * The byte budget is split evenly across shards; chunk index modulo
  * shard count picks the shard, so a sequential client walk spreads
@@ -80,8 +107,10 @@ class ChunkCache
   public:
     /** @p budget_bytes total decoded-byte budget (0 disables caching:
      *  every lookup decodes, nothing is retained); @p shards is
-     *  clamped to at least 1. */
-    explicit ChunkCache(uint64_t budget_bytes, unsigned shards = 8);
+     *  clamped to at least 1; @p ghost_keys_per_shard bounds the
+     *  ghost set (keys only, a few bytes each). */
+    explicit ChunkCache(uint64_t budget_bytes, unsigned shards = 8,
+                        unsigned ghost_keys_per_shard = 128);
 
     ChunkCache(const ChunkCache &) = delete;
     ChunkCache &operator=(const ChunkCache &) = delete;
@@ -90,20 +119,31 @@ class ChunkCache
 
     /**
      * Return chunk @p chunk, decoding at most once across all
-     * concurrent callers: a hit returns the cached pointer; the first
-     * misser runs @p decode (unlocked) while later requesters for the
-     * same chunk block on its completion; the result is inserted and
-     * the shard evicted down to budget (LRU order). An entry larger
-     * than its shard's budget is served but not retained.
+     * concurrent callers: a hit returns the cached pointer (and marks
+     * the entry visited — it will survive the next eviction sweep);
+     * the first misser runs @p decode (unlocked) while later
+     * requesters for the same chunk block on its completion; the
+     * result is admitted and the shard evicted down to budget (SIEVE
+     * order). An entry larger than its shard's budget is served but
+     * not retained.
+     *
+     * When @p qos is non-null, a caller *waiting on another request's
+     * decode* re-checks it while parked and returns nullptr if the
+     * request is cancelled or expired — the leader is unaffected and
+     * still populates the cache for everyone else. A caller that
+     * becomes the leader always completes its decode (followers may
+     * be parked on it).
      */
-    DecodedChunkPtr getOrDecode(size_t chunk, const DecodeFn &decode);
+    DecodedChunkPtr getOrDecode(size_t chunk, const DecodeFn &decode,
+                                const RequestOptions *qos = nullptr);
 
     /** True when @p chunk is resident right now (no stats impact, no
-     *  LRU touch — a test/introspection helper). */
+     *  visited-bit touch — a test/introspection helper). */
     bool contains(size_t chunk) const;
 
-    /** Drop every resident entry (in-flight decodes are unaffected
-     *  and still publish to their waiters, but are not retained). */
+    /** Drop every resident entry and the ghost set (in-flight decodes
+     *  are unaffected and still publish to their waiters, but are not
+     *  retained). */
     void clear();
 
     /** Aggregate counters across shards. */
@@ -133,14 +173,27 @@ class ChunkCache
     {
         size_t chunk = 0;
         DecodedChunkPtr data;
+        /** Re-referenced since insertion / since the hand last swept
+         *  past. A visited entry survives one eviction sweep. */
+        bool visited = false;
     };
 
     struct Shard
     {
         mutable std::mutex mutex;
-        /** Front = most recently used. */
-        std::list<Entry> lru;
+        /** Front = most recently inserted. Entries never move; only
+         *  the visited bit and the hand change on a hit/sweep. */
+        std::list<Entry> entries;
         std::unordered_map<size_t, std::list<Entry>::iterator> map;
+        /** SIEVE eviction hand: next eviction candidate, sweeping
+         *  from the oldest entry toward the newest; entries.end()
+         *  means "reset to the oldest". */
+        std::list<Entry>::iterator hand;
+        /** Ghost set: keys of recently evicted chunks, FIFO-bounded.
+         *  Front = most recently ghosted. */
+        std::list<size_t> ghosts;
+        std::unordered_map<size_t, std::list<size_t>::iterator>
+            ghostMap;
         std::unordered_map<size_t, std::shared_ptr<Flight>> flights;
         uint64_t residentBytes = 0;
         uint64_t generation = 0;  ///< Bumped by clear().
@@ -150,17 +203,30 @@ class ChunkCache
         uint64_t evictions = 0;
         uint64_t inserts = 0;
         uint64_t coalescedWaits = 0;
+        uint64_t abandonedWaits = 0;
+        uint64_t ghostHits = 0;
+        uint64_t oversizedRejects = 0;
+
+        Shard() : hand(entries.end()) {}
     };
 
     Shard &shardFor(size_t chunk);
     const Shard &shardFor(size_t chunk) const;
 
-    /** Insert under the shard lock, then evict to budget. */
+    /** Admit under the shard lock (ghost lookup decides the visited
+     *  bit), then evict to budget with the SIEVE hand. */
     void insertAndTrim(Shard &shard, size_t chunk,
                        const DecodedChunkPtr &data);
 
+    /** Evict at the hand until the shard fits its budget. */
+    void evictToBudget(Shard &shard);
+
+    /** Record an evicted key in the bounded ghost set. */
+    void ghostKey(Shard &shard, size_t chunk);
+
     uint64_t budget_;
     uint64_t shardBudget_;
+    unsigned ghostCapacity_;
     std::vector<std::unique_ptr<Shard>> shards_;
 };
 

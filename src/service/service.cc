@@ -146,21 +146,26 @@ SageArchiveService::chunkForRead(uint64_t read_index) const
 }
 
 DecodedChunkPtr
-SageArchiveService::fetchChunk(size_t chunk)
+SageArchiveService::fetchChunk(size_t chunk, const RequestOptions *qos)
 {
-    return cache_.getOrDecode(chunk, [this](size_t index) {
-        auto decoded = std::make_shared<DecodedChunk>();
-        decoded->reads = decoder_->decodeChunkShared(index);
-        decoded->firstRead = decoder_->chunkFirstRead(index);
-        decoded->bytes = DecodedChunk::residentBytes(decoded->reads);
-        return decoded;
-    });
+    return cache_.getOrDecode(
+        chunk,
+        [this](size_t index) {
+            auto decoded = std::make_shared<DecodedChunk>();
+            decoded->reads = decoder_->decodeChunkShared(index);
+            decoded->firstRead = decoder_->chunkFirstRead(index);
+            decoded->bytes =
+                DecodedChunk::residentBytes(decoded->reads);
+            return decoded;
+        },
+        qos);
 }
 
 DecodedChunkPtr
-SageArchiveService::fetchChunkForSession(size_t chunk)
+SageArchiveService::fetchChunkForSession(size_t chunk,
+                                         const RequestOptions *qos)
 {
-    DecodedChunkPtr data = fetchChunk(chunk);
+    DecodedChunkPtr data = fetchChunk(chunk, qos);
     // Speculate the client's next sequential chunk into the cache as
     // Background work — the serving-layer analogue of the reader's
     // prefetch-next-chunk mode, but per client and deduplicated by
@@ -168,33 +173,58 @@ SageArchiveService::fetchChunkForSession(size_t chunk)
     // retaining cache (the warm's decode would be evicted on insert
     // and re-done when the session arrives), so a zero budget
     // disables speculation.
-    if (options_.sessionReadahead && cache_.budgetBytes() > 0 &&
+    if (data && options_.sessionReadahead && cache_.budgetBytes() > 0 &&
         chunk + 1 < chunkCount() && !cache_.contains(chunk + 1)) {
         warmChunk(chunk + 1);
     }
     return data;
 }
 
-std::vector<Read>
-SageArchiveService::assembleRange(uint64_t first_read, uint64_t count)
+ReadResult
+SageArchiveService::assembleRange(uint64_t first_read, uint64_t count,
+                                  const RequestOptions &options)
 {
-    std::vector<Read> out;
-    out.reserve(static_cast<size_t>(count));
+    ReadResult result;
+    result.reads.reserve(static_cast<size_t>(count));
+    const bool abandonable = options.abandonable();
     uint64_t pos = first_read;
     const uint64_t end = first_read + count;
     while (pos < end) {
-        const DecodedChunkPtr chunk = fetchChunk(chunkForRead(pos));
+        // The pre-decode QoS check: a chunk fetch is the expensive
+        // step, so an expired/cancelled request abandons here rather
+        // than decoding data nobody will consume. Partial reads are
+        // dropped — the contract is all-or-status.
+        if (abandonable) {
+            result.status = options.checkNow();
+            if (result.status != RequestStatus::Ok) {
+                result.reads.clear();
+                return result;
+            }
+        }
+        const DecodedChunkPtr chunk =
+            fetchChunk(chunkForRead(pos),
+                       abandonable ? &options : nullptr);
+        if (!chunk) {
+            // Abandoned while coalesced-waiting on another request's
+            // decode; the status check is sticky, so re-reading it
+            // names the reason.
+            result.status = options.checkNow();
+            sage_assert(result.status != RequestStatus::Ok,
+                        "null chunk from a live request");
+            result.reads.clear();
+            return result;
+        }
         const uint64_t chunk_end =
             chunk->firstRead + chunk->reads.size();
         const uint64_t take = std::min(end, chunk_end) - pos;
         for (uint64_t i = 0; i < take; i++) {
-            out.push_back(
+            result.reads.push_back(
                 chunk->reads[static_cast<size_t>(
                     pos - chunk->firstRead + i)]);
         }
         pos += take;
     }
-    return out;
+    return result;
 }
 
 // ---------------------------------------------------------------------
@@ -203,7 +233,7 @@ SageArchiveService::assembleRange(uint64_t first_read, uint64_t count)
 
 void
 SageArchiveService::recordRequest(RequestPriority priority,
-                                  double seconds,
+                                  RequestStatus status, double seconds,
                                   const std::vector<Read> &served)
 {
     readsServed_.fetch_add(served.size(), std::memory_order_relaxed);
@@ -212,37 +242,107 @@ SageArchiveService::recordRequest(RequestPriority priority,
     std::lock_guard<std::mutex> lock(statsMutex_);
     requests_++;
     requestsByPriority_[static_cast<size_t>(priority)]++;
+    if (status == RequestStatus::Expired)
+        expired_++;
+    else if (status == RequestStatus::Cancelled)
+        cancelled_++;
     latency_.record(seconds);
+    latencyByPriority_[static_cast<size_t>(priority)].record(seconds);
 }
 
 void
 SageArchiveService::scheduleRange(
-    uint64_t first_read, uint64_t count, RequestPriority priority,
-    std::function<void(std::vector<Read>)> deliver)
+    uint64_t first_read, uint64_t count, RequestOptions options,
+    std::function<void(ReadResult)> deliver)
 {
     sage_assert(first_read <= readCount() &&
                 count <= readCount() - first_read,
                 "read range [", first_read, ", ", first_read + count,
                 ") exceeds the archive's ", readCount(), " reads");
     const Stopwatch clock;  // Latency includes the queue wait.
-    enqueue(priority, [this, first_read, count, priority, clock,
-                       deliver = std::move(deliver)] {
-        std::vector<Read> out = assembleRange(first_read, count);
-        recordRequest(priority, clock.seconds(), out);
-        deliver(std::move(out));
-    });
+    enqueue(options.priority,
+            [this, first_read, count, clock,
+             options = std::move(options),
+             deliver = std::move(deliver)] {
+                // Dequeue-time QoS check: a request that sat out its
+                // deadline behind a backlog (or was cancelled while
+                // queued) completes immediately with its status — no
+                // decode, no assembly.
+                ReadResult result;
+                result.status = options.checkNow();
+                if (result.status == RequestStatus::Ok) {
+                    result =
+                        assembleRange(first_read, count, options);
+                }
+                recordRequest(options.priority, result.status,
+                              clock.seconds(), result.reads);
+                deliver(std::move(result));
+            });
 }
+
+// ---- QoS flavors -----------------------------------------------------
+
+std::future<ReadResult>
+SageArchiveService::readRangeAsync(uint64_t first_read, uint64_t count,
+                                   const RequestOptions &options)
+{
+    auto promise = std::make_shared<std::promise<ReadResult>>();
+    std::future<ReadResult> future = promise->get_future();
+    scheduleRange(first_read, count, options,
+                  [promise](ReadResult result) {
+                      promise->set_value(std::move(result));
+                  });
+    return future;
+}
+
+std::future<ReadResult>
+SageArchiveService::readChunkAsync(size_t chunk,
+                                   const RequestOptions &options)
+{
+    sage_assert(chunk < chunkCount(), "chunk index ", chunk,
+                " out of range (", chunkCount(), " chunks)");
+    return readRangeAsync(decoder_->chunkFirstRead(chunk),
+                          decoder_->chunkReadCount(chunk), options);
+}
+
+ReadResult
+SageArchiveService::readRange(uint64_t first_read, uint64_t count,
+                              const RequestOptions &options)
+{
+    return readRangeAsync(first_read, count, options).get();
+}
+
+ReadResult
+SageArchiveService::readChunk(size_t chunk,
+                              const RequestOptions &options)
+{
+    return readChunkAsync(chunk, options).get();
+}
+
+void
+SageArchiveService::readRangeCallback(
+    uint64_t first_read, uint64_t count,
+    std::function<void(ReadResult)> done,
+    const RequestOptions &options)
+{
+    scheduleRange(first_read, count, options, std::move(done));
+}
+
+// ---- plain (no-QoS) flavors ------------------------------------------
 
 std::future<std::vector<Read>>
 SageArchiveService::readRangeAsync(uint64_t first_read, uint64_t count,
                                    RequestPriority priority)
 {
+    RequestOptions options;
+    options.priority = priority;
     auto promise =
         std::make_shared<std::promise<std::vector<Read>>>();
     std::future<std::vector<Read>> future = promise->get_future();
-    scheduleRange(first_read, count, priority,
-                  [promise](std::vector<Read> reads) {
-                      promise->set_value(std::move(reads));
+    scheduleRange(first_read, count, std::move(options),
+                  [promise](ReadResult result) {
+                      // No deadline/token => always Ok.
+                      promise->set_value(std::move(result.reads));
                   });
     return future;
 }
@@ -276,7 +376,12 @@ SageArchiveService::readRangeCallback(
     std::function<void(std::vector<Read>)> done,
     RequestPriority priority)
 {
-    scheduleRange(first_read, count, priority, std::move(done));
+    RequestOptions options;
+    options.priority = priority;
+    scheduleRange(first_read, count, std::move(options),
+                  [done = std::move(done)](ReadResult result) {
+                      done(std::move(result.reads));
+                  });
 }
 
 void
@@ -291,7 +396,8 @@ SageArchiveService::warmChunk(size_t chunk)
     const Stopwatch clock;
     enqueue(RequestPriority::Background, [this, chunk, clock] {
         fetchChunk(chunk);
-        recordRequest(RequestPriority::Background, clock.seconds(), {});
+        recordRequest(RequestPriority::Background, RequestStatus::Ok,
+                      clock.seconds(), {});
     });
 }
 
@@ -302,19 +408,30 @@ SageArchiveService::stats() const
     out.readsServed = readsServed_.load(std::memory_order_relaxed);
     out.bytesServed = bytesServed_.load(std::memory_order_relaxed);
     {
-        std::lock_guard<std::mutex> lock(statsMutex_);
+        // One atomic snapshot across both counter domains: holding
+        // the scheduler and stats locks *together* means no request
+        // can complete (statsMutex_) or be enqueued/dequeued
+        // (schedMutex_) between the reads below, so cross-domain
+        // invariants (requests == sum by priority, expired+cancelled
+        // <= requests, queueDepth <= maxQueueDepth) hold in every
+        // snapshot. Taking the locks one after the other — the
+        // pre-QoS behavior — let a request slip between the two
+        // acquisitions and skew the pair.
+        std::scoped_lock lock(statsMutex_, schedMutex_);
         out.requests = requests_;
         out.requestsByPriority = requestsByPriority_;
+        out.expired = expired_;
+        out.cancelled = cancelled_;
         out.readaheadWarms = readaheadWarms_;
         out.latencySamples = latency_.count();
         out.meanLatencySeconds = latency_.meanSeconds();
         out.p50LatencySeconds = latency_.quantileSeconds(0.50);
         out.p99LatencySeconds = latency_.quantileSeconds(0.99);
         out.maxLatencySeconds = latency_.maxSeconds();
-    }
-    {
-        std::lock_guard<std::mutex> lock(schedMutex_);
+        for (size_t p = 0; p < kRequestPriorityCount; p++)
+            out.latencyByPriority[p] = latencyByPriority_[p].summary();
         out.queueDepth = queued_;
+        out.executing = executing_;
         out.maxQueueDepth = maxQueueDepth_;
     }
     out.cache = cache_.stats();
@@ -340,13 +457,15 @@ ServiceSession::seek(uint64_t read_index)
     chunk_.reset();
 }
 
-void
+bool
 ServiceSession::ensureChunk()
 {
     if (chunk_ && position_ >= chunk_->firstRead &&
         position_ < chunk_->firstRead + chunk_->reads.size()) {
-        return;
+        return true;
     }
+    if (status_ != RequestStatus::Ok)
+        return false;  // The session already abandoned; stay stopped.
     // Chunk fetches go through the scheduler like any other request
     // so a flood of Background warms cannot starve them.
     const size_t index = service_->chunkForRead(position_);
@@ -354,21 +473,41 @@ ServiceSession::ensureChunk()
     std::future<DecodedChunkPtr> future = promise->get_future();
     const Stopwatch clock;
     SageArchiveService *service = service_;
-    const RequestPriority priority = priority_;
-    service_->enqueue(priority, [service, index, priority, promise,
-                                 clock] {
-        DecodedChunkPtr data = service->fetchChunkForSession(index);
-        service->recordRequest(priority, clock.seconds(), {});
-        promise->set_value(std::move(data));
-    });
+    const RequestOptions &options = options_;
+    service_->enqueue(
+        options_.priority,
+        [service, index, options, promise, clock] {
+            // Dequeue-time check, then an abandonable fetch: the
+            // session's token/deadline covers every fetch it issues.
+            const RequestStatus status = options.checkNow();
+            DecodedChunkPtr data;
+            if (status == RequestStatus::Ok) {
+                data = service->fetchChunkForSession(
+                    index, options.abandonable() ? &options : nullptr);
+            }
+            service->recordRequest(
+                options.priority,
+                data ? RequestStatus::Ok : options.checkNow(),
+                clock.seconds(), {});
+            promise->set_value(std::move(data));
+        });
     chunk_ = future.get();
+    if (!chunk_) {
+        status_ = options_.checkNow();
+        sage_assert(status_ != RequestStatus::Ok,
+                    "session fetch abandoned without a cause");
+        return false;
+    }
+    return true;
 }
 
 Read
 ServiceSession::next()
 {
     sage_assert(hasNext(), "session exhausted");
-    ensureChunk();
+    sage_assert(ensureChunk(), "session ",
+                requestStatusName(status_),
+                " - poll lastStatus() or use read()");
     Read read =
         chunk_->reads[static_cast<size_t>(position_ -
                                           chunk_->firstRead)];
@@ -388,7 +527,8 @@ ServiceSession::read(uint64_t count)
     out.reserve(static_cast<size_t>(count));
     uint64_t taken_bytes = 0;
     while (count > 0) {
-        ensureChunk();
+        if (!ensureChunk())
+            break;  // Cancelled/expired: deliver what is assembled.
         const uint64_t chunk_end =
             chunk_->firstRead + chunk_->reads.size();
         const uint64_t take = std::min(count, chunk_end - position_);

@@ -10,20 +10,29 @@
  * service owns an open archive (any ByteSource: file, memory, or a
  * striped device array) and serves N clients through:
  *
- *   - a sharded, byte-budgeted LRU cache of decoded chunks
- *     (service/chunk_cache.hh) with single-flight decode, so a hot
- *     chunk is decompressed once no matter how many clients want it;
+ *   - a sharded, byte-budgeted, scan-resistant cache of decoded
+ *     chunks (service/chunk_cache.hh: SIEVE-style admission with a
+ *     ghost set) with single-flight decode, so a hot chunk is
+ *     decompressed once no matter how many clients want it and a
+ *     64-client sequential sweep cannot flush it;
  *   - a request scheduler that drains readRange()/readChunk()
  *     requests onto a shared util/thread_pool in FIFO-within-priority
  *     order (an Interactive request overtakes queued Background
  *     warms, requests of equal priority run in arrival order);
+ *   - per-request QoS (service/qos.hh): RequestOptions carry a
+ *     deadline and a CancelToken, checked when the request is
+ *     dequeued and before each chunk decode, so an interactive
+ *     request abandons the queue instead of waiting out a deep batch
+ *     backlog; expired/cancelled requests complete with a distinct
+ *     RequestStatus and are counted in ServiceStats;
  *   - per-client ServiceSession handles that track sequential
  *     position, letting the service speculate each client's next
  *     chunk into the cache (the serving-layer analogue of
  *     SageReaderOptions::prefetch);
  *   - ServiceStats: request/byte counters, cache hit rate, queue
- *     depth and p50/p99 request latency (util/histogram.hh's
- *     LatencyHistogram).
+ *     depth, and request latency both overall and per priority class
+ *     (util/histogram.hh's LatencyHistogram), snapshotted
+ *     consistently against scheduler mutation.
  *
  * Requests address reads by stored-order index — readRange(first,
  * count) spans chunk boundaries transparently — or whole chunks by
@@ -50,20 +59,12 @@
 #include "core/decoder.hh"
 #include "io/file_stream.hh"
 #include "service/chunk_cache.hh"
+#include "service/qos.hh"
 #include "util/histogram.hh"
 
 namespace sage {
 
 class ThreadPool;
-
-/** Scheduling class of a service request. */
-enum class RequestPriority : uint8_t {
-    Interactive = 0,  ///< Latency-sensitive foreground reads.
-    Normal = 1,       ///< Default for client requests.
-    Background = 2,   ///< Cache warms / session readahead.
-};
-
-constexpr unsigned kRequestPriorityCount = 3;
 
 /** Service construction knobs. */
 struct ServiceOptions
@@ -95,32 +96,58 @@ struct ServiceOptions
     bool sessionReadahead = true;
 };
 
+/** What a QoS-bearing request completed with. */
+struct ReadResult
+{
+    RequestStatus status = RequestStatus::Ok;
+    /** Empty unless status == Ok (an abandoned request delivers no
+     *  partial data — the reads it did assemble are dropped). */
+    std::vector<Read> reads;
+
+    bool ok() const { return status == RequestStatus::Ok; }
+};
+
 /** Snapshot of the service's counters (see stats()). */
 struct ServiceStats
 {
-    /** Completed requests, total and per priority class. */
+    /** Completed requests (every status), total and per priority. */
     uint64_t requests = 0;
     std::array<uint64_t, kRequestPriorityCount> requestsByPriority{};
+
+    /** Requests that completed Expired / Cancelled (subsets of
+     *  @ref requests; the remainder completed Ok). */
+    uint64_t expired = 0;
+    uint64_t cancelled = 0;
 
     uint64_t readsServed = 0;  ///< Reads delivered to clients.
     uint64_t bytesServed = 0;  ///< Payload bytes (bases + quality).
 
-    /** Requests queued right now / high-water mark. */
+    /** Requests queued / executing right now, and the queue's
+     *  high-water mark. */
     uint64_t queueDepth = 0;
+    uint64_t executing = 0;
     uint64_t maxQueueDepth = 0;
 
     /** Background cache warms issued by session readahead. */
     uint64_t readaheadWarms = 0;
 
-    /** Cache counters (hit rate, evictions, resident bytes). */
+    /** Cache counters (hit rate, evictions, ghost hits, resident). */
     ChunkCacheStats cache;
 
-    /** Request latency, enqueue to completion. */
+    /** Request latency, enqueue to completion, across every priority
+     *  class (kept for compatibility — the per-priority summaries
+     *  below are the ones to alert on: this mix dilutes an
+     *  interactive p99 with background warms that by design soak at
+     *  the queue tail). */
     uint64_t latencySamples = 0;
     double meanLatencySeconds = 0.0;
     double p50LatencySeconds = 0.0;
     double p99LatencySeconds = 0.0;
     double maxLatencySeconds = 0.0;
+
+    /** Latency split by priority class (index by RequestPriority). */
+    std::array<LatencySummary, kRequestPriorityCount>
+        latencyByPriority{};
 };
 
 class SageArchiveService;
@@ -130,6 +157,12 @@ class SageArchiveService;
  * through the shared cache. Cheap to create (no decode until the
  * first read); must not outlive its service. Not thread-safe — one
  * session per client thread, any number of sessions per service.
+ *
+ * A session opened with RequestOptions carrying a CancelToken (or
+ * deadline) stops fetching once it fires: read() returns the reads
+ * assembled so far (possibly none) and lastStatus() reports why. The
+ * cancel check is chunk-grained — reads already resident are still
+ * returned.
  */
 class ServiceSession
 {
@@ -143,26 +176,34 @@ class ServiceSession
     bool hasNext() const { return remaining() > 0; }
 
     /** Next read in stored order (copies out of the shared decoded
-     *  chunk; chunk-grained fetches + readahead behind the scenes). */
+     *  chunk; chunk-grained fetches + readahead behind the scenes).
+     *  Fatal on a cancelled/expired session — poll lastStatus() or
+     *  use read() when the session carries a token. */
     Read next();
 
-    /** Next @p count reads in stored order (clamped to remaining). */
+    /** Next @p count reads in stored order (clamped to remaining;
+     *  stops short when the session's token/deadline fires). */
     std::vector<Read> read(uint64_t count);
 
     /** Jump the cursor (a non-sequential client). */
     void seek(uint64_t read_index);
 
+    /** Ok until the session's deadline/cancellation fired. */
+    RequestStatus lastStatus() const { return status_; }
+
   private:
     friend class SageArchiveService;
-    ServiceSession(SageArchiveService &service, RequestPriority priority)
-        : service_(&service), priority_(priority)
+    ServiceSession(SageArchiveService &service, RequestOptions options)
+        : service_(&service), options_(std::move(options))
     {}
 
-    /** Ensure chunk_ covers position_ (fetch + readahead on miss). */
-    void ensureChunk();
+    /** Ensure chunk_ covers position_ (fetch + readahead on miss).
+     *  Returns false when the fetch was abandoned (status_ set). */
+    bool ensureChunk();
 
     SageArchiveService *service_;
-    RequestPriority priority_;
+    RequestOptions options_;
+    RequestStatus status_ = RequestStatus::Ok;
     uint64_t position_ = 0;
     DecodedChunkPtr chunk_;  ///< Shared decoded chunk under the cursor.
 };
@@ -208,6 +249,36 @@ class SageArchiveService
     readChunk(size_t chunk,
               RequestPriority priority = RequestPriority::Normal);
 
+    // ---- QoS API: deadlines + cancellation ---------------------------
+
+    /**
+     * QoS flavor of readRange: the request's deadline and CancelToken
+     * are checked when the scheduler dequeues it and again before
+     * each chunk decode; an abandoned request completes with
+     * RequestStatus::Expired/Cancelled and empty reads instead of
+     * occupying a worker behind a deep backlog.
+     */
+    ReadResult readRange(uint64_t first_read, uint64_t count,
+                         const RequestOptions &options);
+
+    /** QoS flavor of readChunk. */
+    ReadResult readChunk(size_t chunk, const RequestOptions &options);
+
+    /** Future-based QoS flavor. */
+    std::future<ReadResult>
+    readRangeAsync(uint64_t first_read, uint64_t count,
+                   const RequestOptions &options);
+
+    /** Future-based QoS flavor of readChunk. */
+    std::future<ReadResult>
+    readChunkAsync(size_t chunk, const RequestOptions &options);
+
+    /** Callback-based QoS flavor (same worker-thread rule as
+     *  readRangeCallback). */
+    void readRangeCallback(uint64_t first_read, uint64_t count,
+                           std::function<void(ReadResult)> done,
+                           const RequestOptions &options);
+
     // ---- asynchronous API --------------------------------------------
 
     /** Future-based flavor of readRange. */
@@ -237,7 +308,17 @@ class SageArchiveService
     ServiceSession
     openSession(RequestPriority priority = RequestPriority::Normal)
     {
-        return ServiceSession(*this, priority);
+        RequestOptions options;
+        options.priority = priority;
+        return ServiceSession(*this, std::move(options));
+    }
+
+    /** Open a cursor with full QoS (deadline / CancelToken apply to
+     *  every chunk fetch the session issues). */
+    ServiceSession
+    openSession(const RequestOptions &options)
+    {
+        return ServiceSession(*this, options);
     }
 
     /**
@@ -247,7 +328,10 @@ class SageArchiveService
      */
     void warmChunk(size_t chunk);
 
-    /** Counter snapshot. */
+    /** Counter snapshot, consistent against concurrent scheduler and
+     *  request-completion mutation (both domains are locked for the
+     *  read, so e.g. requests == sum(requestsByPriority) always
+     *  holds). */
     ServiceStats stats() const;
 
     /** The worker pool requests execute on. */
@@ -262,20 +346,26 @@ class SageArchiveService
     /** Chunk containing stored-order read @p read_index. */
     size_t chunkForRead(uint64_t read_index) const;
 
-    /** Cache-mediated decoded chunk (single-flight on cold misses). */
-    DecodedChunkPtr fetchChunk(size_t chunk);
+    /** Cache-mediated decoded chunk (single-flight on cold misses).
+     *  With @p qos, a coalesced wait is abandonable (nullptr). */
+    DecodedChunkPtr fetchChunk(size_t chunk,
+                               const RequestOptions *qos = nullptr);
 
     /** fetchChunk + session-readahead of the successor chunk. */
-    DecodedChunkPtr fetchChunkForSession(size_t chunk);
+    DecodedChunkPtr fetchChunkForSession(size_t chunk,
+                                         const RequestOptions *qos);
 
-    /** Copy the reads of [first, first+count) out of cached chunks. */
-    std::vector<Read> assembleRange(uint64_t first_read, uint64_t count);
+    /** Copy the reads of [first, first+count) out of cached chunks,
+     *  re-checking @p options before each chunk decode. */
+    ReadResult assembleRange(uint64_t first_read, uint64_t count,
+                             const RequestOptions &options);
 
-    /** Shared body of every range flavor: validate, enqueue, assemble,
-     *  record, then hand the reads to @p deliver on the worker. */
+    /** Shared body of every range flavor: validate, enqueue, check
+     *  QoS at dequeue, assemble, record, then hand the result to
+     *  @p deliver on the worker. */
     void scheduleRange(uint64_t first_read, uint64_t count,
-                       RequestPriority priority,
-                       std::function<void(std::vector<Read>)> deliver);
+                       RequestOptions options,
+                       std::function<void(ReadResult)> deliver);
 
     /** Queue @p work at @p priority; returns after enqueue. */
     void enqueue(RequestPriority priority, std::function<void()> work);
@@ -284,7 +374,8 @@ class SageArchiveService
     void runOne();
 
     /** Record a completed request's latency + served payload. */
-    void recordRequest(RequestPriority priority, double seconds,
+    void recordRequest(RequestPriority priority, RequestStatus status,
+                       double seconds,
                        const std::vector<Read> &served);
 
     std::unique_ptr<FileSource> file_;  ///< Owned for the path ctor.
@@ -307,17 +398,22 @@ class SageArchiveService
     uint64_t maxQueueDepth_ = 0;
 
     // Counter state (separate lock: hot request completions must not
-    // contend with scheduling). The served tallies are atomics, not
-    // mutex-guarded: sessions bump them per delivered read — the
-    // hottest path in the service — and must not serialize every
-    // client on one lock.
+    // contend with scheduling; stats() alone takes both locks at once
+    // so its snapshot is consistent across the two domains). The
+    // served tallies are atomics, not mutex-guarded: sessions bump
+    // them per delivered read — the hottest path in the service — and
+    // must not serialize every client on one lock.
     mutable std::mutex statsMutex_;
     uint64_t requests_ = 0;
     std::array<uint64_t, kRequestPriorityCount> requestsByPriority_{};
+    uint64_t expired_ = 0;
+    uint64_t cancelled_ = 0;
     std::atomic<uint64_t> readsServed_{0};
     std::atomic<uint64_t> bytesServed_{0};
     uint64_t readaheadWarms_ = 0;
     LatencyHistogram latency_;
+    std::array<LatencyHistogram, kRequestPriorityCount>
+        latencyByPriority_{};
 };
 
 } // namespace sage

@@ -102,6 +102,21 @@ class Histogram
 };
 
 /**
+ * One-struct digest of a LatencyHistogram — what a stats snapshot
+ * carries per priority class (service/service.hh keeps one histogram
+ * per RequestPriority so an interactive client's p99 is never diluted
+ * by background warms queued behind the whole backlog).
+ */
+struct LatencySummary
+{
+    uint64_t samples = 0;
+    double meanSeconds = 0.0;
+    double p50Seconds = 0.0;
+    double p99Seconds = 0.0;
+    double maxSeconds = 0.0;
+};
+
+/**
  * Fixed-footprint latency histogram for the archive service layer
  * (service/service.hh): log-spaced buckets — four per power-of-two
  * octave of microseconds — so p50/p99 over millions of requests costs
@@ -170,6 +185,19 @@ class LatencyHistogram
             }
         }
         return maxSeconds_;
+    }
+
+    /** Digest for a stats snapshot (samples/mean/p50/p99/max). */
+    LatencySummary
+    summary() const
+    {
+        LatencySummary out;
+        out.samples = total_;
+        out.meanSeconds = meanSeconds();
+        out.p50Seconds = quantileSeconds(0.50);
+        out.p99Seconds = quantileSeconds(0.99);
+        out.maxSeconds = maxSeconds_;
+        return out;
     }
 
     /** Merge another histogram into this one. */

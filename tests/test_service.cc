@@ -19,6 +19,7 @@
 #include "core/sage.hh"
 #include "simgen/synthesize.hh"
 #include "util/thread_pool.hh"
+#include "util/timing.hh"
 
 namespace sage {
 namespace {
@@ -90,10 +91,11 @@ TEST(ChunkCache, HitAvoidsSecondDecode)
     EXPECT_FALSE(cache.contains(8));
 }
 
-TEST(ChunkCache, EvictsLeastRecentlyUsedWithinBudget)
+TEST(ChunkCache, EvictsUnvisitedBeforeReReferencedWithinBudget)
 {
-    // One shard so the LRU order is global; each chunk ~1 KB, budget
-    // fits two.
+    // One shard so the eviction order is global; each chunk ~1 KB,
+    // budget fits two. The re-referenced chunk (visited bit set) is
+    // spared by the SIEVE hand; the single-touch one is the victim.
     const uint64_t chunk_bytes = makeChunk(0, 0, 4, 256)->bytes;
     ChunkCache cache(2 * chunk_bytes + chunk_bytes / 2, 1);
     const ChunkCache::DecodeFn decode = [&](size_t chunk) {
@@ -101,7 +103,7 @@ TEST(ChunkCache, EvictsLeastRecentlyUsedWithinBudget)
     };
     cache.getOrDecode(0, decode);
     cache.getOrDecode(1, decode);
-    cache.getOrDecode(0, decode);  // Touch 0: 1 becomes the LRU victim.
+    cache.getOrDecode(0, decode);  // Re-reference 0: 1 is the victim.
     cache.getOrDecode(2, decode);
     EXPECT_TRUE(cache.contains(0));
     EXPECT_FALSE(cache.contains(1));
@@ -109,6 +111,203 @@ TEST(ChunkCache, EvictsLeastRecentlyUsedWithinBudget)
     const ChunkCacheStats stats = cache.stats();
     EXPECT_EQ(stats.evictions, 1u);
     EXPECT_LE(stats.residentBytes, cache.budgetBytes());
+}
+
+TEST(ChunkCache, HotChunkSurvivesFullSequentialSweep)
+{
+    // Scan resistance, the reason this cache is not an LRU: a chunk
+    // that was re-referenced must stay resident while a sequential
+    // sweep several times the cache's size streams past. Under LRU
+    // every scanned chunk would displace it within one budget's worth
+    // of inserts.
+    const uint64_t chunk_bytes = makeChunk(0, 0, 4, 256)->bytes;
+    ChunkCache cache(2 * chunk_bytes + chunk_bytes / 2, 1);
+    std::atomic<int> hot_decodes{0};
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        if (chunk == 1000)
+            hot_decodes++;
+        return makeChunk(chunk, 0, 4, 256);
+    };
+    cache.getOrDecode(1000, decode);
+    cache.getOrDecode(1000, decode);  // Earn residency (visited).
+    for (size_t c = 0; c < 64; c++)
+        cache.getOrDecode(c, decode);  // Full single-touch sweep.
+    EXPECT_TRUE(cache.contains(1000));
+    cache.getOrDecode(1000, decode);
+    EXPECT_EQ(hot_decodes.load(), 1);  // Never re-decoded.
+    const ChunkCacheStats stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);  // The sweep really churned.
+    EXPECT_LE(stats.residentBytes, cache.budgetBytes());
+}
+
+TEST(ChunkCache, GhostHitReadmitsEvictedChunkAsProtected)
+{
+    // A chunk evicted as scan fodder but then wanted again proves
+    // re-reference through the ghost set: its re-decode is admitted
+    // pre-visited, so the next sweep spares it.
+    const uint64_t chunk_bytes = makeChunk(0, 0, 4, 256)->bytes;
+    ChunkCache cache(2 * chunk_bytes + chunk_bytes / 2, 1);
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        return makeChunk(chunk, 0, 4, 256);
+    };
+    cache.getOrDecode(7, decode);
+    for (size_t c = 100; c < 104; c++)
+        cache.getOrDecode(c, decode);  // Sweep 7 out (ghosted).
+    ASSERT_FALSE(cache.contains(7));
+    cache.getOrDecode(7, decode);  // Ghost hit: re-admitted protected.
+    EXPECT_TRUE(cache.contains(7));
+    const uint64_t ghost_hits = cache.stats().ghostHits;
+    EXPECT_GE(ghost_hits, 1u);
+    // Protected means it now survives another sweep.
+    for (size_t c = 200; c < 204; c++)
+        cache.getOrDecode(c, decode);
+    EXPECT_TRUE(cache.contains(7));
+    EXPECT_GT(cache.stats().ghostChunks, 0u);
+}
+
+TEST(ChunkCache, OversizedEntryServedNotRetained)
+{
+    // An entry bigger than its shard's whole budget can never be
+    // resident; it is served to the caller without evicting the
+    // entire shard for nothing.
+    const uint64_t chunk_bytes = makeChunk(0, 0, 4, 256)->bytes;
+    ChunkCache cache(chunk_bytes / 2, 1);
+    const ChunkCache::DecodeFn decode = [&](size_t chunk) {
+        return makeChunk(chunk, 0, 4, 256);
+    };
+    const DecodedChunkPtr data = cache.getOrDecode(0, decode);
+    ASSERT_NE(data, nullptr);
+    EXPECT_FALSE(cache.contains(0));
+    const ChunkCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.oversizedRejects, 1u);
+    EXPECT_EQ(stats.inserts, 0u);
+    EXPECT_EQ(stats.residentBytes, 0u);
+}
+
+TEST(ChunkCache, CancelledFollowerAbandonsWaitLeaderStillPopulates)
+{
+    // The single-flight cancellation contract: a follower whose
+    // request is cancelled while parked on the leader's decode walks
+    // away with nullptr; the leader is unaffected and its result
+    // still lands in the cache for everyone else.
+    ChunkCache cache(1 << 20, 1);
+    std::promise<void> decode_entered;
+    std::promise<void> release_decode;
+    std::thread leader([&] {
+        const DecodedChunkPtr data =
+            cache.getOrDecode(0, [&](size_t chunk) {
+                decode_entered.set_value();
+                release_decode.get_future().wait();
+                return makeChunk(chunk, 0, 2, 32);
+            });
+        EXPECT_NE(data, nullptr);
+    });
+    decode_entered.get_future().wait();
+
+    CancelSource source;
+    RequestOptions options;
+    options.cancel = source.token();
+    std::promise<DecodedChunkPtr> follower_result;
+    std::thread follower([&] {
+        follower_result.set_value(cache.getOrDecode(
+            0, [](size_t) -> DecodedChunkPtr {
+                ADD_FAILURE() << "follower must join, not decode";
+                return nullptr;
+            },
+            &options));
+    });
+    // Let the follower park on the flight, then cancel it.
+    while (cache.stats().coalescedWaits == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    source.cancel();
+    EXPECT_EQ(follower_result.get_future().get(), nullptr);
+    follower.join();
+    EXPECT_EQ(cache.stats().abandonedWaits, 1u);
+
+    // The leader completes and populates regardless.
+    release_decode.set_value();
+    leader.join();
+    EXPECT_TRUE(cache.contains(0));
+    std::atomic<int> decodes{0};
+    cache.getOrDecode(0, [&](size_t chunk) {
+        decodes++;
+        return makeChunk(chunk, 0, 2, 32);
+    });
+    EXPECT_EQ(decodes.load(), 0);  // Served from the leader's insert.
+}
+
+TEST(ChunkCache, ExpiredFollowerAbandonsWait)
+{
+    ChunkCache cache(1 << 20, 1);
+    std::promise<void> decode_entered;
+    std::promise<void> release_decode;
+    std::thread leader([&] {
+        cache.getOrDecode(0, [&](size_t chunk) {
+            decode_entered.set_value();
+            release_decode.get_future().wait();
+            return makeChunk(chunk, 0, 2, 32);
+        });
+    });
+    decode_entered.get_future().wait();
+
+    RequestOptions options;
+    options.deadline = RequestOptions::deadlineIn(0.01);
+    const DecodedChunkPtr data = cache.getOrDecode(
+        0, [](size_t) -> DecodedChunkPtr { return nullptr; },
+        &options);
+    EXPECT_EQ(data, nullptr);  // Gave up after ~10 ms, not forever.
+    EXPECT_EQ(cache.stats().abandonedWaits, 1u);
+    release_decode.set_value();
+    leader.join();
+}
+
+// ---------------------------------------------------------------------
+// CancelToken / RequestOptions
+// ---------------------------------------------------------------------
+
+TEST(CancelTokenTest, DefaultTokenNeverCancels)
+{
+    const CancelToken token;
+    EXPECT_FALSE(token.connected());
+    EXPECT_FALSE(token.cancelled());
+    const RequestOptions options;
+    EXPECT_FALSE(options.abandonable());
+    EXPECT_EQ(options.checkNow(), RequestStatus::Ok);
+}
+
+TEST(CancelTokenTest, CopiesShareTheSourceFlag)
+{
+    CancelSource source;
+    const CancelToken token = source.token();
+    const CancelToken copy = token;
+    EXPECT_TRUE(copy.connected());
+    EXPECT_FALSE(copy.cancelled());
+    source.cancel();
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_TRUE(copy.cancelled());
+    EXPECT_TRUE(source.cancelled());
+}
+
+TEST(CancelTokenTest, CancellationBeatsExpiryInCheckNow)
+{
+    CancelSource source;
+    source.cancel();
+    RequestOptions options;
+    options.cancel = source.token();
+    options.deadline = RequestOptions::deadlineIn(-1.0);  // Past.
+    EXPECT_TRUE(options.abandonable());
+    EXPECT_EQ(options.checkNow(), RequestStatus::Cancelled);
+}
+
+TEST(CancelTokenTest, DeadlineExpires)
+{
+    RequestOptions options;
+    EXPECT_FALSE(options.hasDeadline());
+    options.deadline = RequestOptions::deadlineIn(3600.0);
+    EXPECT_TRUE(options.hasDeadline());
+    EXPECT_EQ(options.checkNow(), RequestStatus::Ok);
+    options.deadline = RequestOptions::deadlineIn(-0.001);
+    EXPECT_EQ(options.checkNow(), RequestStatus::Expired);
 }
 
 TEST(ChunkCache, ZeroBudgetServesWithoutRetaining)
@@ -502,6 +701,259 @@ TEST_F(ServiceTest, StressManyClientsByteIdenticalToSequentialReader)
     EXPECT_LE(stats.cache.residentBytes, options.cacheBudgetBytes);
     EXPECT_GT(stats.latencySamples, 0u);
     EXPECT_GE(stats.maxQueueDepth, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Service QoS: deadlines, cancellation, per-priority latency, and the
+// consistent stats snapshot. Runs under the TSan preset in CI.
+// ---------------------------------------------------------------------
+
+using ServiceQosTest = ServiceTest;
+
+TEST_F(ServiceQosTest, AlreadyExpiredDeadlineCompletesWithoutDecode)
+{
+    SageArchiveService service(path_);
+    const uint64_t misses_before = service.stats().cache.misses;
+
+    RequestOptions options;
+    options.priority = RequestPriority::Interactive;
+    options.deadline = RequestOptions::deadlineIn(-1.0);  // Past.
+    const ReadResult result = service.readRange(0, 128, options);
+    EXPECT_EQ(result.status, RequestStatus::Expired);
+    EXPECT_TRUE(result.reads.empty());
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.misses, misses_before);  // No decode ran.
+    EXPECT_EQ(stats.expired, 1u);
+    EXPECT_EQ(stats.cancelled, 0u);
+    EXPECT_EQ(stats.requests, 1u);  // Still counted as completed.
+    EXPECT_EQ(stats.requestsByPriority[static_cast<size_t>(
+                  RequestPriority::Interactive)],
+              1u);
+}
+
+TEST_F(ServiceQosTest, PreCancelledRequestCompletesWithoutDecode)
+{
+    SageArchiveService service(path_);
+    CancelSource source;
+    source.cancel();
+    RequestOptions options;
+    options.cancel = source.token();
+    const ReadResult result =
+        service.readChunk(0, options);
+    EXPECT_EQ(result.status, RequestStatus::Cancelled);
+    EXPECT_TRUE(result.reads.empty());
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cache.misses, 0u);
+    EXPECT_EQ(stats.cancelled, 1u);
+}
+
+TEST_F(ServiceQosTest, QosRequestWithoutPressureServesNormally)
+{
+    SageArchiveService service(path_);
+    RequestOptions options;
+    options.priority = RequestPriority::Interactive;
+    options.deadline = RequestOptions::deadlineIn(600.0);
+    CancelSource source;
+    options.cancel = source.token();
+    const ReadResult result = service.readRange(5, 130, options);
+    ASSERT_EQ(result.status, RequestStatus::Ok);
+    expectSameReads(result.reads,
+                    {expected_.begin() + 5, expected_.begin() + 135});
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.expired, 0u);
+    EXPECT_EQ(stats.cancelled, 0u);
+    const LatencySummary &interactive =
+        stats.latencyByPriority[static_cast<size_t>(
+            RequestPriority::Interactive)];
+    EXPECT_EQ(interactive.samples, 1u);
+    EXPECT_GE(interactive.p99Seconds, 0.0);
+}
+
+TEST_F(ServiceQosTest, CancellationRacingCompletionNeverWedges)
+{
+    // Cancel concurrently with request execution, at every phase the
+    // timing dice land on: queued (caught at dequeue), mid-assembly
+    // (caught before a chunk decode), or already completed (Ok). The
+    // request must always complete with a coherent status and the
+    // counters must add up.
+    SageArchiveService service(path_);
+    constexpr int kRounds = 40;
+    uint64_t ok_count = 0, cancelled_count = 0;
+    for (int round = 0; round < kRounds; round++) {
+        CancelSource source;
+        RequestOptions options;
+        options.cancel = source.token();
+        auto future =
+            service.readRangeAsync(0, expected_.size(), options);
+        std::thread canceller([&] {
+            if (round % 4 != 0) {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50 * (round % 7)));
+            }
+            source.cancel();
+        });
+        ReadResult result = future.get();
+        canceller.join();
+        if (result.status == RequestStatus::Ok) {
+            ok_count++;
+            expectSameReads(result.reads, expected_);
+        } else {
+            EXPECT_EQ(result.status, RequestStatus::Cancelled);
+            EXPECT_TRUE(result.reads.empty());
+            cancelled_count++;
+        }
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.cancelled, cancelled_count);
+    EXPECT_EQ(ok_count + cancelled_count,
+              static_cast<uint64_t>(kRounds));
+    EXPECT_EQ(stats.requests, static_cast<uint64_t>(kRounds));
+}
+
+TEST_F(ServiceQosTest, SessionCancellationStopsFetching)
+{
+    SageArchiveService service(path_);
+    CancelSource source;
+    RequestOptions options;
+    options.cancel = source.token();
+    ServiceSession session = service.openSession(options);
+
+    // First chunk fetched fine; reads within it keep flowing even
+    // after cancel (chunk-grained checks), but the next chunk fetch
+    // stops the session.
+    const std::vector<Read> first = session.read(10);
+    ASSERT_EQ(first.size(), 10u);
+    EXPECT_EQ(session.lastStatus(), RequestStatus::Ok);
+    source.cancel();
+    const std::vector<Read> rest = session.read(expected_.size());
+    EXPECT_LT(rest.size(), expected_.size() - 10);  // Stopped short.
+    EXPECT_EQ(session.lastStatus(), RequestStatus::Cancelled);
+    // A cancelled session stays stopped.
+    EXPECT_TRUE(session.read(64).empty());
+    EXPECT_EQ(session.lastStatus(), RequestStatus::Cancelled);
+    EXPECT_GT(service.stats().cancelled, 0u);
+}
+
+TEST_F(ServiceQosTest, ExpiredSessionReportsExpiry)
+{
+    SageArchiveService service(path_);
+    RequestOptions options;
+    options.deadline = RequestOptions::deadlineIn(-1.0);
+    ServiceSession session = service.openSession(options);
+    EXPECT_TRUE(session.read(64).empty());
+    EXPECT_EQ(session.lastStatus(), RequestStatus::Expired);
+}
+
+TEST_F(ServiceQosTest, InteractiveOvertakesBacklogViaDeadline)
+{
+    // One worker, a pile of Normal full-archive requests, then an
+    // interactive request with a deadline: whatever the queue does,
+    // the interactive caller gets an answer (served or expired) in
+    // bounded time instead of soaking behind the backlog.
+    ServiceOptions service_options;
+    service_options.ownedPoolThreads = 1;
+    service_options.cacheBudgetBytes = 0;  // Every request decodes.
+    SageArchiveService service(path_, service_options);
+    std::vector<std::future<std::vector<Read>>> backlog;
+    for (int i = 0; i < 16; i++) {
+        backlog.push_back(
+            service.readRangeAsync(0, expected_.size()));
+    }
+    RequestOptions options;
+    options.priority = RequestPriority::Interactive;
+    options.deadline = RequestOptions::deadlineIn(0.050);
+    const Stopwatch clock;
+    const ReadResult result = service.readRange(0, 64, options);
+    const double waited = clock.seconds();
+    if (result.status == RequestStatus::Ok) {
+        expectSameReads(result.reads,
+                        {expected_.begin(), expected_.begin() + 64});
+    } else {
+        EXPECT_EQ(result.status, RequestStatus::Expired);
+        EXPECT_TRUE(result.reads.empty());
+    }
+    // Generous bound: the point is "not the whole backlog" — 16 full
+    // walks take far longer than this on one worker.
+    EXPECT_LT(waited, 5.0);
+    for (auto &future : backlog)
+        EXPECT_EQ(future.get().size(), expected_.size());
+}
+
+TEST_F(ServiceQosTest, StatsSnapshotIsConsistentUnderLoad)
+{
+    // The satellite bugfix: snapshots must be internally consistent
+    // while the scheduler and request completions mutate concurrently
+    // — requests == sum(by priority) == latency samples,
+    // expired + cancelled <= requests, queueDepth <= maxQueueDepth,
+    // monotone non-decreasing counters. Runs under TSan in CI.
+    ServiceOptions service_options;
+    service_options.ownedPoolThreads = 4;
+    SageArchiveService service(path_, service_options);
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> violations{0};
+    std::thread poller([&] {
+        uint64_t last_requests = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            const ServiceStats stats = service.stats();
+            uint64_t by_priority = 0;
+            for (uint64_t n : stats.requestsByPriority)
+                by_priority += n;
+            uint64_t by_latency = 0;
+            for (const LatencySummary &summary :
+                 stats.latencyByPriority)
+                by_latency += summary.samples;
+            if (by_priority != stats.requests ||
+                by_latency != stats.requests ||
+                stats.latencySamples != stats.requests ||
+                stats.expired + stats.cancelled > stats.requests ||
+                stats.queueDepth > stats.maxQueueDepth ||
+                stats.requests < last_requests) {
+                violations++;
+            }
+            last_requests = stats.requests;
+        }
+    });
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 6; t++) {
+        clients.emplace_back([&, t] {
+            for (int i = 0; i < 15; i++) {
+                if (t % 3 == 0) {
+                    CancelSource source;
+                    RequestOptions options;
+                    options.priority = RequestPriority::Interactive;
+                    options.cancel = source.token();
+                    auto future = service.readRangeAsync(
+                        0, expected_.size(), options);
+                    if (i % 2 == 0)
+                        source.cancel();
+                    future.get();
+                } else if (t % 3 == 1) {
+                    RequestOptions options;
+                    options.deadline =
+                        RequestOptions::deadlineIn(i % 2 == 0
+                                                       ? 0.0005
+                                                       : 600.0);
+                    service.readRange(0, 200, options);
+                } else {
+                    service.readChunk(i % 5);
+                }
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    service.pool().wait();  // Drain readahead warms too.
+    stop.store(true, std::memory_order_release);
+    poller.join();
+
+    EXPECT_EQ(violations.load(), 0);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.queueDepth, 0u);
+    EXPECT_EQ(stats.executing, 0u);
+    EXPECT_GT(stats.requests, 0u);
 }
 
 } // namespace
