@@ -7,8 +7,10 @@
  *   sage_cli decompress   <in.sage> <out.fastq> [--threads N]
  *   sage_cli range        <in.sage> <out.fastq> <first-chunk> <count> [--threads N]
  *   sage_cli inspect      <in.sage>
+ *   sage_cli verify       <in.sage>
  *   sage_cli serve-stress <in.sage|@synth> [--clients N] [--cache-mb M] [--threads N] [--passes P]
  *                         [--deadline-ms D] [--cancel-every K]
+ *                         [--fault-rate R] [--fault-seed S]
  *   sage_cli demo         <workdir>    (generates inputs, runs all of the above)
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
@@ -18,6 +20,7 @@
  * FileSource, so `inspect` and `range` never load the whole file.
  */
 
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
@@ -32,6 +35,7 @@
 
 #include "core/sage.hh"
 #include "genomics/fastq.hh"
+#include "io/fault_injection.hh"
 #include "simgen/synthesize.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -216,6 +220,40 @@ cmdInspect(int argc, char **argv)
 }
 
 /**
+ * End-to-end integrity check: recompute the archive CRC and compare
+ * it against the stored trailer. A mismatch (bit rot, truncation,
+ * torn write) is an ordinary non-zero exit with the Status printed —
+ * never an abort — so scripts can gate on `sage_cli verify`.
+ */
+int
+cmdVerify(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr, "usage: sage_cli verify <in.sage>\n");
+        return 1;
+    }
+    // The recoverable open: header corruption comes back as a Status
+    // (not a fatal abort), and verify_checksum covers the payload.
+    const FileSource source(argv[2]);
+    const StatusOr<std::unique_ptr<SageDecoder>> opened =
+        SageDecoder::tryOpen(source, /*dna_only=*/true,
+                             /*verify_checksum=*/true);
+    if (!opened.ok()) {
+        const Status &status = opened.status();
+        std::fprintf(stderr, "%s: FAILED (%s): %s\n", argv[2],
+                     statusCodeName(status.code()),
+                     status.message().c_str());
+        return 1;
+    }
+    const SageDecoder &decoder = *opened.value();
+    std::printf("%s: OK (%zu chunks, %llu reads, checksum verified)\n",
+                argv[2], decoder.chunkCount(),
+                static_cast<unsigned long long>(
+                    decoder.info().params.numReads));
+    return 0;
+}
+
+/**
  * Drive a SageArchiveService with a fleet of concurrent session
  * clients (service/service.hh) and report the aggregate serving
  * throughput plus the service's own counters — a smoke/perf harness
@@ -234,11 +272,13 @@ cmdServeStress(int argc, char **argv)
                      "usage: sage_cli serve-stress <in.sage|@synth> "
                      "[--clients N] [--cache-mb M] [--threads N] "
                      "[--passes P] [--deadline-ms D] "
-                     "[--cancel-every K]\n");
+                     "[--cancel-every K] "
+                     "[--fault-rate R] [--fault-seed S]\n");
         return 1;
     }
     unsigned clients = 16, cache_mb = 256, threads = 0, passes = 1;
-    unsigned deadline_ms = 0, cancel_every = 0;
+    unsigned deadline_ms = 0, cancel_every = 0, fault_seed = 1;
+    double fault_rate = 0.0;
     bool bad_value = false;
     for (int i = 3; i < argc; i++) {
         const auto uintArg = [&](const char *flag, unsigned &out,
@@ -255,12 +295,26 @@ cmdServeStress(int argc, char **argv)
             }
             return false;
         };
+        const auto rateArg = [&](const char *flag, double &out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                out = std::atof(argv[++i]);
+                if (out < 0.0 || out > 1.0) {
+                    std::fprintf(stderr, "%s must be in [0, 1]\n",
+                                 flag);
+                    bad_value = true;
+                }
+                return true;
+            }
+            return false;
+        };
         if (!uintArg("--clients", clients, 4096) &&
             !uintArg("--cache-mb", cache_mb, 1 << 20) &&
             !uintArg("--threads", threads, 1024) &&
             !uintArg("--passes", passes, 1 << 20) &&
             !uintArg("--deadline-ms", deadline_ms, 1 << 20) &&
-            !uintArg("--cancel-every", cancel_every, 1 << 20)) {
+            !uintArg("--cancel-every", cancel_every, 1 << 20) &&
+            !uintArg("--fault-seed", fault_seed, 1 << 30) &&
+            !rateArg("--fault-rate", fault_rate)) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 1;
         }
@@ -294,7 +348,31 @@ cmdServeStress(int argc, char **argv)
     ServiceOptions options;
     options.cacheBudgetBytes = static_cast<uint64_t>(cache_mb) << 20;
     options.ownedPoolThreads = threads;
-    SageArchiveService service(archive_path, options);
+
+    // Chaos mode: interpose a deterministic fault injector between the
+    // service and the file so every decode's reads can fail or flip a
+    // bit. The service must degrade (per-request Error), never abort.
+    std::unique_ptr<FileSource> file;
+    std::unique_ptr<FaultInjectionSource> faulty;
+    std::unique_ptr<SageArchiveService> owned;
+    if (fault_rate > 0.0) {
+        file = std::make_unique<FileSource>(archive_path);
+        FaultConfig fault_config;
+        fault_config.seed = fault_seed;
+        fault_config.ioErrorRate = fault_rate;
+        fault_config.bitFlipRate = fault_rate;
+        faulty = std::make_unique<FaultInjectionSource>(*file,
+                                                        fault_config);
+        // Open cleanly (the container parse uses try-reads too), then
+        // arm the schedule for the workload.
+        faulty->setArmed(false);
+        owned = std::make_unique<SageArchiveService>(*faulty, options);
+        faulty->setArmed(true);
+    } else {
+        owned = std::make_unique<SageArchiveService>(archive_path,
+                                                     options);
+    }
+    SageArchiveService &service = *owned;
     std::printf("serving %s: %llu reads in %zu chunks, cache budget "
                 "%u MiB, %zu workers\n",
                 archive_path.c_str(),
@@ -306,9 +384,16 @@ cmdServeStress(int argc, char **argv)
     if (cancel_every)
         std::printf("  cancellation churn: every %uth client\n",
                     cancel_every);
+    if (fault_rate > 0.0)
+        std::printf("  fault injection: io-error %.3f%% + bit-flip "
+                    "%.3f%% per read, seed %u\n",
+                    fault_rate * 100.0, fault_rate * 100.0,
+                    fault_seed);
 
     double total_seconds = 0.0;
     uint64_t total_bytes = 0;
+    std::atomic<uint64_t> error_retries{0};  // Client-visible Errors.
+    std::atomic<uint64_t> incomplete_walks{0};
     for (unsigned pass = 0; pass < std::max(1u, passes); pass++) {
         const uint64_t bytes_before = service.stats().bytesServed;
         Stopwatch clock;
@@ -327,14 +412,36 @@ cmdServeStress(int argc, char **argv)
                 victims.push_back(std::make_shared<CancelSource>());
                 session_options.cancel = victims.back()->token();
             }
-            fleet.emplace_back([&service, session_options] {
+            fleet.emplace_back([&service, session_options,
+                                &error_retries, &incomplete_walks] {
                 ServiceSession session =
                     service.openSession(session_options);
+                const uint64_t expect = service.readCount();
+                uint64_t delivered = 0;
+                uint64_t retries_left = 100000;
                 while (session.hasNext()) {
-                    if (session.read(1024).empty() &&
-                        session.lastStatus() != RequestStatus::Ok)
-                        break;  // Expired or cancelled: walk is over.
+                    const size_t got = session.read(1024).size();
+                    delivered += got;
+                    if (got != 0 ||
+                        session.lastStatus() == RequestStatus::Ok)
+                        continue;
+                    // Error is not sticky: the cursor is parked before
+                    // the failed chunk and the next read retries it.
+                    if (session.lastStatus() == RequestStatus::Error &&
+                        retries_left-- > 0) {
+                        error_retries.fetch_add(
+                            1, std::memory_order_relaxed);
+                        continue;
+                    }
+                    break;  // Expired or cancelled: walk is over.
                 }
+                // A fault-free or fully retried walk must deliver
+                // every read exactly once, in order.
+                if (!session_options.cancel.connected() &&
+                    !session_options.hasDeadline() &&
+                    delivered != expect)
+                    incomplete_walks.fetch_add(
+                        1, std::memory_order_relaxed);
             });
         }
         std::thread churn;
@@ -411,6 +518,46 @@ cmdServeStress(int argc, char **argv)
     std::printf("  queue depth:     max %llu, readahead warms %llu\n",
                 static_cast<unsigned long long>(stats.maxQueueDepth),
                 static_cast<unsigned long long>(stats.readaheadWarms));
+    std::printf("  degradation:     %llu errored requests, %llu io "
+                "errors, %llu corrupt chunks, %llu decode retries\n",
+                static_cast<unsigned long long>(stats.errored),
+                static_cast<unsigned long long>(stats.ioErrors),
+                static_cast<unsigned long long>(stats.corruptChunks),
+                static_cast<unsigned long long>(stats.retries));
+    if (faulty) {
+        const FaultCounters injected = faulty->counters();
+        std::printf("fault injection: %llu try-reads saw %llu io "
+                    "errors + %llu bit flips injected\n",
+                    static_cast<unsigned long long>(
+                        injected.operations),
+                    static_cast<unsigned long long>(injected.ioErrors),
+                    static_cast<unsigned long long>(injected.bitFlips));
+        std::printf("  observed: %llu client-visible errors (all "
+                    "retried), %llu failed decodes "
+                    "(%llu io / %llu corrupt), %llu absorbed by "
+                    "retry\n",
+                    static_cast<unsigned long long>(
+                        error_retries.load()),
+                    static_cast<unsigned long long>(
+                        stats.ioErrors + stats.corruptChunks),
+                    static_cast<unsigned long long>(stats.ioErrors),
+                    static_cast<unsigned long long>(
+                        stats.corruptChunks),
+                    static_cast<unsigned long long>(stats.retries));
+        const uint64_t incomplete = incomplete_walks.load();
+        if (incomplete != 0) {
+            std::fprintf(stderr,
+                         "FAILED: %llu walks delivered the wrong "
+                         "read count\n",
+                         static_cast<unsigned long long>(incomplete));
+            if (synthesized)
+                std::remove(archive_path.c_str());
+            return 1;
+        }
+        std::printf("  all %u clients x %u passes delivered every "
+                    "read despite faults; zero aborts\n",
+                    clients, std::max(1u, passes));
+    }
     if (synthesized)
         std::remove(archive_path.c_str());
     return 0;
@@ -447,6 +594,11 @@ cmdDemo(int argc, char **argv)
                                  const_cast<char *>(archive.c_str())};
     cmdInspect(static_cast<int>(iargs.size()), iargs.data());
 
+    char c5[] = "verify";
+    std::vector<char *> vargs = {prog, c5,
+                                 const_cast<char *>(archive.c_str())};
+    cmdVerify(static_cast<int>(vargs.size()), vargs.data());
+
     char c2[] = "range";
     char first[] = "0";
     char count[] = "1";
@@ -479,8 +631,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: sage_cli "
-                     "<compress|decompress|range|inspect|serve-stress|"
-                     "demo> ...\n");
+                     "<compress|decompress|range|inspect|verify|"
+                     "serve-stress|demo> ...\n");
         return 1;
     }
     if (std::strcmp(argv[1], "compress") == 0)
@@ -491,6 +643,8 @@ main(int argc, char **argv)
         return cmdRange(argc, argv);
     if (std::strcmp(argv[1], "inspect") == 0)
         return cmdInspect(argc, argv);
+    if (std::strcmp(argv[1], "verify") == 0)
+        return cmdVerify(argc, argv);
     if (std::strcmp(argv[1], "serve-stress") == 0)
         return cmdServeStress(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0)

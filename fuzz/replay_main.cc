@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Corpus replay driver: a plain main() over LLVMFuzzerTestOneInput so
+ * the harness runs with any compiler (gcc included) — no
+ * -fsanitize=fuzzer needed. Used by the CI fuzz smoke to replay every
+ * checked-in corpus entry under ASan/UBSan; mutation-based fuzzing
+ * still wants the real libFuzzer binary (clang).
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr, "usage: %s <corpus-file>...\n", argv[0]);
+        return 1;
+    }
+    for (int i = 1; i < argc; i++) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot open %s\n", argv[i]);
+            return 1;
+        }
+        const std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+        std::printf("%s: %zu bytes, clean\n", argv[i], bytes.size());
+    }
+    return 0;
+}

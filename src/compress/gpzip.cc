@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
+#include <stdexcept>
 
 #include "util/bitio.hh"
 #include "util/crc32.hh"
 #include "util/logging.hh"
 #include "util/prefix_code.hh"
 #include "util/thread_pool.hh"
+#include "util/status.hh"
 #include "util/varint.hh"
 
 namespace sage {
@@ -245,14 +248,17 @@ decodeBlock(const std::vector<uint8_t> &block, std::vector<uint8_t> &out)
             continue;
         }
         const unsigned ls = sym - 257;
-        sage_assert(ls < kNumLenSlots, "corrupt gpzip length slot");
+        sage_check_data(ls < kNumLenSlots, Corrupt,
+                        "corrupt gpzip length slot");
         const unsigned len = kLenBase[ls]
             + static_cast<unsigned>(br.readBits(kLenExtra[ls]));
         const unsigned ds = dist_code.decode(br);
-        sage_assert(ds < kNumDistSlots, "corrupt gpzip distance slot");
+        sage_check_data(ds < kNumDistSlots, Corrupt,
+                        "corrupt gpzip distance slot");
         const uint32_t dist = kDistBase[ds]
             + static_cast<uint32_t>(br.readBits(kDistExtra[ds]));
-        sage_assert(dist <= out.size(), "gpzip distance before start");
+        sage_check_data(dist <= out.size() && dist > 0, Corrupt,
+                        "gpzip distance out of range");
         // Overlapping copies are valid LZ77 (run encoding).
         size_t from = out.size() - dist;
         for (unsigned i = 0; i < len; i++)
@@ -321,12 +327,13 @@ Header
 parseHeader(const std::vector<uint8_t> &archive)
 {
     size_t pos = 0;
-    sage_assert(archive.size() >= 8, "gpzip archive too small");
+    sage_check_data(archive.size() >= 8, Truncated,
+                    "gpzip archive too small");
     uint32_t magic = 0;
     for (int i = 0; i < 4; i++)
         magic |= static_cast<uint32_t>(archive[pos++]) << (8 * i);
     if (magic != kMagic)
-        sage_fatal("not a gpzip archive (bad magic)");
+        sage_check_data(false, Corrupt, "not a gpzip archive (bad magic)");
     Header hdr;
     hdr.originalSize = getVarint(archive, pos);
     hdr.blockSize = getVarint(archive, pos);
@@ -342,14 +349,18 @@ parseHeader(const std::vector<uint8_t> &archive)
         hdr.blocks.emplace_back(off, s);
         off += s;
     }
-    sage_assert(off <= archive.size(), "gpzip archive truncated");
+    sage_check_data(off <= archive.size(), Truncated,
+                    "gpzip archive truncated");
     return hdr;
 }
 
 } // namespace
 
+namespace {
+
+/** Shared decode core; reports malformed input via StatusError. */
 std::vector<uint8_t>
-decompress(const std::vector<uint8_t> &archive, ThreadPool *pool)
+decompressOrThrow(const std::vector<uint8_t> &archive, ThreadPool *pool)
 {
     const Header hdr = parseHeader(archive);
     std::vector<std::vector<uint8_t>> outputs(hdr.blocks.size());
@@ -362,8 +373,8 @@ decompress(const std::vector<uint8_t> &archive, ThreadPool *pool)
             : hdr.originalSize - b * hdr.blockSize;
         outputs[b].reserve(expect);
         decodeBlock(block, outputs[b]);
-        sage_assert(outputs[b].size() == expect,
-                    "gpzip block decoded to unexpected size");
+        sage_check_data(outputs[b].size() == expect, Corrupt,
+                        "gpzip block decoded to unexpected size");
     };
     if (pool != nullptr && hdr.blocks.size() > 1)
         pool->parallelFor(hdr.blocks.size(), do_block);
@@ -376,14 +387,51 @@ decompress(const std::vector<uint8_t> &archive, ThreadPool *pool)
     for (auto &block : outputs)
         out.insert(out.end(), block.begin(), block.end());
     if (Crc32::of(out) != hdr.crc)
-        sage_fatal("gpzip CRC mismatch (corrupt archive)");
+        sage_check_data(false, Corrupt,
+                        "gpzip CRC mismatch (corrupt archive)");
     return out;
+}
+
+} // namespace
+
+std::vector<uint8_t>
+decompress(const std::vector<uint8_t> &archive, ThreadPool *pool)
+{
+    // Legacy fatal contract: a malformed container kills the process
+    // with the decode error. (On the pool-parallel path a worker's
+    // StatusError terminates via the pool instead — still fatal.)
+    try {
+        return decompressOrThrow(archive, pool);
+    } catch (const StatusError &err) {
+        sage_fatal(err.status().message());
+    }
+}
+
+StatusOr<std::vector<uint8_t>>
+tryDecompress(const std::vector<uint8_t> &archive)
+{
+    try {
+        return StatusOr<std::vector<uint8_t>>(
+            decompressOrThrow(archive, nullptr));
+    } catch (const StatusError &err) {
+        return err.status();
+    } catch (const std::bad_alloc &) {
+        return Status::corrupt(
+            "gpzip decode exceeded the allocation limit");
+    } catch (const std::length_error &) {
+        return Status::corrupt(
+            "gpzip decode exceeded the allocation limit");
+    }
 }
 
 uint64_t
 originalSize(const std::vector<uint8_t> &archive)
 {
-    return parseHeader(archive).originalSize;
+    try {
+        return parseHeader(archive).originalSize;
+    } catch (const StatusError &err) {
+        sage_fatal(err.status().message());
+    }
 }
 
 } // namespace gpzip

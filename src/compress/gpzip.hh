@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace sage {
 
 class ThreadPool;
@@ -45,9 +47,17 @@ std::vector<uint8_t> compress(std::string_view text,
                               const Config &config = {},
                               ThreadPool *pool = nullptr);
 
-/** Decompress a gpzip container; verifies the stored CRC-32. */
+/** Decompress a gpzip container; verifies the stored CRC-32. Fatal on
+ *  a malformed container (legacy contract). */
 std::vector<uint8_t> decompress(const std::vector<uint8_t> &archive,
                                 ThreadPool *pool = nullptr);
+
+/** Non-fatal decompress: malformed framing, truncated blocks and CRC
+ *  mismatches come back as Truncated/Corrupt instead of dying. Serial
+ *  only — the recoverable error channel does not cross the thread
+ *  pool (a worker throw would terminate the process). */
+StatusOr<std::vector<uint8_t>>
+tryDecompress(const std::vector<uint8_t> &archive);
 
 /** Original (uncompressed) size recorded in a container. */
 uint64_t originalSize(const std::vector<uint8_t> &archive);

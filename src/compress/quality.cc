@@ -5,6 +5,7 @@
 
 #include "compress/range_coder.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace sage {
 
@@ -103,7 +104,7 @@ compressQuality(const std::vector<std::string> &quals,
 std::string
 decompressQualityBlock(const QualityArchive &archive, size_t block_index)
 {
-    sage_assert(block_index < archive.blocks.size(),
+    sage_check_data(block_index < archive.blocks.size(), Corrupt,
                 "quality block index out of range");
     const unsigned alphabet = archive.alphabet.size();
     const auto &block = archive.blocks[block_index];
@@ -140,7 +141,8 @@ decompressQuality(const QualityArchive &archive)
         out.push_back(flat.substr(off, len));
         off += len;
     }
-    sage_assert(off == flat.size(), "quality archive length mismatch");
+    sage_check_data(off == flat.size(), Corrupt,
+                    "quality archive length mismatch");
     return out;
 }
 

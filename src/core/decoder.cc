@@ -1,12 +1,15 @@
 #include "core/decoder.hh"
 
 #include <memory>
+#include <new>
 #include <numeric>
+#include <stdexcept>
 
 #include "compress/gpzip.hh"
 #include "core/tuned_array.hh"
 #include "util/bitio.hh"
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/thread_pool.hh"
 #include "util/varint.hh"
 
@@ -148,6 +151,23 @@ SageDecoder::SageDecoder(const std::vector<uint8_t> &archive,
     parseContainer(dna_only);
 }
 
+StatusOr<std::unique_ptr<SageDecoder>>
+SageDecoder::tryOpen(const ByteSource &source, bool dna_only,
+                     bool verify_checksum)
+{
+    if (verify_checksum) {
+        Status status = verifyArchiveChecksumStatus(source);
+        if (!status.ok())
+            return status;
+    }
+    std::unique_ptr<SageDecoder> decoder(new SageDecoder());
+    decoder->source_ = &source;
+    Status status = decoder->tryParseContainer(dna_only);
+    if (!status.ok())
+        return status;
+    return StatusOr<std::unique_ptr<SageDecoder>>(std::move(decoder));
+}
+
 SageDecoder::~SageDecoder()
 {
     // An in-flight prefetch task references this decoder; wait it out.
@@ -169,8 +189,8 @@ SageDecoder::setPrefetchPool(ThreadPool *pool)
     prefetchPool_ = pool;
 }
 
-SageDecoder::ChunkBytes
-SageDecoder::fetchChunkBytes(const ChunkSlice &slice) const
+StatusOr<SageDecoder::ChunkBytes>
+SageDecoder::tryFetchChunkBytes(const ChunkSlice &slice) const
 {
     // One batched read covers all 13 stream slices (coalesced into
     // preadv calls by FileSource).
@@ -187,9 +207,21 @@ SageDecoder::fetchChunkBytes(const ChunkSlice &slice) const
         fetch[fetches++] = {offset, bytes.streams[s].data(),
                             static_cast<size_t>(size)};
     }
-    if (fetches > 0)
-        source_->readBatch(fetch.data(), fetches);
-    return bytes;
+    if (fetches > 0) {
+        Status status = source_->tryReadBatch(fetch.data(), fetches);
+        if (!status.ok())
+            return status;
+    }
+    return StatusOr<ChunkBytes>(std::move(bytes));
+}
+
+SageDecoder::ChunkBytes
+SageDecoder::fetchChunkBytes(const ChunkSlice &slice) const
+{
+    StatusOr<ChunkBytes> bytes = tryFetchChunkBytes(slice);
+    if (!bytes.ok())
+        sage_fatal(bytes.status().message());
+    return std::move(bytes.value());
 }
 
 void
@@ -266,24 +298,64 @@ SageDecoder::openChunk(size_t index)
 void
 SageDecoder::parseContainer(bool dna_only)
 {
-    dir_ = StreamDirectory::parse(*source_);
-    info_.params = SageParams::deserialize(dir_.load(*source_, "params"));
+    Status status = tryParseContainer(dna_only);
+    if (!status.ok())
+        sage_fatal(status.message());
+}
+
+Status
+SageDecoder::tryParseContainer(bool dna_only)
+try {
+    StatusOr<StreamDirectory> parsed = StreamDirectory::tryParse(*source_);
+    if (!parsed.ok())
+        return parsed.status();
+    dir_ = std::move(parsed.value());
+
+    std::vector<uint8_t> raw;
+    Status status = dir_.tryLoad(*source_, "params", raw);
+    if (!status.ok())
+        return status;
+    info_.params = SageParams::deserialize(raw);
     info_.streamSizes = dir_.sizes();
     info_.totalCompressedBytes = source_->size();
 
     const SageParams &params = info_.params;
+    status = dir_.tryLoad(*source_, "consensus", raw);
+    if (!status.ok())
+        return status;
+    // Validate the packed consensus length against its stream size
+    // before unpacking: unpackSequence trusts its arguments, and a
+    // corrupt params stream must not send it past the buffer (or into
+    // a multi-terabyte allocation).
+    const uint64_t cons_len = params.consensusLength;
+    sage_check_data(cons_len <= (uint64_t{1} << 42), Corrupt,
+                    "consensus length ", cons_len, " out of range");
+    const uint64_t cons_need = params.consensusTwoBit
+        ? (cons_len + 3) / 4 : (cons_len * 3 + 7) / 8;
+    sage_check_data(raw.size() >= cons_need, Truncated,
+                    "consensus stream holds ", raw.size(), " bytes; ",
+                    cons_len, " bases need ", cons_need);
     consensus_ = unpackSequence(
-        dir_.load(*source_, "consensus"), params.consensusLength,
+        raw, cons_len,
         params.consensusTwoBit ? OutputFormat::TwoBit
                                : OutputFormat::ThreeBit);
 
-    for (unsigned s = 0; s < kChunkStreamCount; s++)
+    for (unsigned s = 0; s < kChunkStreamCount; s++) {
+        if (!dir_.has(kChunkStreamNames[s]))
+            return Status::corrupt("missing stream: ",
+                                   kChunkStreamNames[s]);
         dnaExtents_[s] = dir_.extent(kChunkStreamNames[s]);
+    }
 
     // Host-side streams (skipped entirely in DNA-only mode).
     if (!dna_only) {
-        const auto header_bytes = gpzip::decompress(
-            dir_.load(*source_, "headers"));
+        status = dir_.tryLoad(*source_, "headers", raw);
+        if (!status.ok())
+            return status;
+        StatusOr<std::vector<uint8_t>> headers = gpzip::tryDecompress(raw);
+        if (!headers.ok())
+            return headers.status();
+        const std::vector<uint8_t> &header_bytes = headers.value();
         std::string cur;
         for (uint8_t byte : header_bytes) {
             if (byte == '\n') {
@@ -295,17 +367,23 @@ SageDecoder::parseContainer(bool dna_only)
         }
     }
     if (dir_.has("order")) {
-        const auto order_raw = dir_.load(*source_, "order");
+        status = dir_.tryLoad(*source_, "order", raw);
+        if (!status.ok())
+            return status;
         size_t pos = 0;
-        while (pos < order_raw.size())
-            order_.push_back(
-                static_cast<uint32_t>(getVarint(order_raw, pos)));
+        while (pos < raw.size())
+            order_.push_back(static_cast<uint32_t>(getVarint(raw, pos)));
     }
     if (!dna_only && params.hasQuality && dir_.has("quality")) {
-        const auto packed = dir_.load(*source_, "quality");
+        status = dir_.tryLoad(*source_, "quality", raw);
+        if (!status.ok())
+            return status;
+        const std::vector<uint8_t> &packed = raw;
         QualityArchive qa;
         size_t pos = 0;
         const uint64_t alpha_len = getVarint(packed, pos);
+        sage_check_data(alpha_len <= packed.size() - pos, Truncated,
+                        "quality alphabet runs past the stream end");
         qa.alphabet.assign(packed.begin() + pos,
                            packed.begin() + pos + alpha_len);
         pos += alpha_len;
@@ -317,6 +395,8 @@ SageDecoder::parseContainer(bool dna_only)
         for (uint64_t b = 0; b < blocks; b++) {
             qa.blockChars.push_back(getVarint(packed, pos));
             const uint64_t size = getVarint(packed, pos);
+            sage_check_data(size <= packed.size() - pos, Truncated,
+                            "quality block runs past the stream end");
             qa.blocks.emplace_back(packed.begin() + pos,
                                    packed.begin() + pos + size);
             pos += size;
@@ -336,8 +416,10 @@ SageDecoder::parseContainer(bool dna_only)
     // next chunk's offset (or the stream end for the last chunk), so a
     // cursor fetches exactly its chunk's bytes.
     if (params.version >= kFormatVersionChunked) {
-        const ChunkTable table =
-            ChunkTable::deserialize(dir_.load(*source_, "chunks"));
+        status = dir_.tryLoad(*source_, "chunks", raw);
+        if (!status.ok())
+            return status;
+        const ChunkTable table = ChunkTable::deserialize(raw);
         chunks_.reserve(table.entries.size());
         uint64_t first = 0;
         for (const ChunkTable::Entry &entry : table.entries) {
@@ -348,8 +430,8 @@ SageDecoder::parseContainer(bool dna_only)
             chunks_.push_back(slice);
             first += entry.readCount;
         }
-        sage_assert(first == params.numReads,
-                    "chunk table disagrees with read count");
+        sage_check_data(first == params.numReads, Corrupt,
+                        "chunk table disagrees with read count");
     } else {
         ChunkSlice slice;
         slice.readCount = params.numReads;
@@ -360,12 +442,22 @@ SageDecoder::parseContainer(bool dna_only)
             const uint64_t begin = chunks_[c].offsets[s];
             const uint64_t end = c + 1 < chunks_.size()
                 ? chunks_[c + 1].offsets[s] : dnaExtents_[s].size;
-            sage_assert(begin <= end && end <= dnaExtents_[s].size,
-                        "chunk table offsets out of order in stream ",
-                        kChunkStreamNames[s]);
+            sage_check_data(begin <= end && end <= dnaExtents_[s].size,
+                            Corrupt,
+                            "chunk table offsets out of order in stream ",
+                            kChunkStreamNames[s]);
             chunks_[c].sizes[s] = end - begin;
         }
     }
+    return Status();
+} catch (const StatusError &err) {
+    return err.status();
+} catch (const std::bad_alloc &) {
+    return Status::corrupt("archive rejected: parsing exceeded the "
+                           "allocation limit");
+} catch (const std::length_error &) {
+    return Status::corrupt("archive rejected: parsing exceeded the "
+                           "allocation limit");
 }
 
 uint64_t
@@ -418,8 +510,13 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
     // ---- Flags --------------------------------------------------------
     const bool reverse = cur.flags.readBit();
     unsigned extra_segments = 0;
-    if (params.maxSegments > 1)
+    if (params.maxSegments > 1) {
         extra_segments = cur.flags.readUnary();
+        sage_check_data(extra_segments < params.maxSegments, Corrupt,
+                        "segment count ", extra_segments + 1,
+                        " exceeds maxSegments ",
+                        unsigned(params.maxSegments));
+    }
     bool escaped = false;
     if (!params.cornerTrick)
         escaped = cur.flags.readBit();
@@ -432,6 +529,10 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
         length = static_cast<uint64_t>(
             static_cast<int64_t>(params.modalReadLength) + len_delta);
     }
+    // A corrupt length delta must not drive multi-gigabyte appends or
+    // wrap the packed-size arithmetic below.
+    sage_check_data(length <= (uint64_t{1} << 31), Corrupt,
+                    "read length ", length, " out of range");
 
     // Escape payloads are 3-bit packed into whole bytes, so the read
     // copies out of the chunk's escape slice directly instead of 8 bits
@@ -439,8 +540,9 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
     auto take_escape = [&] {
         const size_t packed_bytes = (length * 3 + 7) / 8;
         const ChunkCursor::Span &escape = cur.escape();
-        sage_assert(cur.escapeByte + packed_bytes <= escape.size,
-                    "escape stream underrun");
+        sage_check_data(packed_bytes <= escape.size &&
+                        cur.escapeByte <= escape.size - packed_bytes,
+                        Truncated, "escape stream underrun");
         read.bases = unpackSequence(escape.data + cur.escapeByte,
                                     packed_bytes, length,
                                     OutputFormat::ThreeBit);
@@ -472,11 +574,14 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
         segs[s].readLen = seglenCodec_->decode(cur.sga, cur.sgga);
         other_len += segs[s].readLen;
     }
+    sage_check_data(other_len <= length, Corrupt,
+                    "segment lengths exceed the read length");
     segs[0].readLen = length - other_len;
 
     // ---- Events + reconstruction (the RCU walk) --------------------------
     std::string oriented;
-    oriented.reserve(length);
+    oriented.reserve(static_cast<size_t>(
+        std::min<uint64_t>(length, uint64_t{1} << 20)));
     bool first_event_of_read = true;
 
     for (const SegInfo &seg : segs) {
@@ -509,14 +614,17 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
             // Copy the consensus run up to the event position.
             if (read_i < event_pos) {
                 const uint64_t run = event_pos - read_i;
-                sage_assert(cons_j + run <= consensus_.size(),
-                            "decoder ran off consensus");
+                sage_check_data(run <= consensus_.size() &&
+                                cons_j <= consensus_.size() - run,
+                                Corrupt, "decoder ran off consensus");
                 oriented.append(consensus_, static_cast<size_t>(cons_j),
                                 static_cast<size_t>(run));
                 cons_j += run;
                 read_i = event_pos;
             }
 
+            sage_check_data(!consensus_.empty(), Corrupt,
+                            "mismatch event against an empty consensus");
             const uint64_t marker_j =
                 std::min<uint64_t>(cons_j, consensus_.size() - 1);
 
@@ -578,8 +686,9 @@ SageDecoder::decodeOne(ChunkCursor &cur, uint64_t read_index,
         // Copy the segment's tail in one run.
         if (read_i < seg.readLen) {
             const uint64_t run = seg.readLen - read_i;
-            sage_assert(cons_j + run <= consensus_.size(),
-                        "decoder ran off consensus at tail");
+            sage_check_data(run <= consensus_.size() &&
+                            cons_j <= consensus_.size() - run,
+                            Corrupt, "decoder ran off consensus at tail");
             oriented.append(consensus_, static_cast<size_t>(cons_j),
                             static_cast<size_t>(run));
         }
@@ -679,19 +788,50 @@ SageDecoder::decodeChunks(size_t first, size_t count, ThreadPool *pool)
 std::vector<Read>
 SageDecoder::decodeChunkShared(size_t chunk)
 {
-    sage_assert(chunk < chunks_.size(), "chunk index out of range");
-    const ChunkSlice &slice = chunks_[chunk];
-    // A private cursor and a local event counter: nothing here writes
-    // decoder state, which is what makes concurrent calls safe.
-    ChunkCursor cur(*this, slice);
-    std::vector<Read> reads;
-    reads.reserve(static_cast<size_t>(slice.readCount));
-    uint64_t events = 0;
-    for (uint64_t r = 0; r < slice.readCount; r++) {
-        reads.push_back(decodeOne(cur, slice.firstRead + r, events,
-                                  /*consume_host=*/false));
+    StatusOr<std::vector<Read>> reads = tryDecodeChunkShared(chunk);
+    if (!reads.ok())
+        sage_fatal(reads.status().message());
+    return std::move(reads.value());
+}
+
+StatusOr<std::vector<Read>>
+SageDecoder::tryDecodeChunkShared(size_t chunk)
+{
+    if (chunk >= chunks_.size()) {
+        return Status::outOfRange("chunk index ", chunk,
+                                  " out of range (archive has ",
+                                  chunks_.size(), " chunks)");
     }
-    return reads;
+    const ChunkSlice &slice = chunks_[chunk];
+    // The fetch goes through the non-fatal source path so a failing
+    // disk reports IoError here instead of killing the process; decode
+    // errors on corrupt bytes surface as StatusError from the bit
+    // readers and bounds checks in decodeOne.
+    StatusOr<ChunkBytes> bytes = tryFetchChunkBytes(slice);
+    if (!bytes.ok())
+        return bytes.status();
+    try {
+        // A private cursor and a local event counter: nothing here
+        // writes decoder state, which is what makes concurrent calls
+        // safe.
+        ChunkCursor cur(slice, std::move(bytes.value()));
+        std::vector<Read> reads;
+        reads.reserve(static_cast<size_t>(slice.readCount));
+        uint64_t events = 0;
+        for (uint64_t r = 0; r < slice.readCount; r++) {
+            reads.push_back(decodeOne(cur, slice.firstRead + r, events,
+                                      /*consume_host=*/false));
+        }
+        return StatusOr<std::vector<Read>>(std::move(reads));
+    } catch (const StatusError &err) {
+        return err.status();
+    } catch (const std::bad_alloc &) {
+        return Status::corrupt("chunk ", chunk,
+                               " decode exceeded the allocation limit");
+    } catch (const std::length_error &) {
+        return Status::corrupt("chunk ", chunk,
+                               " decode exceeded the allocation limit");
+    }
 }
 
 ReadSet

@@ -92,6 +92,19 @@ class SageDecoder
                          bool dna_only = false);
     ~SageDecoder();
 
+    /**
+     * Non-fatal open over untrusted bytes: every framing field, stream
+     * table entry and header stream is bounds-checked, and any
+     * malformed or unreadable input comes back as a Status
+     * (Truncated/Corrupt/IoError/...) instead of killing the process.
+     * The serving path (and anything else that must survive a bad
+     * archive) opens through here; the fatal constructors remain the
+     * CLI/batch contract.
+     */
+    static StatusOr<std::unique_ptr<SageDecoder>>
+    tryOpen(const ByteSource &source, bool dna_only = false,
+            bool verify_checksum = false);
+
     /** Structural info (sizes, params). */
     const ArchiveInfo &info() const { return info_; }
 
@@ -143,6 +156,14 @@ class SageDecoder
      * added to eventsDecoded().
      */
     std::vector<Read> decodeChunkShared(size_t chunk);
+
+    /**
+     * Non-fatal flavor of decodeChunkShared(): I/O failures and
+     * corrupt chunk data come back as a Status instead of aborting,
+     * so one bad chunk degrades one request, not the process. Same
+     * thread-safety contract as decodeChunkShared().
+     */
+    StatusOr<std::vector<Read>> tryDecodeChunkShared(size_t chunk);
 
     /**
      * Decode everything into a ReadSet (restores original order when
@@ -202,10 +223,20 @@ class SageDecoder
         std::array<std::vector<uint8_t>, kChunkStreamCount> streams;
     };
 
+    /** tryOpen's blank instance; every member has a safe default. */
+    SageDecoder() = default;
+
     void parseContainer(bool dna_only);
+
+    /** Status-returning core of parseContainer: parses and validates
+     *  untrusted container framing, stream tables and host streams. */
+    Status tryParseContainer(bool dna_only);
 
     /** Synchronously read every stream slice of @p slice. */
     ChunkBytes fetchChunkBytes(const ChunkSlice &slice) const;
+
+    /** Non-fatal fetch of every stream slice of @p slice. */
+    StatusOr<ChunkBytes> tryFetchChunkBytes(const ChunkSlice &slice) const;
 
     /** Queue a background fetch of chunk @p chunk (requires an idle
      *  prefetch slot; callers take the slot first). */
@@ -240,7 +271,7 @@ class SageDecoder
 
     /** Owned backing for the legacy vector constructor. */
     std::unique_ptr<MemorySource> ownedSource_;
-    const ByteSource *source_;
+    const ByteSource *source_ = nullptr;
     StreamDirectory dir_;
     /** Absolute extents of the 13 DNA streams, ChunkStreamIndex order. */
     std::array<StreamExtent, kChunkStreamCount> dnaExtents_{};

@@ -1,6 +1,7 @@
 #include "core/format.hh"
 
 #include "util/logging.hh"
+#include "util/status.hh"
 #include "util/varint.hh"
 
 namespace sage {
@@ -54,16 +55,20 @@ SageParams::serialize() const
 SageParams
 SageParams::deserialize(const std::vector<uint8_t> &bytes)
 {
+    // Throws StatusError on malformed bytes (untrusted archive input);
+    // fatal callers catch at their public boundary.
     SageParams params;
     size_t pos = 0;
     params.version = static_cast<uint32_t>(getVarint(bytes, pos));
-    if (params.version != kFormatVersionLegacy &&
-        params.version != kFormatVersionChunked)
-        sage_fatal("unsupported SAGe container version ", params.version);
+    sage_check_data(params.version == kFormatVersionLegacy ||
+                        params.version == kFormatVersionChunked,
+                    Corrupt, "unsupported SAGe container version ",
+                    params.version);
     params.numReads = getVarint(bytes, pos);
     params.consensusLength = getVarint(bytes, pos);
 
-    sage_assert(pos + 2 <= bytes.size(), "params truncated");
+    sage_check_data(pos + 2 <= bytes.size(), Truncated,
+                    "params truncated");
     const uint8_t flags = bytes[pos++];
     params.consensusTwoBit = flags & 1;
     params.hasQuality = flags & 2;
@@ -73,7 +78,9 @@ SageParams::deserialize(const std::vector<uint8_t> &bytes)
     params.inferTypes = flags & 32;
     params.cornerTrick = flags & 64;
     params.constantReadLength = flags & 128;
-    sage_assert(pos + 1 <= bytes.size(), "params truncated");
+    // flags2 and maxSegments: two more fixed bytes.
+    sage_check_data(pos + 2 <= bytes.size(), Truncated,
+                    "params truncated");
     const uint8_t flags2 = bytes[pos++];
     params.tuneMatchArrays = flags2 & 1;
     params.maxSegments = bytes[pos++];
@@ -104,21 +111,24 @@ ChunkTable::serialize() const
 ChunkTable
 ChunkTable::deserialize(const std::vector<uint8_t> &bytes)
 {
+    // Throws StatusError on malformed bytes (untrusted archive input).
     ChunkTable table;
     size_t pos = 0;
     const uint64_t count = getVarint(bytes, pos);
     // Each entry is at least 1 + kChunkStreamCount varint bytes, so a
     // corrupt count cannot fit in the stream — reject it before the
     // resize rather than attempting a huge allocation.
-    sage_assert(count <= bytes.size() / (1 + kChunkStreamCount),
-                "chunk table count exceeds stream size");
+    sage_check_data(count <= bytes.size() / (1 + kChunkStreamCount),
+                    Corrupt, "chunk table count ", count,
+                    " exceeds stream size");
     table.entries.resize(count);
     for (Entry &entry : table.entries) {
         entry.readCount = getVarint(bytes, pos);
         for (uint64_t &offset : entry.offsets)
             offset = getVarint(bytes, pos);
     }
-    sage_assert(pos == bytes.size(), "chunk table has trailing bytes");
+    sage_check_data(pos == bytes.size(), Corrupt,
+                    "chunk table has trailing bytes");
     return table;
 }
 

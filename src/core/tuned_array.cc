@@ -22,10 +22,17 @@ AssociationTable::deserialize(const std::vector<uint8_t> &data,
 {
     AssociationTable table;
     const uint64_t n = getVarint(data, pos);
-    sage_assert(n >= 1 && n <= 16, "bad association table size");
+    sage_check_data(n >= 1 && n <= 16, Corrupt,
+                    "bad association table size ", n);
     for (uint64_t i = 0; i < n; i++) {
-        sage_assert(pos < data.size(), "association table truncated");
-        table.widthByRank.push_back(data[pos++]);
+        sage_check_data(pos < data.size(), Truncated,
+                        "association table truncated");
+        const uint8_t width = data[pos++];
+        // Widths beyond 57 would trip BitReader's hard field limit.
+        sage_check_data(width <= 57, Corrupt,
+                        "association table width ", unsigned(width),
+                        " out of range");
+        table.widthByRank.push_back(width);
     }
     return table;
 }
@@ -229,8 +236,8 @@ uint64_t
 TunedFieldCodec::decode(BitReader &array, BitReader &guide) const
 {
     const unsigned rank = guide.readUnary();
-    sage_assert(rank < table_.widthByRank.size(),
-                "guide rank out of range (corrupt stream)");
+    sage_check_data(rank < table_.widthByRank.size(), Corrupt,
+                    "guide rank ", rank, " out of range (corrupt stream)");
     return array.readBits(table_.widthByRank[rank]);
 }
 

@@ -30,6 +30,45 @@ ByteSource::readBatch(const Extent *extents, size_t count) const
     }
 }
 
+Status
+ByteSource::tryReadAt(uint64_t offset, void *dst, size_t size) const
+{
+    if (size == 0)
+        return Status();
+    const uint64_t total = this->size();
+    if (offset > total || size > total - offset) {
+        return Status::outOfRange("read past end of ", describe(), ": [",
+                                  offset, ", ", offset + size, ") in ",
+                                  total, " bytes");
+    }
+    readAt(offset, dst, size);
+    return Status();
+}
+
+Status
+ByteSource::tryReadBatch(const Extent *extents, size_t count) const
+{
+    for (size_t i = 0; i < count; i++) {
+        if (extents[i].size == 0)
+            continue;
+        Status status = tryReadAt(extents[i].offset, extents[i].dst,
+                                  extents[i].size);
+        if (!status.ok())
+            return status;
+    }
+    return Status();
+}
+
+Status
+ByteSource::tryRead(uint64_t offset, size_t size,
+                    std::vector<uint8_t> &out) const
+{
+    out.resize(size);
+    if (size == 0)
+        return Status();
+    return tryReadAt(offset, out.data(), size);
+}
+
 void
 MemorySource::readAt(uint64_t offset, void *dst, size_t size) const
 {

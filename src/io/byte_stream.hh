@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.hh"
+
 namespace sage {
 
 /**
@@ -79,11 +81,35 @@ class ByteSource
      */
     virtual void readBatch(const Extent *extents, size_t count) const;
 
+    /**
+     * Non-fatal flavor of readAt(): returns Status instead of killing
+     * the process, so serving paths can degrade per-request. The
+     * default bounds-checks (OutOfRange past the end) and forwards to
+     * readAt(); sources with real failure modes (FileSource,
+     * StripedSource) override with their own error mapping. Same
+     * thread-safety contract as readAt().
+     */
+    virtual Status tryReadAt(uint64_t offset, void *dst,
+                             size_t size) const;
+
+    /**
+     * Non-fatal flavor of readBatch(): first failing extent's Status
+     * is returned and the remaining extents are left unread (their
+     * buffers are unspecified). Overridden alongside readBatch() by
+     * sources with a scatter path.
+     */
+    virtual Status tryReadBatch(const Extent *extents,
+                                size_t count) const;
+
     /** Human-readable identity for error messages (path or kind). */
     virtual std::string describe() const = 0;
 
     /** Convenience: read a span into a fresh vector. */
     std::vector<uint8_t> read(uint64_t offset, size_t size) const;
+
+    /** Convenience: non-fatal read of a span into @p out (resized). */
+    Status tryRead(uint64_t offset, size_t size,
+                   std::vector<uint8_t> &out) const;
 
     /** Convenience: read the entire source. */
     std::vector<uint8_t> readAll() const;

@@ -1,6 +1,7 @@
 #include "io/container.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/crc32.hh"
 #include "util/logging.hh"
@@ -9,7 +10,11 @@ namespace sage {
 
 namespace {
 
-/** Sequential varint reader over a bounded prefix of a source. */
+/**
+ * Sequential varint reader over a bounded prefix of a source. All
+ * failures — truncation, malformed varints, I/O errors — come back as
+ * Status so the parse of untrusted framing never kills the process.
+ */
 class VarintCursor
 {
   public:
@@ -25,25 +30,31 @@ class VarintCursor
         pos_ += bytes;
     }
 
-    uint64_t
-    next()
+    Status
+    next(uint64_t &value)
     {
-        uint64_t value = 0;
+        value = 0;
         unsigned shift = 0;
         for (;;) {
             if (pos_ >= limit_) {
-                sage_fatal("truncated archive ", source_.describe(),
-                           ": varint runs past byte ", limit_);
+                return Status::truncated("truncated archive ",
+                                         source_.describe(),
+                                         ": varint runs past byte ",
+                                         limit_);
             }
             uint8_t byte;
-            source_.readAt(pos_++, &byte, 1);
+            Status status = source_.tryReadAt(pos_++, &byte, 1);
+            if (!status.ok())
+                return status;
             value |= static_cast<uint64_t>(byte & 0x7f) << shift;
             if (!(byte & 0x80))
-                return value;
+                return Status();
             shift += 7;
             if (shift >= 64) {
-                sage_fatal("malformed archive ", source_.describe(),
-                           ": varint overflow at byte ", pos_);
+                return Status::corrupt("malformed archive ",
+                                       source_.describe(),
+                                       ": varint overflow at byte ",
+                                       pos_);
             }
         }
     }
@@ -56,44 +67,74 @@ class VarintCursor
 
 } // namespace
 
-StreamDirectory
-StreamDirectory::parse(const ByteSource &source)
+StatusOr<StreamDirectory>
+StreamDirectory::tryParse(const ByteSource &source)
 {
     const uint64_t total = source.size();
     if (total < 4) {
-        sage_fatal("archive ", source.describe(), " too small (", total,
-                   " bytes): not a SAGe container");
+        return Status::truncated("archive ", source.describe(),
+                                 " too small (", total,
+                                 " bytes): not a SAGe container");
     }
     const uint64_t body = total - 4; // CRC32 trailer.
 
     StreamDirectory dir;
     VarintCursor cursor(source, body);
-    const uint64_t count = cursor.next();
+    uint64_t count = 0;
+    Status status = cursor.next(count);
+    if (!status.ok())
+        return status;
+    // Each stream costs at least 3 framing bytes (empty name, empty
+    // payload), so a count the body cannot hold is corrupt — reject
+    // it before looping billions of times.
+    if (count > body / 3 + 1) {
+        return Status::corrupt("malformed archive ", source.describe(),
+                               ": stream count ", count,
+                               " cannot fit a ", body, "-byte body");
+    }
     for (uint64_t i = 0; i < count; i++) {
-        const uint64_t name_len = cursor.next();
+        uint64_t name_len = 0;
+        status = cursor.next(name_len);
+        if (!status.ok())
+            return status;
         if (name_len > body - std::min(cursor.position(), body)) {
-            sage_fatal("truncated archive ", source.describe(),
-                       ": stream name runs past the body");
+            return Status::truncated("truncated archive ",
+                                     source.describe(),
+                                     ": stream name runs past the body");
         }
-        std::string name(name_len, '\0');
-        if (name_len > 0)
-            source.readAt(cursor.position(), name.data(),
-                          static_cast<size_t>(name_len));
+        std::string name(static_cast<size_t>(name_len), '\0');
+        if (name_len > 0) {
+            status = source.tryReadAt(cursor.position(), name.data(),
+                                      static_cast<size_t>(name_len));
+            if (!status.ok())
+                return status;
+        }
         cursor.skip(name_len);
 
         StreamExtent extent;
-        extent.size = cursor.next();
+        status = cursor.next(extent.size);
+        if (!status.ok())
+            return status;
         extent.offset = cursor.position();
         if (extent.size > body - std::min(extent.offset, body)) {
-            sage_fatal("truncated archive ", source.describe(),
-                       ": stream '", name, "' claims ", extent.size,
-                       " bytes at offset ", extent.offset, " of a ",
-                       body, "-byte body");
+            return Status::truncated(
+                "truncated archive ", source.describe(), ": stream '",
+                name, "' claims ", extent.size, " bytes at offset ",
+                extent.offset, " of a ", body, "-byte body");
         }
         cursor.skip(extent.size);
         dir.extents_[name] = extent;
     }
     return dir;
+}
+
+StreamDirectory
+StreamDirectory::parse(const ByteSource &source)
+{
+    StatusOr<StreamDirectory> parsed = tryParse(source);
+    if (!parsed.ok())
+        sage_fatal(parsed.status().message());
+    return std::move(parsed.value());
 }
 
 bool
@@ -119,6 +160,18 @@ StreamDirectory::load(const ByteSource &source,
     return source.read(ext.offset, static_cast<size_t>(ext.size));
 }
 
+Status
+StreamDirectory::tryLoad(const ByteSource &source,
+                         const std::string &name,
+                         std::vector<uint8_t> &out) const
+{
+    auto it = extents_.find(name);
+    if (it == extents_.end())
+        return Status::corrupt("missing stream: ", name);
+    return source.tryRead(it->second.offset,
+                          static_cast<size_t>(it->second.size), out);
+}
+
 std::map<std::string, uint64_t>
 StreamDirectory::sizes() const
 {
@@ -128,12 +181,15 @@ StreamDirectory::sizes() const
     return out;
 }
 
-bool
-verifyArchiveChecksum(const ByteSource &source)
+Status
+verifyArchiveChecksumStatus(const ByteSource &source)
 {
     const uint64_t total = source.size();
-    if (total < 4)
-        return false;
+    if (total < 4) {
+        return Status::truncated("archive ", source.describe(),
+                                 " too small (", total,
+                                 " bytes) to hold a CRC32 trailer");
+    }
     const uint64_t body = total - 4;
 
     Crc32 crc;
@@ -146,17 +202,32 @@ verifyArchiveChecksum(const ByteSource &source)
             crc.update(direct, span);
         } else {
             block.resize(span);
-            source.readAt(pos, block.data(), span);
+            Status status = source.tryReadAt(pos, block.data(), span);
+            if (!status.ok())
+                return status;
             crc.update(block.data(), span);
         }
     }
 
     uint8_t trailer[4];
-    source.readAt(body, trailer, 4);
+    Status status = source.tryReadAt(body, trailer, 4);
+    if (!status.ok())
+        return status;
     uint32_t stored = 0;
     for (int i = 0; i < 4; i++)
         stored |= static_cast<uint32_t>(trailer[i]) << (8 * i);
-    return crc.value() == stored;
+    if (crc.value() != stored) {
+        return Status::corrupt("archive ", source.describe(),
+                               " CRC mismatch: stored ", stored,
+                               ", computed ", crc.value());
+    }
+    return Status();
+}
+
+bool
+verifyArchiveChecksum(const ByteSource &source)
+{
+    return verifyArchiveChecksumStatus(source).ok();
 }
 
 } // namespace sage

@@ -43,6 +43,14 @@ class StreamDirectory
      */
     static StreamDirectory parse(const ByteSource &source);
 
+    /**
+     * Non-fatal parse of untrusted framing: every varint, name span,
+     * and payload extent is bounds-checked against the body; a bad
+     * container comes back as Truncated/Corrupt/OutOfRange instead of
+     * killing the process. I/O failures surface as IoError.
+     */
+    static StatusOr<StreamDirectory> tryParse(const ByteSource &source);
+
     bool has(const std::string &name) const;
 
     /** Extent of stream @p name; fatal when missing. */
@@ -51,6 +59,11 @@ class StreamDirectory
     /** Load one stream's payload through @p source. */
     std::vector<uint8_t> load(const ByteSource &source,
                               const std::string &name) const;
+
+    /** Non-fatal load: Corrupt when the stream is missing, else the
+     *  source's tryRead status. */
+    Status tryLoad(const ByteSource &source, const std::string &name,
+                   std::vector<uint8_t> &out) const;
 
     /** All extents, in name order (the bundle's serialization order). */
     const std::map<std::string, StreamExtent> &
@@ -73,6 +86,14 @@ class StreamDirectory
  * and rely on per-read validation instead.
  */
 bool verifyArchiveChecksum(const ByteSource &source);
+
+/**
+ * Status flavor of verifyArchiveChecksum: Ok when the trailer
+ * matches, Corrupt (with both CRC values) when it does not,
+ * Truncated when the source cannot even hold a trailer, and the
+ * underlying read status on I/O failure.
+ */
+Status verifyArchiveChecksumStatus(const ByteSource &source);
 
 } // namespace sage
 

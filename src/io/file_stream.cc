@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -20,6 +22,14 @@ errnoText()
 {
     return std::strerror(errno);
 }
+
+/** Transient (EAGAIN/EWOULDBLOCK) retries attempted per operation
+ *  before giving up with StatusCode::Exhausted. */
+constexpr unsigned kTransientRetryBudget = 8;
+
+/** First backoff sleep; doubles per retry, capped at 1 ms. */
+constexpr unsigned kBackoffStartMicros = 50;
+constexpr unsigned kBackoffCapMicros = 1000;
 
 } // namespace
 
@@ -41,46 +51,84 @@ FileSource::~FileSource()
         ::close(fd_);
 }
 
-void
-FileSource::preadExact(uint64_t offset, void *dst, size_t size) const
+Status
+FileSource::classifyReadError(int err, uint64_t offset,
+                              unsigned &transient_left) const
+{
+    // EINTR: a signal interrupted the syscall before any bytes moved;
+    // retry immediately, without touching the transient budget.
+    if (err == EINTR)
+        return Status();
+    // EAGAIN/EWOULDBLOCK: the descriptor is momentarily unready.
+    // Never expected of a regular file, but network filesystems and
+    // fault injection produce it; back off and retry a bounded number
+    // of times before reporting Exhausted.
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+        if (transient_left == 0) {
+            return Status::exhausted(
+                "transient read errors exhausted the retry budget (",
+                kTransientRetryBudget, ") on ", path_, " at offset ",
+                offset);
+        }
+        const unsigned attempt = kTransientRetryBudget - transient_left;
+        transient_left--;
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        const unsigned sleep_us = std::min(
+            kBackoffCapMicros, kBackoffStartMicros << attempt);
+        std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+        return Status();
+    }
+    return Status::ioError("read error on ", path_, " at offset ",
+                           offset, ": ", std::strerror(err));
+}
+
+Status
+FileSource::tryPreadExact(uint64_t offset, void *dst, size_t size) const
 {
     uint8_t *out = static_cast<uint8_t *>(dst);
+    unsigned transient_left = kTransientRetryBudget;
     while (size > 0) {
         const ssize_t got = ::pread(fd_, out, size,
                                     static_cast<off_t>(offset));
         if (got < 0) {
-            if (errno == EINTR)
-                continue;
-            sage_fatal("read error on ", path_, " at offset ", offset,
-                       ": ", errnoText());
+            Status status = classifyReadError(errno, offset,
+                                              transient_left);
+            if (!status.ok())
+                return status;
+            continue;
         }
         if (got == 0) {
-            sage_fatal("short read on ", path_, ": wanted ", size,
-                       " more bytes at offset ", offset, " (file is ",
-                       size_, " bytes)");
+            return Status::truncated("short read on ", path_,
+                                     ": wanted ", size,
+                                     " more bytes at offset ", offset,
+                                     " (file is ", size_, " bytes)");
         }
         out += got;
         offset += static_cast<uint64_t>(got);
         size -= static_cast<size_t>(got);
     }
+    return Status();
 }
 
-void
-FileSource::preadvExact(uint64_t offset, struct iovec *iov,
-                        size_t count) const
+Status
+FileSource::tryPreadvExact(uint64_t offset, struct iovec *iov,
+                           size_t count) const
 {
+    unsigned transient_left = kTransientRetryBudget;
     while (count > 0) {
         const ssize_t got = ::preadv(fd_, iov, static_cast<int>(count),
                                      static_cast<off_t>(offset));
         if (got < 0) {
-            if (errno == EINTR)
-                continue;
-            sage_fatal("read error on ", path_, " at offset ", offset,
-                       ": ", errnoText());
+            Status status = classifyReadError(errno, offset,
+                                              transient_left);
+            if (!status.ok())
+                return status;
+            continue;
         }
         if (got == 0) {
-            sage_fatal("short read on ", path_, " at offset ", offset,
-                       " (file is ", size_, " bytes)");
+            return Status::truncated("short read on ", path_,
+                                     " at offset ", offset, " (file is ",
+                                     size_, " bytes)");
         }
         offset += static_cast<uint64_t>(got);
         size_t left = static_cast<size_t>(got);
@@ -94,10 +142,28 @@ FileSource::preadvExact(uint64_t offset, struct iovec *iov,
             iov->iov_len -= left;
         }
     }
+    return Status();
 }
 
 void
-FileSource::readBatch(const Extent *extents, size_t count) const
+FileSource::preadExact(uint64_t offset, void *dst, size_t size) const
+{
+    Status status = tryPreadExact(offset, dst, size);
+    if (!status.ok())
+        sage_fatal(status.message());
+}
+
+void
+FileSource::preadvExact(uint64_t offset, struct iovec *iov,
+                        size_t count) const
+{
+    Status status = tryPreadvExact(offset, iov, count);
+    if (!status.ok())
+        sage_fatal(status.message());
+}
+
+Status
+FileSource::tryReadBatch(const Extent *extents, size_t count) const
 {
     // Gap size below which two extents share one preadv: the skipped
     // bytes are read into a discarded scratch iovec, which beats the
@@ -113,9 +179,9 @@ FileSource::readBatch(const Extent *extents, size_t count) const
         if (e.size == 0)
             continue;
         if (e.offset > size_ || e.size > size_ - e.offset) {
-            sage_fatal("read past end of ", path_, ": [", e.offset,
-                       ", ", e.offset + e.size, ") in ", size_,
-                       " bytes");
+            return Status::outOfRange("read past end of ", path_, ": [",
+                                      e.offset, ", ", e.offset + e.size,
+                                      ") in ", size_, " bytes");
         }
         order.push_back(i);
     }
@@ -151,40 +217,69 @@ FileSource::readBatch(const Extent *extents, size_t count) const
                  extents[order[r]].offset >= end &&
                  extents[order[r]].offset - end <= kBatchGapBytes);
 
-        if (iov.size() == 1)
-            preadExact(run_offset, iov[0].iov_base, iov[0].iov_len);
-        else
-            preadvExact(run_offset, iov.data(), iov.size());
+        Status status;
+        if (iov.size() == 1) {
+            status = tryPreadExact(run_offset, iov[0].iov_base,
+                                   iov[0].iov_len);
+        } else {
+            status = tryPreadvExact(run_offset, iov.data(), iov.size());
+        }
+        if (!status.ok())
+            return status;
     }
+    return Status();
 }
 
 void
-FileSource::readAt(uint64_t offset, void *dst, size_t size) const
+FileSource::readBatch(const Extent *extents, size_t count) const
+{
+    Status status = tryReadBatch(extents, count);
+    if (!status.ok())
+        sage_fatal(status.message());
+}
+
+Status
+FileSource::tryReadAt(uint64_t offset, void *dst, size_t size) const
 {
     if (size == 0)
-        return;
+        return Status();
     if (offset > size_ || size > size_ - offset) {
-        sage_fatal("read past end of ", path_, ": [", offset, ", ",
-                   offset + size, ") in ", size_, " bytes");
+        return Status::outOfRange("read past end of ", path_, ": [",
+                                  offset, ", ", offset + size, ") in ",
+                                  size_, " bytes");
     }
 
     // Everything but tiny directory reads bypasses the cache; pread
     // is thread-safe, so concurrent chunk fetches never contend here.
-    if (size > kCachedReadBytes) {
-        preadExact(offset, dst, size);
-        return;
-    }
+    if (size > kCachedReadBytes)
+        return tryPreadExact(offset, dst, size);
 
     std::lock_guard<std::mutex> lock(mutex_);
     const bool hit = offset >= cacheOffset_ &&
         offset + size <= cacheOffset_ + cache_.size();
     if (!hit) {
-        cacheOffset_ = offset;
-        cache_.resize(static_cast<size_t>(
+        std::vector<uint8_t> window(static_cast<size_t>(
             std::min<uint64_t>(kCacheBytes, size_ - offset)));
-        preadExact(cacheOffset_, cache_.data(), cache_.size());
+        Status status = tryPreadExact(offset, window.data(),
+                                      window.size());
+        if (!status.ok()) {
+            // Leave the old window intact: a failed fill must not
+            // poison later reads with stale mappings.
+            return status;
+        }
+        cacheOffset_ = offset;
+        cache_ = std::move(window);
     }
     std::memcpy(dst, cache_.data() + (offset - cacheOffset_), size);
+    return Status();
+}
+
+void
+FileSource::readAt(uint64_t offset, void *dst, size_t size) const
+{
+    Status status = tryReadAt(offset, dst, size);
+    if (!status.ok())
+        sage_fatal(status.message());
 }
 
 FileSink::FileSink(const std::string &path)
@@ -216,11 +311,33 @@ FileSink::write(const void *data, size_t size)
         return;
     }
     flush();
+    writeExact(bytes, size);
+}
+
+void
+FileSink::writeExact(const uint8_t *bytes, size_t size)
+{
+    // EINTR retries immediately; EAGAIN/EWOULDBLOCK (pipes, network
+    // filesystems) backs off briefly and retries a bounded number of
+    // times before dying — a write sink has no recoverable caller yet,
+    // so exhaustion stays fatal.
+    unsigned transient_left = kTransientRetryBudget;
     while (size > 0) {
         const ssize_t put = ::write(fd_, bytes, size);
         if (put < 0) {
             if (errno == EINTR)
                 continue;
+            if ((errno == EAGAIN || errno == EWOULDBLOCK) &&
+                transient_left > 0) {
+                const unsigned attempt =
+                    kTransientRetryBudget - transient_left;
+                transient_left--;
+                const unsigned sleep_us = std::min(
+                    kBackoffCapMicros, kBackoffStartMicros << attempt);
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(sleep_us));
+                continue;
+            }
             sage_fatal("write error on ", path_, ": ", errnoText());
         }
         bytes += put;
@@ -233,18 +350,7 @@ FileSink::flush()
 {
     if (fd_ < 0 || buffer_.empty())
         return;
-    const uint8_t *bytes = buffer_.data();
-    size_t size = buffer_.size();
-    while (size > 0) {
-        const ssize_t put = ::write(fd_, bytes, size);
-        if (put < 0) {
-            if (errno == EINTR)
-                continue;
-            sage_fatal("write error on ", path_, ": ", errnoText());
-        }
-        bytes += put;
-        size -= static_cast<size_t>(put);
-    }
+    writeExact(buffer_.data(), buffer_.size());
     buffer_.clear();
 }
 

@@ -14,6 +14,7 @@
 #ifndef SAGE_IO_FILE_STREAM_HH
 #define SAGE_IO_FILE_STREAM_HH
 
+#include <atomic>
 #include <mutex>
 
 #include "io/byte_stream.hh"
@@ -44,7 +45,27 @@ class FileSource final : public ByteSource
      * other in the container. Distant extents get their own preadv.
      */
     void readBatch(const Extent *extents, size_t count) const override;
+
+    /**
+     * Non-fatal reads: OutOfRange past the end, Truncated when the
+     * file ends mid-read, IoError on syscall failure, Exhausted when
+     * the transient-error retry budget runs out. EINTR is retried
+     * immediately and EAGAIN/EWOULDBLOCK with bounded exponential
+     * backoff (counted in transientRetries()) before giving up.
+     */
+    Status tryReadAt(uint64_t offset, void *dst,
+                     size_t size) const override;
+    Status tryReadBatch(const Extent *extents,
+                        size_t count) const override;
+
     std::string describe() const override { return path_; }
+
+    /** Transient-error retries (EINTR excluded) performed so far. */
+    uint64_t
+    transientRetries() const
+    {
+        return retries_.load(std::memory_order_relaxed);
+    }
 
   private:
     /**
@@ -66,9 +87,20 @@ class FileSource final : public ByteSource
     void preadvExact(uint64_t offset, struct iovec *iov,
                      size_t count) const;
 
+    /** Status-returning cores the fatal loops above wrap. */
+    Status tryPreadExact(uint64_t offset, void *dst, size_t size) const;
+    Status tryPreadvExact(uint64_t offset, struct iovec *iov,
+                          size_t count) const;
+
+    /** Shared errno handling for the two cores: decide whether to
+     *  retry (returns Ok after sleeping) or give up (non-Ok). */
+    Status classifyReadError(int err, uint64_t offset,
+                             unsigned &transient_left) const;
+
     std::string path_;
     int fd_ = -1;
     uint64_t size_ = 0;
+    mutable std::atomic<uint64_t> retries_{0};
 
     // Read-ahead window for small sequential reads (directory walks).
     mutable std::mutex mutex_;
@@ -101,6 +133,9 @@ class FileSink final : public ByteSink
 
   private:
     static constexpr size_t kBufferBytes = 256 * 1024;
+
+    /** write(2) loop with EINTR retry and bounded EAGAIN backoff. */
+    void writeExact(const uint8_t *bytes, size_t size);
 
     std::string path_;
     int fd_ = -1;

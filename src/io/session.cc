@@ -78,18 +78,25 @@ SageWriter::finish(std::string_view consensus, ThreadPool *pool)
 
 SageReader::SageReader(const ByteSource &source,
                        SageReaderOptions options)
-    : decoder_(std::make_unique<SageDecoder>(source, options.dnaOnly,
+    : source_(&source),
+      decoder_(std::make_unique<SageDecoder>(source, options.dnaOnly,
                                              options.verifyChecksum))
 {
     enablePrefetch(options);
 }
 
 SageReader::SageReader(const std::string &path, SageReaderOptions options)
-    : file_(std::make_unique<FileSource>(path)),
+    : file_(std::make_unique<FileSource>(path)), source_(file_.get()),
       decoder_(std::make_unique<SageDecoder>(*file_, options.dnaOnly,
                                              options.verifyChecksum))
 {
     enablePrefetch(options);
+}
+
+Status
+SageReader::verify() const
+{
+    return verifyArchiveChecksumStatus(*source_);
 }
 
 void

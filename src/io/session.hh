@@ -226,10 +226,20 @@ class SageReader
         return decoder_->chunkCompressedBytes();
     }
 
+    /**
+     * Stream the whole archive through the CRC32 trailer check and
+     * report the outcome as a Status instead of dying: Corrupt on a
+     * checksum mismatch, Truncated when the container cannot hold a
+     * trailer, IoError when the bytes cannot be read. Reads every
+     * byte; independent of decode state and repeatable.
+     */
+    Status verify() const;
+
   private:
     void enablePrefetch(const SageReaderOptions &options);
 
     std::unique_ptr<FileSource> file_;  ///< Owned for the path ctor.
+    const ByteSource *source_ = nullptr;
     /** Owned fetch pool for SageReaderOptions::prefetch (unused when
      *  the options supplied one). Declared before decoder_: the
      *  decoder's destructor drains any in-flight fetch before the

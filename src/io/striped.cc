@@ -65,25 +65,38 @@ StripedSource::locate(uint64_t offset) const
     return loc;
 }
 
-void
-StripedSource::readAt(uint64_t offset, void *dst, size_t size) const
+Status
+StripedSource::tryReadAt(uint64_t offset, void *dst, size_t size) const
 {
     if (size == 0)
-        return;
+        return Status();
     if (offset > size_ || size > size_ - offset) {
-        sage_fatal("read past end of ", describe(), ": [", offset, ", ",
-                   offset + size, ") in ", size_, " bytes");
+        return Status::outOfRange("read past end of ", describe(), ": [",
+                                  offset, ", ", offset + size, ") in ",
+                                  size_, " bytes");
     }
     uint8_t *out = static_cast<uint8_t *>(dst);
     while (size > 0) {
         const Location loc = locate(offset);
         const size_t span = static_cast<size_t>(
             std::min<uint64_t>(size, loc.bytesLeftInStripe));
-        stripes_[loc.stripe]->readAt(loc.localOffset, out, span);
+        Status status = stripes_[loc.stripe]->tryReadAt(loc.localOffset,
+                                                        out, span);
+        if (!status.ok())
+            return status;
         out += span;
         offset += span;
         size -= span;
     }
+    return Status();
+}
+
+void
+StripedSource::readAt(uint64_t offset, void *dst, size_t size) const
+{
+    Status status = tryReadAt(offset, dst, size);
+    if (!status.ok())
+        sage_fatal(status.message());
 }
 
 const uint8_t *

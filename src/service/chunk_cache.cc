@@ -127,7 +127,7 @@ ChunkCache::insertAndTrim(Shard &shard, size_t chunk,
 
 DecodedChunkPtr
 ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode,
-                        const RequestOptions *qos)
+                        const RequestOptions *qos, Status *error)
 {
     Shard &shard = shardFor(chunk);
     std::shared_ptr<Flight> flight;
@@ -176,40 +176,63 @@ ChunkCache::getOrDecode(size_t chunk, const DecodeFn &decode,
         } else {
             flight->done.wait(lock, [&] { return flight->ready; });
         }
+        // The leader's decode may have failed; propagate its Status so
+        // every coalesced waiter degrades to an errored request rather
+        // than dereferencing a null chunk.
+        if (!flight->result && error && !flight->status.ok())
+            *error = flight->status;
         return flight->result;
     }
 
     // Leader: decode outside every lock (this is the expensive part —
     // a full chunk fetch + decompression), then publish and cache. A
-    // decode that throws (std::bad_alloc is the realistic case) must
-    // not unwind past the flight: waiters parked on it — and every
-    // future requester joining it — would hang forever. Decode
-    // failure is fatal, like every other I/O/decode failure in this
-    // codebase. The leader never abandons mid-decode: followers may
-    // already be parked on its flight.
+    // decode that throws must not unwind past the flight: waiters
+    // parked on it — and every future requester joining it — would
+    // hang forever. Data-dependent failures (a Status return, or a
+    // StatusError escaping the decoder) publish the failure to every
+    // waiter and tear the flight down so the next request retries; any
+    // other exception is a bug and stays fatal. The leader never
+    // abandons mid-decode: followers may already be parked on its
+    // flight.
     DecodedChunkPtr data;
+    Status failure;
     try {
-        data = decode(chunk);
-    } catch (const std::exception &error) {
+        StatusOr<DecodedChunkPtr> decoded = decode(chunk);
+        if (decoded.ok()) {
+            data = std::move(decoded.value());
+            sage_assert(data != nullptr, "chunk decode returned null");
+        } else {
+            failure = decoded.status();
+        }
+    } catch (const StatusError &err) {
+        failure = err.status();
+    } catch (const std::exception &err) {
         sage_fatal("decode of chunk ", chunk,
-                   " failed with exception: ", error.what());
+                   " failed with exception: ", err.what());
     }
-    sage_assert(data != nullptr, "chunk decode returned null");
     {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.flights.erase(chunk);
-        // A clear() while this decode was in flight bumped the
-        // generation; honoring it means serving the waiters but not
-        // re-populating the cache the caller just released.
-        if (flight->generation == shard.generation)
+        if (!failure.ok()) {
+            // Never cache a failure: the flight is gone, so the next
+            // requester for this chunk starts a fresh decode.
+            shard.decodeErrors++;
+        } else if (flight->generation == shard.generation) {
+            // A clear() while this decode was in flight bumped the
+            // generation; honoring it means serving the waiters but
+            // not re-populating the cache the caller just released.
             insertAndTrim(shard, chunk, data);
+        }
     }
     {
         std::lock_guard<std::mutex> lock(flight->mutex);
         flight->result = data;
+        flight->status = failure;
         flight->ready = true;
     }
     flight->done.notify_all();
+    if (!failure.ok() && error)
+        *error = failure;
     return data;
 }
 
@@ -250,6 +273,7 @@ ChunkCache::stats() const
         total.abandonedWaits += shard->abandonedWaits;
         total.ghostHits += shard->ghostHits;
         total.oversizedRejects += shard->oversizedRejects;
+        total.decodeErrors += shard->decodeErrors;
         total.residentBytes += shard->residentBytes;
         total.residentChunks += shard->entries.size();
         total.ghostChunks += shard->ghosts.size();

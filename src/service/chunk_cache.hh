@@ -42,6 +42,7 @@
 
 #include "genomics/read.hh"
 #include "service/qos.hh"
+#include "util/status.hh"
 
 namespace sage {
 
@@ -79,6 +80,10 @@ struct ChunkCacheStats
     /** Decodes served but not retained because the entry alone
      *  exceeds its shard's byte budget. */
     uint64_t oversizedRejects = 0;
+    /** Decodes that failed (I/O error / corrupt chunk). Nothing was
+     *  cached; the failure was delivered to the leader and every
+     *  coalesced waiter, and the next request retries the decode. */
+    uint64_t decodeErrors = 0;
     uint64_t residentBytes = 0;
     uint64_t residentChunks = 0;
     uint64_t ghostChunks = 0;  ///< Keys currently in the ghost set.
@@ -115,7 +120,10 @@ class ChunkCache
     ChunkCache(const ChunkCache &) = delete;
     ChunkCache &operator=(const ChunkCache &) = delete;
 
-    using DecodeFn = std::function<DecodedChunkPtr(size_t chunk)>;
+    /** Decode callback: a chunk pointer on success, a non-Ok Status on
+     *  failure (lambdas returning a bare DecodedChunkPtr convert). */
+    using DecodeFn =
+        std::function<StatusOr<DecodedChunkPtr>(size_t chunk)>;
 
     /**
      * Return chunk @p chunk, decoding at most once across all
@@ -133,9 +141,18 @@ class ChunkCache
      * still populates the cache for everyone else. A caller that
      * becomes the leader always completes its decode (followers may
      * be parked on it).
+     *
+     * A failed decode — @p decode returned a Status or threw
+     * StatusError — never poisons the cache: nothing is inserted, the
+     * flight is torn down so the next request retries, and nullptr is
+     * returned with the failure copied into @p error (for the leader
+     * *and* every coalesced waiter; an abandoned wait leaves @p error
+     * Ok). Decode exceptions other than StatusError remain fatal —
+     * they indicate bugs, not bad data.
      */
     DecodedChunkPtr getOrDecode(size_t chunk, const DecodeFn &decode,
-                                const RequestOptions *qos = nullptr);
+                                const RequestOptions *qos = nullptr,
+                                Status *error = nullptr);
 
     /** True when @p chunk is resident right now (no stats impact, no
      *  visited-bit touch — a test/introspection helper). */
@@ -162,6 +179,9 @@ class ChunkCache
         std::mutex mutex;
         std::condition_variable done;
         DecodedChunkPtr result;  ///< Set exactly once, then notified.
+        /** Non-Ok (with result null) when the decode failed; waiters
+         *  surface it instead of hanging or faulting. */
+        Status status;
         bool ready = false;
         /** Shard generation at takeoff: a clear() in between bumps
          *  the shard's counter, and the stale flight's result is then
@@ -206,6 +226,7 @@ class ChunkCache
         uint64_t abandonedWaits = 0;
         uint64_t ghostHits = 0;
         uint64_t oversizedRejects = 0;
+        uint64_t decodeErrors = 0;
 
         Shard() : hand(entries.end()) {}
     };

@@ -50,6 +50,12 @@ enum class RequestStatus : uint8_t {
     Ok = 0,         ///< Served in full.
     Expired = 1,    ///< Deadline passed before the work was done.
     Cancelled = 2,  ///< The request's CancelToken fired.
+    /** A chunk this request needed failed to decode (I/O error or
+     *  corrupt data). Scoped to this request: other clients and other
+     *  chunks are unaffected, and unlike Expired/Cancelled the
+     *  condition is not sticky — retrying the same request may
+     *  succeed (e.g. after a transient I/O fault). */
+    Error = 3,
 };
 
 /** Printable name of a completion status. */
@@ -60,6 +66,7 @@ requestStatusName(RequestStatus status)
     case RequestStatus::Ok: return "ok";
     case RequestStatus::Expired: return "expired";
     case RequestStatus::Cancelled: return "cancelled";
+    case RequestStatus::Error: return "error";
     }
     return "?";
 }

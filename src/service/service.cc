@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -145,27 +146,71 @@ SageArchiveService::chunkForRead(uint64_t read_index) const
     return static_cast<size_t>(it - chunkFirstRead_.begin()) - 1;
 }
 
+StatusOr<std::vector<Read>>
+SageArchiveService::decodeChunkWithRetry(size_t chunk)
+{
+    for (unsigned attempt = 0;; attempt++) {
+        StatusOr<std::vector<Read>> reads =
+            decoder_->tryDecodeChunkShared(chunk);
+        if (reads.ok())
+            return reads;
+        // Only plain I/O errors are worth retrying: a flaky device
+        // may serve the same bytes fine a moment later. Corrupt or
+        // truncated data is deterministic, and Exhausted means the
+        // source already burned its own retry budget.
+        if (reads.status().code() == StatusCode::IoError &&
+            attempt < options_.decodeRetries) {
+            std::lock_guard<std::mutex> lock(statsMutex_);
+            retries_++;
+            continue;
+        }
+        recordChunkError(reads.status());
+        return reads;
+    }
+}
+
+void
+SageArchiveService::recordChunkError(const Status &status)
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    switch (status.code()) {
+      case StatusCode::IoError:
+      case StatusCode::Exhausted:
+        ioErrors_++;
+        break;
+      default:
+        corruptChunks_++;
+        break;
+    }
+}
+
 DecodedChunkPtr
-SageArchiveService::fetchChunk(size_t chunk, const RequestOptions *qos)
+SageArchiveService::fetchChunk(size_t chunk, const RequestOptions *qos,
+                               Status *error)
 {
     return cache_.getOrDecode(
         chunk,
-        [this](size_t index) {
+        [this](size_t index) -> StatusOr<DecodedChunkPtr> {
+            StatusOr<std::vector<Read>> reads =
+                decodeChunkWithRetry(index);
+            if (!reads.ok())
+                return reads.status();
             auto decoded = std::make_shared<DecodedChunk>();
-            decoded->reads = decoder_->decodeChunkShared(index);
+            decoded->reads = std::move(reads.value());
             decoded->firstRead = decoder_->chunkFirstRead(index);
             decoded->bytes =
                 DecodedChunk::residentBytes(decoded->reads);
-            return decoded;
+            return DecodedChunkPtr(std::move(decoded));
         },
-        qos);
+        qos, error);
 }
 
 DecodedChunkPtr
 SageArchiveService::fetchChunkForSession(size_t chunk,
-                                         const RequestOptions *qos)
+                                         const RequestOptions *qos,
+                                         Status *error)
 {
-    DecodedChunkPtr data = fetchChunk(chunk, qos);
+    DecodedChunkPtr data = fetchChunk(chunk, qos, error);
     // Speculate the client's next sequential chunk into the cache as
     // Background work — the serving-layer analogue of the reader's
     // prefetch-next-chunk mode, but per client and deduplicated by
@@ -201,17 +246,26 @@ SageArchiveService::assembleRange(uint64_t first_read, uint64_t count,
                 return result;
             }
         }
+        Status error;
         const DecodedChunkPtr chunk =
             fetchChunk(chunkForRead(pos),
-                       abandonable ? &options : nullptr);
+                       abandonable ? &options : nullptr, &error);
         if (!chunk) {
+            result.reads.clear();
+            if (!error.ok()) {
+                // The chunk failed to decode (I/O fault or corrupt
+                // bytes). Only this request degrades: the cache kept
+                // no poisoned entry and other chunks are untouched.
+                result.status = RequestStatus::Error;
+                result.error = error;
+                return result;
+            }
             // Abandoned while coalesced-waiting on another request's
             // decode; the status check is sticky, so re-reading it
             // names the reason.
             result.status = options.checkNow();
             sage_assert(result.status != RequestStatus::Ok,
                         "null chunk from a live request");
-            result.reads.clear();
             return result;
         }
         const uint64_t chunk_end =
@@ -246,6 +300,8 @@ SageArchiveService::recordRequest(RequestPriority priority,
         expired_++;
     else if (status == RequestStatus::Cancelled)
         cancelled_++;
+    else if (status == RequestStatus::Error)
+        errored_++;
     latency_.record(seconds);
     latencyByPriority_[static_cast<size_t>(priority)].record(seconds);
 }
@@ -395,8 +451,12 @@ SageArchiveService::warmChunk(size_t chunk)
     }
     const Stopwatch clock;
     enqueue(RequestPriority::Background, [this, chunk, clock] {
-        fetchChunk(chunk);
-        recordRequest(RequestPriority::Background, RequestStatus::Ok,
+        // A failed warm is already classified by the decode path; the
+        // request record just notes it did not complete Ok.
+        Status error;
+        const DecodedChunkPtr data = fetchChunk(chunk, nullptr, &error);
+        recordRequest(RequestPriority::Background,
+                      data ? RequestStatus::Ok : RequestStatus::Error,
                       clock.seconds(), {});
     });
 }
@@ -422,6 +482,10 @@ SageArchiveService::stats() const
         out.requestsByPriority = requestsByPriority_;
         out.expired = expired_;
         out.cancelled = cancelled_;
+        out.errored = errored_;
+        out.ioErrors = ioErrors_;
+        out.corruptChunks = corruptChunks_;
+        out.retries = retries_;
         out.readaheadWarms = readaheadWarms_;
         out.latencySamples = latency_.count();
         out.meanLatencySeconds = latency_.meanSeconds();
@@ -464,13 +528,20 @@ ServiceSession::ensureChunk()
         position_ < chunk_->firstRead + chunk_->reads.size()) {
         return true;
     }
-    if (status_ != RequestStatus::Ok)
-        return false;  // The session already abandoned; stay stopped.
+    // Abandonment is sticky; a chunk-decode Error is not — a later
+    // call retries the fetch (the fault may have been transient, and
+    // the cache kept no poisoned entry).
+    if (status_ == RequestStatus::Expired ||
+        status_ == RequestStatus::Cancelled) {
+        return false;
+    }
+    status_ = RequestStatus::Ok;
     // Chunk fetches go through the scheduler like any other request
     // so a flood of Background warms cannot starve them.
     const size_t index = service_->chunkForRead(position_);
-    auto promise = std::make_shared<std::promise<DecodedChunkPtr>>();
-    std::future<DecodedChunkPtr> future = promise->get_future();
+    using Outcome = std::pair<DecodedChunkPtr, RequestStatus>;
+    auto promise = std::make_shared<std::promise<Outcome>>();
+    std::future<Outcome> future = promise->get_future();
     const Stopwatch clock;
     SageArchiveService *service = service_;
     const RequestOptions &options = options_;
@@ -479,21 +550,28 @@ ServiceSession::ensureChunk()
         [service, index, options, promise, clock] {
             // Dequeue-time check, then an abandonable fetch: the
             // session's token/deadline covers every fetch it issues.
-            const RequestStatus status = options.checkNow();
+            RequestStatus status = options.checkNow();
             DecodedChunkPtr data;
             if (status == RequestStatus::Ok) {
+                Status error;
                 data = service->fetchChunkForSession(
-                    index, options.abandonable() ? &options : nullptr);
+                    index, options.abandonable() ? &options : nullptr,
+                    &error);
+                if (data)
+                    status = RequestStatus::Ok;
+                else if (!error.ok())
+                    status = RequestStatus::Error;
+                else
+                    status = options.checkNow();
             }
-            service->recordRequest(
-                options.priority,
-                data ? RequestStatus::Ok : options.checkNow(),
-                clock.seconds(), {});
-            promise->set_value(std::move(data));
+            service->recordRequest(options.priority, status,
+                                   clock.seconds(), {});
+            promise->set_value(Outcome{std::move(data), status});
         });
-    chunk_ = future.get();
+    Outcome outcome = future.get();
+    chunk_ = std::move(outcome.first);
     if (!chunk_) {
-        status_ = options_.checkNow();
+        status_ = outcome.second;
         sage_assert(status_ != RequestStatus::Ok,
                     "session fetch abandoned without a cause");
         return false;

@@ -94,15 +94,26 @@ struct ServiceOptions
      *  Background request when its sequential walk crosses a chunk
      *  boundary. */
     bool sessionReadahead = true;
+
+    /** Re-attempts of a chunk decode that failed with a *transient*
+     *  I/O error (StatusCode::IoError) before the failure is delivered
+     *  to the request. Corrupt/truncated data never retries — bad
+     *  bytes stay bad. 0 makes every fault surface immediately
+     *  (deterministic counter tests want this). */
+    unsigned decodeRetries = 2;
 };
 
 /** What a QoS-bearing request completed with. */
 struct ReadResult
 {
     RequestStatus status = RequestStatus::Ok;
-    /** Empty unless status == Ok (an abandoned request delivers no
-     *  partial data — the reads it did assemble are dropped). */
+    /** Empty unless status == Ok (an abandoned or errored request
+     *  delivers no partial data — the reads it did assemble are
+     *  dropped). */
     std::vector<Read> reads;
+    /** Why status == Error, when it is (the failing chunk's decode
+     *  Status: IoError, Corrupt, ...); Ok otherwise. */
+    Status error;
 
     bool ok() const { return status == RequestStatus::Ok; }
 };
@@ -114,10 +125,26 @@ struct ServiceStats
     uint64_t requests = 0;
     std::array<uint64_t, kRequestPriorityCount> requestsByPriority{};
 
-    /** Requests that completed Expired / Cancelled (subsets of
-     *  @ref requests; the remainder completed Ok). */
+    /** Requests that completed Expired / Cancelled / Error (subsets
+     *  of @ref requests; the remainder completed Ok). */
     uint64_t expired = 0;
     uint64_t cancelled = 0;
+    uint64_t errored = 0;
+
+    /** Chunk decodes that ultimately failed with an I/O-side fault
+     *  (IoError after retries, or an exhausted retry budget). Counted
+     *  once per failed decode, not per affected request — coalesced
+     *  waiters share their leader's count, so these reconcile with
+     *  fault-injection counters. */
+    uint64_t ioErrors = 0;
+
+    /** Chunk decodes rejected for bad bytes (Corrupt / Truncated /
+     *  OutOfRange). Same once-per-decode accounting as ioErrors. */
+    uint64_t corruptChunks = 0;
+
+    /** Transient-fault decode re-attempts (each successful retry is
+     *  a request that degraded gracefully instead of erroring). */
+    uint64_t retries = 0;
 
     uint64_t readsServed = 0;  ///< Reads delivered to clients.
     uint64_t bytesServed = 0;  ///< Payload bytes (bases + quality).
@@ -163,6 +190,11 @@ class SageArchiveService;
  * assembled so far (possibly none) and lastStatus() reports why. The
  * cancel check is chunk-grained — reads already resident are still
  * returned.
+ *
+ * A chunk that fails to decode (I/O fault, corrupt bytes) surfaces as
+ * lastStatus() == RequestStatus::Error with the cursor parked before
+ * the bad chunk. Unlike cancellation/expiry the condition is not
+ * sticky: the next read()/next() retries the fetch.
  */
 class ServiceSession
 {
@@ -347,13 +379,27 @@ class SageArchiveService
     size_t chunkForRead(uint64_t read_index) const;
 
     /** Cache-mediated decoded chunk (single-flight on cold misses).
-     *  With @p qos, a coalesced wait is abandonable (nullptr). */
+     *  With @p qos, a coalesced wait is abandonable (nullptr with
+     *  @p error left Ok). A failed decode returns nullptr with the
+     *  failure in @p error — for the decoding leader and every
+     *  coalesced waiter alike. */
     DecodedChunkPtr fetchChunk(size_t chunk,
-                               const RequestOptions *qos = nullptr);
+                               const RequestOptions *qos = nullptr,
+                               Status *error = nullptr);
 
     /** fetchChunk + session-readahead of the successor chunk. */
     DecodedChunkPtr fetchChunkForSession(size_t chunk,
-                                         const RequestOptions *qos);
+                                         const RequestOptions *qos,
+                                         Status *error = nullptr);
+
+    /** tryDecodeChunkShared with the transient-retry policy applied:
+     *  IoError re-attempts up to ServiceOptions::decodeRetries times
+     *  (counted in stats().retries); a terminal failure is classified
+     *  into ioErrors/corruptChunks exactly once. */
+    StatusOr<std::vector<Read>> decodeChunkWithRetry(size_t chunk);
+
+    /** Classify a terminal chunk-decode failure into the counters. */
+    void recordChunkError(const Status &status);
 
     /** Copy the reads of [first, first+count) out of cached chunks,
      *  re-checking @p options before each chunk decode. */
@@ -408,6 +454,10 @@ class SageArchiveService
     std::array<uint64_t, kRequestPriorityCount> requestsByPriority_{};
     uint64_t expired_ = 0;
     uint64_t cancelled_ = 0;
+    uint64_t errored_ = 0;
+    uint64_t ioErrors_ = 0;
+    uint64_t corruptChunks_ = 0;
+    uint64_t retries_ = 0;
     std::atomic<uint64_t> readsServed_{0};
     std::atomic<uint64_t> bytesServed_{0};
     uint64_t readaheadWarms_ = 0;

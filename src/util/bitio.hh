@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace sage {
 
@@ -102,14 +103,19 @@ class BitReader
         : BitReader(bytes.data(), bytes.size())
     {}
 
-    /** Read @p nbits bits (LSB-first) as an unsigned value. */
+    /**
+     * Read @p nbits bits (LSB-first) as an unsigned value. Underrun
+     * (the stream ends mid-field — truncated or corrupt input) throws
+     * StatusError; fatal decode paths catch it at their boundary.
+     */
     uint64_t
     readBits(unsigned nbits)
     {
         sage_assert(nbits <= 57, "readBits supports at most 57 bits");
         if (accBits_ < nbits) {
             refill(nbits);
-            sage_assert(accBits_ >= nbits, "bit stream underrun");
+            sage_check_data(accBits_ >= nbits, Truncated,
+                            "bit stream underrun at bit ", bitPosition());
         }
         uint64_t v = nbits < 64 ? acc_ & ((uint64_t(1) << nbits) - 1) : acc_;
         acc_ >>= nbits;

@@ -1,5 +1,7 @@
 #include "util/prefix_code.hh"
 
+#include "util/status.hh"
+
 #include <algorithm>
 #include <queue>
 
@@ -210,7 +212,9 @@ PrefixCode::decodeSlow(BitReader &br) const
             }
         }
     }
-    sage_panic("prefix code decode failed (corrupt stream)");
+    sage_check_data(false, Corrupt,
+                    "prefix code decode failed (corrupt stream)");
+    __builtin_unreachable();
 }
 
 double

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/logging.hh"
+#include "util/status.hh"
 
 namespace sage {
 
@@ -25,20 +26,27 @@ putVarint(std::vector<uint8_t> &out, uint64_t value)
     out.push_back(static_cast<uint8_t>(value));
 }
 
-/** Read a LEB128 varint from @p data at offset @p pos (advanced). */
+/**
+ * Read a LEB128 varint from @p data at offset @p pos (advanced).
+ * Throws StatusError (Truncated/Corrupt) on malformed input — the
+ * bytes are usually untrusted archive content. Callers on a fatal
+ * path catch at their public boundary (see util/status.hh).
+ */
 inline uint64_t
 getVarint(const std::vector<uint8_t> &data, size_t &pos)
 {
     uint64_t value = 0;
     unsigned shift = 0;
     for (;;) {
-        sage_assert(pos < data.size(), "varint underrun");
+        sage_check_data(pos < data.size(), Truncated,
+                        "varint underrun at byte ", pos);
         const uint8_t byte = data[pos++];
         value |= static_cast<uint64_t>(byte & 0x7f) << shift;
         if (!(byte & 0x80))
             return value;
         shift += 7;
-        sage_assert(shift < 64, "varint overflow");
+        sage_check_data(shift < 64, Corrupt, "varint overflow at byte ",
+                        pos);
     }
 }
 

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests for the recoverable error model (util/status.hh): Status
+ * codes and factories, StatusOr value/error duality and implicit
+ * conversions, StatusError as the deep-internals carrier, and the
+ * sage_check_data macro that turns data-dependent violations into
+ * StatusError instead of process death.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "util/status.hh"
+
+namespace sage {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------
+
+TEST(Status, DefaultIsOk)
+{
+    const Status status;
+    EXPECT_TRUE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::Ok);
+    EXPECT_EQ(status.message(), "");
+    EXPECT_EQ(status.toString(), "ok");
+}
+
+TEST(Status, FactoriesCarryCodeAndConcatenatedMessage)
+{
+    const Status io = Status::ioError("read of ", 42, " bytes failed");
+    EXPECT_FALSE(io.ok());
+    EXPECT_EQ(io.code(), StatusCode::IoError);
+    EXPECT_EQ(io.message(), "read of 42 bytes failed");
+    EXPECT_EQ(io.toString(), "io-error: read of 42 bytes failed");
+
+    EXPECT_EQ(Status::truncated("x").code(), StatusCode::Truncated);
+    EXPECT_EQ(Status::corrupt("x").code(), StatusCode::Corrupt);
+    EXPECT_EQ(Status::outOfRange("x").code(), StatusCode::OutOfRange);
+    EXPECT_EQ(Status::exhausted("x").code(), StatusCode::Exhausted);
+}
+
+TEST(Status, CodeNamesAreStable)
+{
+    EXPECT_STREQ(statusCodeName(StatusCode::Ok), "ok");
+    EXPECT_STREQ(statusCodeName(StatusCode::IoError), "io-error");
+    EXPECT_STREQ(statusCodeName(StatusCode::Truncated), "truncated");
+    EXPECT_STREQ(statusCodeName(StatusCode::Corrupt), "corrupt");
+    EXPECT_STREQ(statusCodeName(StatusCode::OutOfRange),
+                 "out-of-range");
+    EXPECT_STREQ(statusCodeName(StatusCode::Exhausted), "exhausted");
+}
+
+// ---------------------------------------------------------------------
+// StatusError
+// ---------------------------------------------------------------------
+
+TEST(StatusError, CarriesStatusAndMessage)
+{
+    const StatusError err(Status::corrupt("bad magic"));
+    EXPECT_EQ(err.status().code(), StatusCode::Corrupt);
+    EXPECT_STREQ(err.what(), "bad magic");
+}
+
+TEST(StatusError, CheckDataMacroThrowsOnViolation)
+{
+    // Passing condition: no throw, no side effects.
+    EXPECT_NO_THROW(
+        sage_check_data(1 + 1 == 2, Corrupt, "never evaluated"));
+
+    try {
+        const size_t have = 3, need = 8;
+        sage_check_data(have >= need, Truncated, "stream holds ", have,
+                        " bytes; need ", need);
+        FAIL() << "sage_check_data did not throw";
+    } catch (const StatusError &err) {
+        EXPECT_EQ(err.status().code(), StatusCode::Truncated);
+        EXPECT_EQ(err.status().message(),
+                  "stream holds 3 bytes; need 8");
+    }
+}
+
+TEST(StatusError, IsACatchableStdException)
+{
+    // try* boundaries catch StatusError as std::exception-derived;
+    // the message must survive the upcast.
+    try {
+        throw StatusError(Status::ioError("disk gone"));
+    } catch (const std::exception &err) {
+        EXPECT_STREQ(err.what(), "disk gone");
+    }
+}
+
+// ---------------------------------------------------------------------
+// StatusOr
+// ---------------------------------------------------------------------
+
+TEST(StatusOr, HoldsValueOnSuccess)
+{
+    const StatusOr<int> result = 41 + 1; // Implicit from T.
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.status().ok());
+    EXPECT_EQ(result.value(), 42);
+    EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOr, HoldsStatusOnFailure)
+{
+    const StatusOr<int> result = Status::corrupt("no table");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::Corrupt);
+    EXPECT_EQ(result.status().message(), "no table");
+}
+
+TEST(StatusOr, ImplicitConversionFromLambdaReturn)
+{
+    // The terse call-site convention: plain `return value;` and
+    // `return Status::...;` both convert.
+    const auto divide = [](int num, int den) -> StatusOr<int> {
+        if (den == 0)
+            return Status::outOfRange("division by zero");
+        return num / den;
+    };
+    EXPECT_EQ(divide(10, 2).value(), 5);
+    EXPECT_EQ(divide(10, 0).status().code(), StatusCode::OutOfRange);
+}
+
+TEST(StatusOr, SupportsMoveOnlyTypes)
+{
+    StatusOr<std::unique_ptr<std::string>> result =
+        std::make_unique<std::string>("payload");
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(**result, "payload");
+    EXPECT_EQ((*result)->size(), 7u);
+
+    const std::unique_ptr<std::string> taken =
+        std::move(result.value());
+    EXPECT_EQ(*taken, "payload");
+}
+
+TEST(StatusOr, ArrowOperatorReachesValueMembers)
+{
+    const StatusOr<std::string> result = std::string("abcdef");
+    EXPECT_EQ(result->size(), 6u);
+}
+
+TEST(StatusOrDeathTest, ValueOnFailureIsFatal)
+{
+    const StatusOr<int> result = Status::ioError("nope");
+    EXPECT_DEATH({ (void)result.value(); }, "failed StatusOr");
+}
+
+TEST(StatusOrDeathTest, OkStatusWithoutValueIsFatal)
+{
+    EXPECT_DEATH({ StatusOr<int> bad{Status()}; (void)bad; },
+                 "without a value");
+}
+
+} // namespace
+} // namespace sage
