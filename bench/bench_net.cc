@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Network front-end benchmark: loadgen over the epoll server
+ * (net/server.hh) speaking the binary protocol across real loopback
+ * sockets. An in-process Server fronts a MultiArchiveService over a
+ * synthesized multi-archive corpus; a fleet of blocking net::Clients
+ * walks the corpus concurrently in fixed-size READ_RANGE batches,
+ * measuring client-side request latency — so the numbers include
+ * framing, the socket round trip, admission, scheduling, decode (or
+ * cache hit) and reply serialization, i.e. what a remote consumer of
+ * SAGe's cheap decode actually observes.
+ *
+ * Two scenarios:
+ *   - connection sweep: aggregate payload MB/s and Normal-priority
+ *     p50/p99 at several connection counts, fresh server per point;
+ *   - overload: a small worker pool plus a low admission high-water
+ *     mark under many connections — sheds must surface as Overloaded
+ *     replies the clients retry through, with every walk completing.
+ *
+ * Writes a machine-readable JSON report (default BENCH_net.json,
+ * override with argv[1]) with host metadata so CI can archive
+ * baselines (scripts/check_bench_regression.py gates it).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "common/bench_common.hh"
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/table.hh"
+#include "util/thread_pool.hh"
+#include "util/timing.hh"
+
+using namespace sage;
+
+namespace {
+
+constexpr uint64_t kBatchReads = 1024;
+
+struct CorpusArchive
+{
+    std::string name;
+    uint64_t readCount = 0;
+    uint64_t payloadBytes = 0;  ///< bases + quality.
+};
+
+struct SweepPoint
+{
+    unsigned connections = 0;
+    double seconds = 0.0;
+    double aggMbPerSec = 0.0;  ///< Payload bytes over the wire / wall.
+    double p50Ms = 0.0;        ///< Client-measured, Normal priority.
+    double p99Ms = 0.0;
+    uint64_t requests = 0;
+    uint64_t overloaded = 0;   ///< Shed replies retried through.
+};
+
+struct OverloadPoint
+{
+    unsigned connections = 0;
+    uint64_t admissionHighWater = 0;
+    unsigned poolThreads = 0;
+    double seconds = 0.0;
+    double aggMbPerSec = 0.0;
+    uint64_t requests = 0;
+    uint64_t overloadedReplies = 0;  ///< From the server's counters.
+    bool allWalksCompleted = false;
+    double p99Ms = 0.0;
+};
+
+double
+percentileMs(std::vector<double> &sorted_seconds, double q)
+{
+    if (sorted_seconds.empty())
+        return 0.0;
+    const size_t index = std::min(
+        sorted_seconds.size() - 1,
+        static_cast<size_t>(q *
+                            static_cast<double>(sorted_seconds.size())));
+    return sorted_seconds[index] * 1e3;
+}
+
+/** One client connection's full walk of @p archive_name in
+ *  kBatchReads READ_RANGE requests, Overloaded retried with a short
+ *  backoff. Appends per-request latencies and returns payload bytes
+ *  received, or 0 on a failed walk. */
+uint64_t
+walkArchive(uint16_t port, const std::string &archive_name,
+            std::vector<double> &latencies, uint64_t &overloaded)
+{
+    StatusOr<std::unique_ptr<net::Client>> client =
+        net::Client::connect("127.0.0.1", port);
+    if (!client.ok())
+        return 0;
+    const StatusOr<net::OpenReply> open =
+        (*client)->open(archive_name);
+    if (!open.ok())
+        return 0;
+    uint64_t payload = 0;
+    for (uint64_t first = 0; first < open->readCount;) {
+        const uint64_t batch =
+            std::min(kBatchReads, open->readCount - first);
+        Stopwatch request_clock;
+        const StatusOr<net::ReadReply> reply =
+            (*client)->readRange(open->archive, first, batch);
+        if (!reply.ok())
+            return 0;
+        if (reply->status == net::WireStatus::Overloaded) {
+            overloaded++;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1));
+            continue;
+        }
+        if (!reply->ok())
+            return 0;
+        latencies.push_back(request_clock.seconds());
+        for (const Read &read : reply->reads)
+            payload += read.bases.size() + read.quals.size();
+        first += batch;
+    }
+    return payload;
+}
+
+SweepPoint
+measureSweep(const std::string &dir,
+             const std::vector<CorpusArchive> &corpus,
+             unsigned connections)
+{
+    MultiArchiveOptions service_options;
+    service_options.globalCacheBudgetBytes = 256ull << 20;
+    service_options.maxOpenArchives = 4;
+    MultiArchiveService service(dir, service_options);
+    net::Server server(service);
+    const Status started = server.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "server start failed: %s\n",
+                     started.toString().c_str());
+        std::exit(1);
+    }
+
+    SweepPoint point;
+    point.connections = connections;
+    std::vector<std::vector<double>> latencies(connections);
+    std::vector<uint64_t> payloads(connections, 0);
+    std::vector<uint64_t> sheds(connections, 0);
+
+    Stopwatch clock;
+    std::vector<std::thread> fleet;
+    for (unsigned c = 0; c < connections; c++) {
+        fleet.emplace_back([&, c] {
+            payloads[c] = walkArchive(
+                server.port(), corpus[c % corpus.size()].name,
+                latencies[c], sheds[c]);
+        });
+    }
+    for (std::thread &conn : fleet)
+        conn.join();
+    point.seconds = clock.seconds();
+
+    uint64_t total_payload = 0;
+    std::vector<double> merged;
+    for (unsigned c = 0; c < connections; c++) {
+        if (payloads[c] == 0) {
+            std::fprintf(stderr,
+                         "connection %u failed its walk\n", c);
+            std::exit(1);
+        }
+        total_payload += payloads[c];
+        merged.insert(merged.end(), latencies[c].begin(),
+                      latencies[c].end());
+        point.overloaded += sheds[c];
+    }
+    std::sort(merged.begin(), merged.end());
+    point.requests = merged.size();
+    point.aggMbPerSec = point.seconds > 0.0
+        ? static_cast<double>(total_payload) / 1e6 / point.seconds
+        : 0.0;
+    point.p50Ms = percentileMs(merged, 0.50);
+    point.p99Ms = percentileMs(merged, 0.99);
+    server.stop();
+    return point;
+}
+
+OverloadPoint
+measureOverload(const std::string &dir,
+                const std::vector<CorpusArchive> &corpus,
+                unsigned connections)
+{
+    OverloadPoint point;
+    point.connections = connections;
+    point.admissionHighWater = 4;
+    point.poolThreads = 2;
+
+    ThreadPool pool(point.poolThreads);
+    MultiArchiveOptions service_options;
+    service_options.globalCacheBudgetBytes = 256ull << 20;
+    service_options.maxOpenArchives = 4;
+    service_options.pool = &pool;
+    service_options.admissionHighWater = point.admissionHighWater;
+    MultiArchiveService service(dir, service_options);
+    net::Server server(service);
+    if (!server.start().ok())
+        std::exit(1);
+
+    std::vector<std::vector<double>> latencies(connections);
+    std::vector<uint64_t> payloads(connections, 0);
+    std::vector<uint64_t> sheds(connections, 0);
+    Stopwatch clock;
+    std::vector<std::thread> fleet;
+    for (unsigned c = 0; c < connections; c++) {
+        fleet.emplace_back([&, c] {
+            payloads[c] = walkArchive(
+                server.port(), corpus[c % corpus.size()].name,
+                latencies[c], sheds[c]);
+        });
+    }
+    for (std::thread &conn : fleet)
+        conn.join();
+    point.seconds = clock.seconds();
+
+    point.allWalksCompleted = true;
+    uint64_t total_payload = 0;
+    std::vector<double> merged;
+    for (unsigned c = 0; c < connections; c++) {
+        if (payloads[c] == 0)
+            point.allWalksCompleted = false;
+        total_payload += payloads[c];
+        merged.insert(merged.end(), latencies[c].begin(),
+                      latencies[c].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    point.requests = merged.size();
+    point.aggMbPerSec = point.seconds > 0.0
+        ? static_cast<double>(total_payload) / 1e6 / point.seconds
+        : 0.0;
+    point.p99Ms = percentileMs(merged, 0.99);
+    point.overloadedReplies = service.stats().overloaded;
+    server.stop();
+    return point;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string json_path =
+        argc > 1 ? argv[1] : "BENCH_net.json";
+
+    bench::printHeader(
+        "Network front end: loopback serving throughput",
+        "epoll server + binary protocol over a multi-archive corpus "
+        "(remote consumers of SAGe's cheap decode)");
+
+    // A 3-archive corpus so the sweep exercises the registry, not
+    // just one service; sized for minutes-not-hours bench runs.
+    const std::string dir = "sage_bench_net." +
+        std::to_string(static_cast<long>(::getpid())) + ".tmp";
+    ::mkdir(dir.c_str(), 0755);
+    std::vector<CorpusArchive> corpus;
+    SageConfig config;
+    config.chunkReads = 4096;
+    for (unsigned i = 0; i < 3; i++) {
+        DatasetSpec spec = makeRs2Spec();
+        spec.name = "net-bench-" + std::to_string(i);
+        spec.genome.referenceLength = 1 << 18;
+        spec.depth = 8.0;
+        spec.seed += 1000 * (i + 1);
+        std::fprintf(stderr, "[bench] synthesizing %s ...\n",
+                     spec.name.c_str());
+        const SimulatedDataset ds = synthesizeDataset(spec);
+        const SageArchive archive =
+            sageCompress(ds.readSet, ds.reference, config);
+        CorpusArchive entry;
+        entry.name = "rs" + std::to_string(i) + ".sage";
+        entry.readCount = ds.readSet.reads.size();
+        entry.payloadBytes =
+            ds.readSet.dnaBytes() + ds.readSet.qualityBytes();
+        {
+            FileSink sink(dir + "/" + entry.name);
+            sink.writeBytes(archive.bytes);
+        }
+        std::printf("archive %s: %zu B, %llu reads\n",
+                    entry.name.c_str(), archive.bytes.size(),
+                    static_cast<unsigned long long>(entry.readCount));
+        corpus.push_back(entry);
+    }
+
+    // ---- connection sweep --------------------------------------------
+    const std::vector<unsigned> connection_counts = {1, 4, 16};
+    std::vector<SweepPoint> sweep;
+    TextTable table;
+    table.setHeader({"conns", "seconds", "aggMB/s", "p50ms", "p99ms",
+                     "requests", "shed"});
+    for (unsigned connections : connection_counts) {
+        const SweepPoint point =
+            measureSweep(dir, corpus, connections);
+        sweep.push_back(point);
+        table.addRow({std::to_string(point.connections),
+                      TextTable::num(point.seconds, 3),
+                      TextTable::num(point.aggMbPerSec, 1),
+                      TextTable::num(point.p50Ms, 2),
+                      TextTable::num(point.p99Ms, 2),
+                      std::to_string(point.requests),
+                      std::to_string(point.overloaded)});
+    }
+    std::printf("\nconnection sweep (full corpus walks, batch %llu "
+                "reads):\n",
+                static_cast<unsigned long long>(kBatchReads));
+    table.print();
+    const unsigned hw_threads = std::thread::hardware_concurrency();
+    if (hw_threads < 4) {
+        std::printf("note: this host exposes %u hardware thread(s); "
+                    "connection scaling is concurrency-limited here.\n",
+                    hw_threads);
+    }
+
+    // ---- overload scenario -------------------------------------------
+    const OverloadPoint overload = measureOverload(dir, corpus, 16);
+    std::printf(
+        "\noverload scenario (%u connections, %u pool threads, "
+        "high-water %llu):\n"
+        "  %.3fs, %.1f MB/s agg, %llu requests, %llu Overloaded "
+        "replies, walks %s, p99 %.2fms\n",
+        overload.connections, overload.poolThreads,
+        static_cast<unsigned long long>(overload.admissionHighWater),
+        overload.seconds, overload.aggMbPerSec,
+        static_cast<unsigned long long>(overload.requests),
+        static_cast<unsigned long long>(overload.overloadedReplies),
+        overload.allWalksCompleted ? "all completed" : "INCOMPLETE",
+        overload.p99Ms);
+
+    for (const CorpusArchive &entry : corpus)
+        std::remove((dir + "/" + entry.name).c_str());
+    ::rmdir(dir.c_str());
+
+    // ---- JSON report -------------------------------------------------
+    FILE *json = std::fopen(json_path.c_str(), "w");
+    if (!json) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    uint64_t corpus_reads = 0, corpus_payload = 0;
+    for (const CorpusArchive &entry : corpus) {
+        corpus_reads += entry.readCount;
+        corpus_payload += entry.payloadBytes;
+    }
+    std::fprintf(json, "{\n");
+    std::fprintf(json, "  \"bench\": \"net\",\n");
+    std::fprintf(json, "  \"host\": %s,\n",
+                 bench::hostMetaJson().c_str());
+    std::fprintf(json, "  \"archives\": %zu,\n", corpus.size());
+    std::fprintf(json, "  \"corpusReads\": %llu,\n",
+                 static_cast<unsigned long long>(corpus_reads));
+    std::fprintf(json, "  \"corpusPayloadBytes\": %llu,\n",
+                 static_cast<unsigned long long>(corpus_payload));
+    std::fprintf(json, "  \"chunkReads\": %u,\n", config.chunkReads);
+    std::fprintf(json, "  \"batchReads\": %llu,\n",
+                 static_cast<unsigned long long>(kBatchReads));
+    std::fprintf(json, "  \"connectionSweep\": [\n");
+    for (size_t i = 0; i < sweep.size(); i++) {
+        const SweepPoint &p = sweep[i];
+        std::fprintf(
+            json,
+            "    {\"connections\": %u, \"seconds\": %.6f, "
+            "\"aggMbPerSec\": %.2f, \"p50Ms\": %.3f, "
+            "\"p99Ms\": %.3f, \"requests\": %llu, "
+            "\"overloaded\": %llu}%s\n",
+            p.connections, p.seconds, p.aggMbPerSec, p.p50Ms, p.p99Ms,
+            static_cast<unsigned long long>(p.requests),
+            static_cast<unsigned long long>(p.overloaded),
+            i + 1 < sweep.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n");
+    std::fprintf(
+        json,
+        "  \"overload\": {\"connections\": %u, "
+        "\"poolThreads\": %u, \"admissionHighWater\": %llu, "
+        "\"seconds\": %.6f, \"aggMbPerSec\": %.2f, "
+        "\"requests\": %llu, \"overloadedReplies\": %llu, "
+        "\"allWalksCompleted\": %s, \"p99Ms\": %.3f}\n",
+        overload.connections, overload.poolThreads,
+        static_cast<unsigned long long>(overload.admissionHighWater),
+        overload.seconds, overload.aggMbPerSec,
+        static_cast<unsigned long long>(overload.requests),
+        static_cast<unsigned long long>(overload.overloadedReplies),
+        overload.allWalksCompleted ? "true" : "false",
+        overload.p99Ms);
+    std::fprintf(json, "}\n");
+    std::fclose(json);
+    std::printf("\nwrote %s\n", json_path.c_str());
+    return 0;
+}

@@ -11,6 +11,11 @@
  *   sage_cli serve-stress <in.sage|@synth> [--clients N] [--cache-mb M] [--threads N] [--passes P]
  *                         [--deadline-ms D] [--cancel-every K]
  *                         [--fault-rate R] [--fault-seed S]
+ *                         [--connect host:port]   (drive a live server instead)
+ *   sage_cli serve        <dir> [--port P] [--budget-mb M] [--max-open N]
+ *                         [--high-water H] [--threads N]
+ *                         [--fault-rate R] [--fault-seed S]
+ *   sage_cli net-get      <host:port> <archive-name> <out.fastq>
  *   sage_cli demo         <workdir>    (generates inputs, runs all of the above)
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
@@ -23,6 +28,7 @@
 #include <atomic>
 #include <cctype>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -253,6 +259,171 @@ cmdVerify(int argc, char **argv)
     return 0;
 }
 
+/** Split "host:port"; false (with a message) on a malformed spec. */
+bool
+parseHostPort(const std::string &spec, std::string &host,
+              uint16_t &port)
+{
+    const size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == spec.size()) {
+        std::fprintf(stderr, "bad host:port spec: %s\n", spec.c_str());
+        return false;
+    }
+    const long value = std::atol(spec.c_str() + colon + 1);
+    if (value <= 0 || value > 65535) {
+        std::fprintf(stderr, "bad port in: %s\n", spec.c_str());
+        return false;
+    }
+    host = spec.substr(0, colon);
+    port = static_cast<uint16_t>(value);
+    return true;
+}
+
+/**
+ * serve-stress --connect: the same fleet walk, but through the
+ * socket path against a live `sage_cli serve`. The positional
+ * argument names the archive on the server; deadlines ride in the
+ * protocol's per-request deadline-ms field, while cancel tokens and
+ * fault injection stay in-process concerns (the server owns those).
+ */
+int
+serveStressConnect(const std::string &connect,
+                   const std::string &archive_name, unsigned clients,
+                   unsigned passes, unsigned deadline_ms,
+                   unsigned cancel_every, double fault_rate)
+{
+    std::string host;
+    uint16_t port = 0;
+    if (!parseHostPort(connect, host, port))
+        return 1;
+    if (archive_name == "@synth") {
+        std::fprintf(stderr,
+                     "--connect serves named archives; @synth is "
+                     "in-process only\n");
+        return 1;
+    }
+    if (cancel_every || fault_rate > 0.0)
+        std::fprintf(stderr,
+                     "note: --cancel-every/--fault-rate are "
+                     "in-process flags; the server side owns faults "
+                     "(serve --fault-rate)\n");
+
+    std::printf("driving %s:%u, archive '%s': %u clients x %u "
+                "passes%s\n",
+                host.c_str(), port, archive_name.c_str(), clients,
+                std::max(1u, passes),
+                deadline_ms ? ", per-request deadline" : "");
+
+    std::atomic<uint64_t> total_bytes{0}, total_reads{0};
+    std::atomic<uint64_t> overloaded{0}, expired{0}, errors{0};
+    std::atomic<uint64_t> incomplete_walks{0}, failures{0};
+    Stopwatch clock;
+    std::vector<std::thread> fleet;
+    for (unsigned c = 0; c < clients; c++) {
+        fleet.emplace_back([&, c] {
+            auto connected = net::Client::connect(host, port);
+            if (!connected.ok()) {
+                std::fprintf(stderr, "client %u: %s\n", c,
+                             connected.status().toString().c_str());
+                failures.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            net::Client &client = *connected.value();
+            auto opened = client.open(archive_name);
+            if (!opened.ok()) {
+                std::fprintf(stderr, "client %u open: %s\n", c,
+                             opened.status().toString().c_str());
+                failures.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            const uint64_t expect = opened->readCount;
+            for (unsigned pass = 0; pass < std::max(1u, passes);
+                 pass++) {
+                uint64_t delivered = 0, at = 0;
+                uint64_t retries_left = 100000;
+                bool abandoned = false;
+                while (at < expect) {
+                    const uint64_t batch =
+                        std::min<uint64_t>(1024, expect - at);
+                    auto reply = client.readRange(
+                        opened->archive, at, batch,
+                        RequestPriority::Normal, deadline_ms);
+                    if (!reply.ok()) {
+                        std::fprintf(
+                            stderr, "client %u read: %s\n", c,
+                            reply.status().toString().c_str());
+                        failures.fetch_add(1,
+                                           std::memory_order_relaxed);
+                        return;
+                    }
+                    if (reply->status == net::WireStatus::Overloaded) {
+                        overloaded.fetch_add(
+                            1, std::memory_order_relaxed);
+                        if (retries_left-- == 0)
+                            break;
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(2));
+                        continue;
+                    }
+                    if (reply->status == net::WireStatus::Expired ||
+                        reply->status == net::WireStatus::Cancelled) {
+                        expired.fetch_add(1,
+                                          std::memory_order_relaxed);
+                        abandoned = true;
+                        break;
+                    }
+                    if (!reply->ok()) {
+                        errors.fetch_add(1, std::memory_order_relaxed);
+                        if (retries_left-- == 0)
+                            break;
+                        continue;
+                    }
+                    for (const Read &read : reply->reads)
+                        total_bytes.fetch_add(
+                            read.bases.size() + read.quals.size(),
+                            std::memory_order_relaxed);
+                    total_reads.fetch_add(reply->reads.size(),
+                                          std::memory_order_relaxed);
+                    delivered += reply->reads.size();
+                    at += batch;
+                }
+                // Deadline walks may legitimately stop short; a
+                // plain walk must deliver everything.
+                if (!deadline_ms && !abandoned && delivered != expect)
+                    incomplete_walks.fetch_add(
+                        1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &client : fleet)
+        client.join();
+    const double seconds = clock.seconds();
+    const uint64_t bytes = total_bytes.load();
+    std::printf("served %.1f MB (%llu reads) over the socket in "
+                "%.3fs (%.1f MB/s aggregate)\n",
+                static_cast<double>(bytes) / 1e6,
+                static_cast<unsigned long long>(total_reads.load()),
+                seconds,
+                seconds > 0.0
+                    ? static_cast<double>(bytes) / 1e6 / seconds
+                    : 0.0);
+    std::printf("  overloaded %llu, expired %llu, errors %llu\n",
+                static_cast<unsigned long long>(overloaded.load()),
+                static_cast<unsigned long long>(expired.load()),
+                static_cast<unsigned long long>(errors.load()));
+    if (failures.load() != 0 || incomplete_walks.load() != 0) {
+        std::fprintf(stderr,
+                     "FAILED: %llu client failures, %llu incomplete "
+                     "walks\n",
+                     static_cast<unsigned long long>(failures.load()),
+                     static_cast<unsigned long long>(
+                         incomplete_walks.load()));
+        return 1;
+    }
+    return 0;
+}
+
 /**
  * Drive a SageArchiveService with a fleet of concurrent session
  * clients (service/service.hh) and report the aggregate serving
@@ -273,12 +444,14 @@ cmdServeStress(int argc, char **argv)
                      "[--clients N] [--cache-mb M] [--threads N] "
                      "[--passes P] [--deadline-ms D] "
                      "[--cancel-every K] "
-                     "[--fault-rate R] [--fault-seed S]\n");
+                     "[--fault-rate R] [--fault-seed S] "
+                     "[--connect host:port]\n");
         return 1;
     }
     unsigned clients = 16, cache_mb = 256, threads = 0, passes = 1;
     unsigned deadline_ms = 0, cancel_every = 0, fault_seed = 1;
     double fault_rate = 0.0;
+    std::string connect;
     bool bad_value = false;
     for (int i = 3; i < argc; i++) {
         const auto uintArg = [&](const char *flag, unsigned &out,
@@ -307,6 +480,13 @@ cmdServeStress(int argc, char **argv)
             }
             return false;
         };
+        const auto strArg = [&](const char *flag, std::string &out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                out = argv[++i];
+                return true;
+            }
+            return false;
+        };
         if (!uintArg("--clients", clients, 4096) &&
             !uintArg("--cache-mb", cache_mb, 1 << 20) &&
             !uintArg("--threads", threads, 1024) &&
@@ -314,7 +494,8 @@ cmdServeStress(int argc, char **argv)
             !uintArg("--deadline-ms", deadline_ms, 1 << 20) &&
             !uintArg("--cancel-every", cancel_every, 1 << 20) &&
             !uintArg("--fault-seed", fault_seed, 1 << 30) &&
-            !rateArg("--fault-rate", fault_rate)) {
+            !rateArg("--fault-rate", fault_rate) &&
+            !strArg("--connect", connect)) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 1;
         }
@@ -325,6 +506,10 @@ cmdServeStress(int argc, char **argv)
         std::fprintf(stderr, "--clients must be at least 1\n");
         return 1;
     }
+    if (!connect.empty())
+        return serveStressConnect(connect, argv[2], clients, passes,
+                                  deadline_ms, cancel_every,
+                                  fault_rate);
 
     std::string archive_path = argv[2];
     bool synthesized = false;
@@ -563,6 +748,214 @@ cmdServeStress(int argc, char **argv)
     return 0;
 }
 
+volatile std::sig_atomic_t g_serveStop = 0;
+
+void
+onServeSignal(int)
+{
+    g_serveStop = 1;
+}
+
+/**
+ * Serve a directory of archives over TCP (net/server.hh): OPEN names
+ * resolve to `<dir>/<name>`, a multi-archive LRU keeps at most
+ * --max-open decoders live under a --budget-mb decoded-chunk budget,
+ * and --high-water sheds reads as Overloaded once the summed queue
+ * depth crosses it. --fault-rate/--fault-seed wrap every archive
+ * open in a FaultInjectionSource (server-side chaos: remote clients
+ * see Error replies, never a dead server). SIGINT/SIGTERM shut down
+ * cleanly, printing the service and socket counters.
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: sage_cli serve <dir> [--port P] "
+                     "[--budget-mb M] [--max-open N] "
+                     "[--high-water H] [--threads N] "
+                     "[--fault-rate R] [--fault-seed S]\n");
+        return 1;
+    }
+    unsigned port = 0, budget_mb = 256, max_open = 8, high_water = 0;
+    unsigned threads = 0, fault_seed = 1;
+    double fault_rate = 0.0;
+    bool bad_value = false;
+    for (int i = 3; i < argc; i++) {
+        const auto uintArg = [&](const char *flag, unsigned &out,
+                                 int max) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                const int n = std::atoi(argv[++i]);
+                if (n < 0 || n > max) {
+                    std::fprintf(stderr, "%s must be in [0, %d]\n",
+                                 flag, max);
+                    bad_value = true;
+                }
+                out = static_cast<unsigned>(n);
+                return true;
+            }
+            return false;
+        };
+        const auto rateArg = [&](const char *flag, double &out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                out = std::atof(argv[++i]);
+                if (out < 0.0 || out > 1.0) {
+                    std::fprintf(stderr, "%s must be in [0, 1]\n",
+                                 flag);
+                    bad_value = true;
+                }
+                return true;
+            }
+            return false;
+        };
+        if (!uintArg("--port", port, 65535) &&
+            !uintArg("--budget-mb", budget_mb, 1 << 20) &&
+            !uintArg("--max-open", max_open, 4096) &&
+            !uintArg("--high-water", high_water, 1 << 20) &&
+            !uintArg("--threads", threads, 1024) &&
+            !uintArg("--fault-seed", fault_seed, 1 << 30) &&
+            !rateArg("--fault-rate", fault_rate)) {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (bad_value)
+        return 1;
+
+    MultiArchiveOptions service_options;
+    service_options.globalCacheBudgetBytes =
+        static_cast<uint64_t>(budget_mb) << 20;
+    service_options.maxOpenArchives = max_open;
+    service_options.admissionHighWater = high_water;
+    service_options.ownedPoolThreads = threads;
+    service_options.faultRate = fault_rate;
+    service_options.faultSeed = fault_seed;
+    MultiArchiveService service(argv[2], service_options);
+
+    net::ServerOptions server_options;
+    server_options.port = static_cast<uint16_t>(port);
+    net::Server server(service, server_options);
+    const Status started = server.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "serve: %s\n",
+                     started.toString().c_str());
+        return 1;
+    }
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    std::printf("listening on %s:%u, serving %s (budget %u MiB / %u "
+                "open archives%s%s)\n",
+                server_options.bindAddress.c_str(), server.port(),
+                argv[2], budget_mb, std::max(1u, max_open),
+                high_water ? ", admission high-water set" : "",
+                fault_rate > 0.0 ? ", fault injection armed" : "");
+    std::fflush(stdout);
+    while (!g_serveStop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("shutting down ...\n");
+    server.stop();
+
+    const MultiArchiveStats stats = service.stats();
+    const net::ServerNetStats socket_stats = server.netStats();
+    std::printf("  connections: %llu accepted, %llu frames in, %llu "
+                "replies out, %llu protocol errors\n",
+                static_cast<unsigned long long>(
+                    socket_stats.accepted),
+                static_cast<unsigned long long>(
+                    socket_stats.framesIn),
+                static_cast<unsigned long long>(
+                    socket_stats.repliesOut),
+                static_cast<unsigned long long>(
+                    socket_stats.protocolErrors));
+    std::printf("  archives:    %u known, %llu opens + %llu reopens, "
+                "%llu evictions\n",
+                stats.knownArchives,
+                static_cast<unsigned long long>(stats.opens),
+                static_cast<unsigned long long>(stats.reopens),
+                static_cast<unsigned long long>(stats.evictions));
+    std::printf("  requests:    %llu admitted, %llu overloaded, "
+                "%llu reads / %.1f MB served\n",
+                static_cast<unsigned long long>(stats.admitted),
+                static_cast<unsigned long long>(stats.overloaded),
+                static_cast<unsigned long long>(stats.readsServed),
+                static_cast<double>(stats.bytesServed) / 1e6);
+    return 0;
+}
+
+/** Fetch one archive over the socket into a FASTQ file. */
+int
+cmdNetGet(int argc, char **argv)
+{
+    if (argc < 5) {
+        std::fprintf(stderr,
+                     "usage: sage_cli net-get <host:port> "
+                     "<archive-name> <out.fastq>\n");
+        return 1;
+    }
+    std::string host;
+    uint16_t port = 0;
+    if (!parseHostPort(argv[2], host, port))
+        return 1;
+
+    auto connected = net::Client::connect(host, port);
+    if (!connected.ok()) {
+        std::fprintf(stderr, "net-get: %s\n",
+                     connected.status().toString().c_str());
+        return 1;
+    }
+    net::Client &client = *connected.value();
+    auto opened = client.open(argv[3]);
+    if (!opened.ok()) {
+        std::fprintf(stderr, "net-get open: %s\n",
+                     opened.status().toString().c_str());
+        return 1;
+    }
+
+    ReadSet rs;
+    rs.name = argv[3];
+    rs.reads.reserve(opened->readCount);
+    uint64_t at = 0;
+    unsigned overload_retries = 1000;
+    while (at < opened->readCount) {
+        const uint64_t batch =
+            std::min<uint64_t>(4096, opened->readCount - at);
+        auto reply = client.readRange(opened->archive, at, batch);
+        if (!reply.ok()) {
+            std::fprintf(stderr, "net-get read: %s\n",
+                         reply.status().toString().c_str());
+            return 1;
+        }
+        if (reply->status == net::WireStatus::Overloaded) {
+            if (overload_retries-- == 0) {
+                std::fprintf(stderr,
+                             "net-get: server stayed overloaded\n");
+                return 1;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+            continue;
+        }
+        if (!reply->ok()) {
+            std::fprintf(stderr, "net-get read [%llu, +%llu): %s: "
+                         "%s\n",
+                         static_cast<unsigned long long>(at),
+                         static_cast<unsigned long long>(batch),
+                         net::wireStatusName(reply->status),
+                         reply->message.c_str());
+            return 1;
+        }
+        for (Read &read : reply->reads)
+            rs.reads.push_back(std::move(read));
+        at += batch;
+    }
+    writeFastqFile(rs, argv[4]);
+    std::printf("fetched %zu reads from %s:%u/%s into %s\n",
+                rs.reads.size(), host.c_str(), port, argv[3],
+                argv[4]);
+    return 0;
+}
+
 int
 cmdDemo(int argc, char **argv)
 {
@@ -632,7 +1025,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: sage_cli "
                      "<compress|decompress|range|inspect|verify|"
-                     "serve-stress|demo> ...\n");
+                     "serve-stress|serve|net-get|demo> ...\n");
         return 1;
     }
     if (std::strcmp(argv[1], "compress") == 0)
@@ -647,6 +1040,10 @@ main(int argc, char **argv)
         return cmdVerify(argc, argv);
     if (std::strcmp(argv[1], "serve-stress") == 0)
         return cmdServeStress(argc, argv);
+    if (std::strcmp(argv[1], "serve") == 0)
+        return cmdServe(argc, argv);
+    if (std::strcmp(argv[1], "net-get") == 0)
+        return cmdNetGet(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0)
         return cmdDemo(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the archive service layer.
+"""Bench-regression gate for the serving layers.
 
-Compares a freshly generated bench_service report against the
-committed baseline (BENCH_service.json) and fails the build when the
-serving layer regressed:
+Compares a freshly generated bench report against its committed
+baseline and fails the build on a regression. The report kind is read
+from the "bench" field.
+
+bench_service reports (BENCH_service.json):
 
   * any matching (clients, cacheBudgetBytes) sweep row whose
     aggMbPerSec dropped more than --tolerance (default 30%);
@@ -13,6 +15,14 @@ serving layer regressed:
   * the mixed QoS scenario: interactive p99 must stay below batch p50,
     and batch throughput must stay within 10% of the streamers-only
     pass (when both reports carry a "mixed" block).
+
+bench_net reports (BENCH_net.json):
+
+  * any matching connection-sweep row whose aggMbPerSec dropped more
+    than --tolerance;
+  * the overload scenario: every walk must complete (sheds surface as
+    retryable Overloaded replies, never dropped work) — and when the
+    pool is saturated enough to shed at all, the count stays sane.
 
 Bench numbers only transfer between like machines, so the gate first
 compares the embedded host blocks (hardwareConcurrency, compiler,
@@ -64,6 +74,43 @@ def sweep_index(report):
             for row in report.get("clientSweep", [])}
 
 
+def check_net(fresh, baseline, tolerance):
+    """Gate a bench_net report; returns a list of failure strings."""
+    failures = []
+    fresh_rows = {row["connections"]: row
+                  for row in fresh.get("connectionSweep", [])}
+    base_rows = {row["connections"]: row
+                 for row in baseline.get("connectionSweep", [])}
+
+    for connections, base_row in sorted(base_rows.items()):
+        fresh_row = fresh_rows.get(connections)
+        if fresh_row is None:
+            failures.append(
+                f"connection sweep row connections={connections}: "
+                f"missing from fresh report")
+            continue
+        base_agg = base_row["aggMbPerSec"]
+        fresh_agg = fresh_row["aggMbPerSec"]
+        if base_agg > 0 and fresh_agg < base_agg * (1 - tolerance):
+            failures.append(
+                f"connection sweep row connections={connections}: "
+                f"aggMbPerSec {fresh_agg:.1f} is "
+                f"{100 * (1 - fresh_agg / base_agg):.1f}% below "
+                f"baseline {base_agg:.1f} "
+                f"(tolerance {100 * tolerance:.0f}%)")
+
+    overload = fresh.get("overload")
+    if overload:
+        if not overload.get("allWalksCompleted"):
+            failures.append(
+                "overload: a client walk did not complete — sheds "
+                "must be retryable Overloaded replies, not lost work")
+    elif baseline.get("overload"):
+        failures.append("fresh report lacks the \"overload\" block "
+                        "the baseline has")
+    return failures
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Gate bench_service results against a baseline.")
@@ -82,6 +129,24 @@ def main():
         print("bench gate: host shape differs from the baseline's — "
               "numbers are not comparable, skipping:")
         print("\n".join(mismatches))
+        return 0
+
+    kind = fresh.get("bench", "service")
+    if kind != baseline.get("bench", "service"):
+        print(f"error: report kinds differ (fresh {kind!r} vs "
+              f"baseline {baseline.get('bench')!r})", file=sys.stderr)
+        return 2
+
+    if kind == "net":
+        failures = check_net(fresh, baseline, args.tolerance)
+        if failures:
+            print("bench gate: REGRESSION")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        rows = len(baseline.get("connectionSweep", []))
+        print(f"bench gate: ok ({rows} connection-sweep rows within "
+              f"{100 * args.tolerance:.0f}%, overload walks complete)")
         return 0
 
     failures = []

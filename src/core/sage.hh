@@ -46,6 +46,9 @@
 #include "core/tuned_array.hh"
 #include "core/version.hh"
 #include "io/session.hh"
+#include "net/client.hh"
+#include "net/multi_archive.hh"
+#include "net/server.hh"
 #include "service/service.hh"
 
 #endif // SAGE_CORE_SAGE_HH

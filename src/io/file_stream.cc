@@ -51,6 +51,29 @@ FileSource::~FileSource()
         ::close(fd_);
 }
 
+StatusOr<std::unique_ptr<FileSource>>
+FileSource::tryOpen(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        return Status::ioError("cannot open ", path,
+                               " for reading: ", errnoText());
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        Status status =
+            Status::ioError("cannot stat ", path, ": ", errnoText());
+        ::close(fd);
+        return status;
+    }
+    if (!S_ISREG(st.st_mode)) {
+        ::close(fd);
+        return Status::ioError(path, " is not a regular file");
+    }
+    return std::unique_ptr<FileSource>(new FileSource(
+        fd, path, static_cast<uint64_t>(st.st_size)));
+}
+
 Status
 FileSource::classifyReadError(int err, uint64_t offset,
                               unsigned &transient_left) const

@@ -15,6 +15,7 @@
 #define SAGE_IO_FILE_STREAM_HH
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 
 #include "io/byte_stream.hh"
@@ -30,6 +31,13 @@ class FileSource final : public ByteSource
     /** Open @p path; fatal (naming the path) when it cannot be read. */
     explicit FileSource(const std::string &path);
     ~FileSource() override;
+
+    /** Non-fatal open: IoError (naming the path and errno) when the
+     *  file cannot be opened or is not a regular file. The server-side
+     *  archive-open path uses this — a bad path from a remote client
+     *  must produce an error reply, not a crash. */
+    static StatusOr<std::unique_ptr<FileSource>>
+    tryOpen(const std::string &path);
 
     FileSource(const FileSource &) = delete;
     FileSource &operator=(const FileSource &) = delete;
@@ -68,6 +76,11 @@ class FileSource final : public ByteSource
     }
 
   private:
+    /** Adopt an already-opened descriptor (tryOpen's tail). */
+    FileSource(int fd, std::string path, uint64_t size)
+        : path_(std::move(path)), fd_(fd), size_(size)
+    {}
+
     /**
      * Only tiny reads (container-directory varints and names) go
      * through the read-ahead window; anything larger — chunk slice

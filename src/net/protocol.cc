@@ -1,0 +1,531 @@
+#include "net/protocol.hh"
+
+#include <cstring>
+
+namespace sage {
+namespace net {
+
+namespace {
+
+// ---- little-endian primitives ---------------------------------------
+
+void
+putU8(std::vector<uint8_t> &out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU16(std::vector<uint8_t> &out, uint16_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<uint8_t>(v >> shift));
+}
+
+void
+putBytes(std::vector<uint8_t> &out, const void *data, size_t size)
+{
+    const uint8_t *bytes = static_cast<const uint8_t *>(data);
+    out.insert(out.end(), bytes, bytes + size);
+}
+
+/** Bounds-checked little-endian cursor over an untrusted frame. */
+class Cursor
+{
+  public:
+    Cursor(const uint8_t *data, size_t size)
+        : data_(data), size_(size)
+    {}
+
+    size_t remaining() const { return size_ - offset_; }
+
+    bool
+    u8(uint8_t &v)
+    {
+        if (remaining() < 1)
+            return false;
+        v = data_[offset_++];
+        return true;
+    }
+
+    bool
+    u16(uint16_t &v)
+    {
+        if (remaining() < 2)
+            return false;
+        v = static_cast<uint16_t>(
+            data_[offset_] |
+            static_cast<uint16_t>(data_[offset_ + 1]) << 8);
+        offset_ += 2;
+        return true;
+    }
+
+    bool
+    u32(uint32_t &v)
+    {
+        if (remaining() < 4)
+            return false;
+        v = 0;
+        for (int i = 0; i < 4; i++)
+            v |= static_cast<uint32_t>(data_[offset_ + i]) << (8 * i);
+        offset_ += 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t &v)
+    {
+        if (remaining() < 8)
+            return false;
+        v = 0;
+        for (int i = 0; i < 8; i++)
+            v |= static_cast<uint64_t>(data_[offset_ + i]) << (8 * i);
+        offset_ += 8;
+        return true;
+    }
+
+    bool
+    str(std::string &v, size_t size)
+    {
+        if (remaining() < size)
+            return false;
+        v.assign(reinterpret_cast<const char *>(data_ + offset_),
+                 size);
+        offset_ += size;
+        return true;
+    }
+
+  private:
+    const uint8_t *data_;
+    size_t size_;
+    size_t offset_ = 0;
+};
+
+/** Reserve the length prefix; backpatch once the frame is complete. */
+size_t
+beginFrame(std::vector<uint8_t> &out)
+{
+    const size_t at = out.size();
+    putU32(out, 0);
+    return at;
+}
+
+void
+endFrame(std::vector<uint8_t> &out, size_t at)
+{
+    const uint32_t len =
+        static_cast<uint32_t>(out.size() - at - kLenBytes);
+    out[at + 0] = static_cast<uint8_t>(len);
+    out[at + 1] = static_cast<uint8_t>(len >> 8);
+    out[at + 2] = static_cast<uint8_t>(len >> 16);
+    out[at + 3] = static_cast<uint8_t>(len >> 24);
+}
+
+void
+putRequestHeader(std::vector<uint8_t> &out, MsgType type,
+                 RequestPriority priority, uint64_t request_id,
+                 uint32_t deadline_ms)
+{
+    putU8(out, static_cast<uint8_t>(type));
+    putU8(out, static_cast<uint8_t>(priority));
+    putU16(out, 0);
+    putU64(out, request_id);
+    putU32(out, deadline_ms);
+}
+
+void
+putReplyHeader(std::vector<uint8_t> &out, MsgType request_type,
+               WireStatus status, uint64_t request_id)
+{
+    putU8(out, static_cast<uint8_t>(request_type) | kReplyFlag);
+    putU8(out, static_cast<uint8_t>(status));
+    putU16(out, 0);
+    putU64(out, request_id);
+}
+
+Status
+malformed(const char *what)
+{
+    return Status::truncated("malformed frame: ", what);
+}
+
+} // namespace
+
+const char *
+wireStatusName(WireStatus status)
+{
+    switch (status) {
+    case WireStatus::Ok: return "Ok";
+    case WireStatus::IoError: return "IoError";
+    case WireStatus::Truncated: return "Truncated";
+    case WireStatus::Corrupt: return "Corrupt";
+    case WireStatus::OutOfRange: return "OutOfRange";
+    case WireStatus::Exhausted: return "Exhausted";
+    case WireStatus::Expired: return "Expired";
+    case WireStatus::Cancelled: return "Cancelled";
+    case WireStatus::Overloaded: return "Overloaded";
+    case WireStatus::BadRequest: return "BadRequest";
+    case WireStatus::UnknownArchive: return "UnknownArchive";
+    case WireStatus::ProtocolError: return "ProtocolError";
+    }
+    return "Unknown";
+}
+
+WireStatus
+wireStatusFromStatus(const Status &status)
+{
+    switch (status.code()) {
+    case StatusCode::Ok: return WireStatus::Ok;
+    case StatusCode::IoError: return WireStatus::IoError;
+    case StatusCode::Truncated: return WireStatus::Truncated;
+    case StatusCode::Corrupt: return WireStatus::Corrupt;
+    case StatusCode::OutOfRange: return WireStatus::OutOfRange;
+    case StatusCode::Exhausted: return WireStatus::Exhausted;
+    }
+    return WireStatus::IoError;
+}
+
+WireStatus
+wireStatusFromRequest(RequestStatus status, const Status &error)
+{
+    switch (status) {
+    case RequestStatus::Ok: return WireStatus::Ok;
+    case RequestStatus::Expired: return WireStatus::Expired;
+    case RequestStatus::Cancelled: return WireStatus::Cancelled;
+    case RequestStatus::Error: return wireStatusFromStatus(error);
+    }
+    return WireStatus::IoError;
+}
+
+Status
+statusFromWire(WireStatus status, const std::string &message)
+{
+    switch (status) {
+    case WireStatus::Ok:
+        return Status();
+    case WireStatus::IoError:
+        return Status::ioError(message);
+    case WireStatus::Truncated:
+        return Status::truncated(message);
+    case WireStatus::Corrupt:
+        return Status::corrupt(message);
+    case WireStatus::OutOfRange:
+    case WireStatus::UnknownArchive:
+    case WireStatus::BadRequest:
+        return Status::outOfRange(wireStatusName(status), ": ",
+                                  message);
+    default:
+        return Status::exhausted(wireStatusName(status), ": ",
+                                 message);
+    }
+}
+
+// ---- request encoders -----------------------------------------------
+
+void
+appendOpenRequest(std::vector<uint8_t> &out, uint64_t request_id,
+                  const std::string &name, RequestPriority priority,
+                  uint32_t deadline_ms)
+{
+    const size_t at = beginFrame(out);
+    putRequestHeader(out, MsgType::Open, priority, request_id,
+                     deadline_ms);
+    const size_t len = std::min(name.size(), kMaxNameBytes);
+    putU16(out, static_cast<uint16_t>(len));
+    putBytes(out, name.data(), len);
+    endFrame(out, at);
+}
+
+void
+appendReadRangeRequest(std::vector<uint8_t> &out, uint64_t request_id,
+                       uint32_t archive, uint64_t first,
+                       uint64_t count, RequestPriority priority,
+                       uint32_t deadline_ms)
+{
+    const size_t at = beginFrame(out);
+    putRequestHeader(out, MsgType::ReadRange, priority, request_id,
+                     deadline_ms);
+    putU32(out, archive);
+    putU64(out, first);
+    putU64(out, count);
+    endFrame(out, at);
+}
+
+void
+appendReadChunkRequest(std::vector<uint8_t> &out, uint64_t request_id,
+                       uint32_t archive, uint64_t chunk,
+                       RequestPriority priority, uint32_t deadline_ms)
+{
+    const size_t at = beginFrame(out);
+    putRequestHeader(out, MsgType::ReadChunk, priority, request_id,
+                     deadline_ms);
+    putU32(out, archive);
+    putU64(out, chunk);
+    endFrame(out, at);
+}
+
+void
+appendStatRequest(std::vector<uint8_t> &out, uint64_t request_id,
+                  uint32_t archive)
+{
+    const size_t at = beginFrame(out);
+    putRequestHeader(out, MsgType::Stat, RequestPriority::Normal,
+                     request_id, 0);
+    putU32(out, archive);
+    endFrame(out, at);
+}
+
+void
+appendCloseRequest(std::vector<uint8_t> &out, uint64_t request_id,
+                   uint32_t archive)
+{
+    const size_t at = beginFrame(out);
+    putRequestHeader(out, MsgType::Close, RequestPriority::Normal,
+                     request_id, 0);
+    putU32(out, archive);
+    endFrame(out, at);
+}
+
+// ---- reply encoders -------------------------------------------------
+
+void
+appendErrorReply(std::vector<uint8_t> &out, MsgType request_type,
+                 uint64_t request_id, WireStatus status,
+                 const std::string &message)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, request_type, status, request_id);
+    const size_t len = std::min(message.size(), kMaxErrorMessageBytes);
+    putU16(out, static_cast<uint16_t>(len));
+    putBytes(out, message.data(), len);
+    endFrame(out, at);
+}
+
+void
+appendOpenReply(std::vector<uint8_t> &out, uint64_t request_id,
+                MsgType request_type, const OpenReply &reply)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, request_type, WireStatus::Ok, request_id);
+    putU32(out, reply.archive);
+    putU64(out, reply.readCount);
+    putU64(out, reply.chunkCount);
+    endFrame(out, at);
+}
+
+void
+appendReadReply(std::vector<uint8_t> &out, MsgType request_type,
+                uint64_t request_id, const std::vector<Read> &reads)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, request_type, WireStatus::Ok, request_id);
+    putU32(out, static_cast<uint32_t>(reads.size()));
+    for (const Read &read : reads) {
+        putU16(out, static_cast<uint16_t>(read.header.size()));
+        putU32(out, static_cast<uint32_t>(read.bases.size()));
+        putU32(out, static_cast<uint32_t>(read.quals.size()));
+        putBytes(out, read.header.data(), read.header.size());
+        putBytes(out, read.bases.data(), read.bases.size());
+        putBytes(out, read.quals.data(), read.quals.size());
+    }
+    endFrame(out, at);
+}
+
+void
+appendStatReply(std::vector<uint8_t> &out, uint64_t request_id,
+                const WireServerStats &stats)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, MsgType::Stat, WireStatus::Ok, request_id);
+    putU32(out, stats.openArchives);
+    putU32(out, stats.knownArchives);
+    putU64(out, stats.opens);
+    putU64(out, stats.reopens);
+    putU64(out, stats.evictions);
+    putU64(out, stats.admitted);
+    putU64(out, stats.overloaded);
+    putU64(out, stats.readsServed);
+    putU64(out, stats.bytesServed);
+    putU64(out, stats.cacheBytesReserved);
+    putU64(out, stats.cacheBudgetBytes);
+    putU64(out, stats.queueDepth);
+    endFrame(out, at);
+}
+
+void
+appendCloseReply(std::vector<uint8_t> &out, uint64_t request_id)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, MsgType::Close, WireStatus::Ok, request_id);
+    endFrame(out, at);
+}
+
+// ---- parsers --------------------------------------------------------
+
+StatusOr<RequestFrame>
+parseRequestFrame(const uint8_t *frame, size_t size)
+{
+    Cursor cur(frame, size);
+    RequestFrame out;
+    uint8_t type = 0, priority = 0;
+    uint16_t reserved = 0;
+    if (!cur.u8(type) || !cur.u8(priority) || !cur.u16(reserved) ||
+        !cur.u64(out.requestId) || !cur.u32(out.deadlineMs))
+        return malformed("request header short");
+    if (type < static_cast<uint8_t>(MsgType::Open) ||
+        type > static_cast<uint8_t>(MsgType::Close))
+        return Status::corrupt("malformed frame: unknown request type ",
+                               unsigned(type));
+    if (priority >= kRequestPriorityCount) {
+        return Status::corrupt("malformed frame: bad priority ",
+                               unsigned(priority));
+    }
+    out.type = static_cast<MsgType>(type);
+    out.priority = static_cast<RequestPriority>(priority);
+
+    switch (out.type) {
+    case MsgType::Open: {
+        uint16_t name_len = 0;
+        if (!cur.u16(name_len))
+            return malformed("OPEN payload short");
+        if (name_len > kMaxNameBytes)
+            return Status::corrupt("malformed frame: name too long");
+        if (!cur.str(out.name, name_len))
+            return malformed("OPEN name short");
+        break;
+    }
+    case MsgType::ReadRange:
+        if (!cur.u32(out.archive) || !cur.u64(out.first) ||
+            !cur.u64(out.count))
+            return malformed("READ_RANGE payload short");
+        break;
+    case MsgType::ReadChunk:
+        if (!cur.u32(out.archive) || !cur.u64(out.chunk))
+            return malformed("READ_CHUNK payload short");
+        break;
+    case MsgType::Stat:
+    case MsgType::Close:
+        if (!cur.u32(out.archive))
+            return malformed("payload short");
+        break;
+    }
+    if (cur.remaining() != 0)
+        return Status::corrupt("malformed frame: ", cur.remaining(),
+                               " trailing bytes");
+    return out;
+}
+
+StatusOr<ReplyHeader>
+parseReplyHeader(const uint8_t *frame, size_t size)
+{
+    Cursor cur(frame, size);
+    ReplyHeader out;
+    uint8_t type = 0, status = 0;
+    uint16_t reserved = 0;
+    if (!cur.u8(type) || !cur.u8(status) || !cur.u16(reserved) ||
+        !cur.u64(out.requestId))
+        return malformed("reply header short");
+    if (!(type & kReplyFlag))
+        return Status::corrupt(
+            "malformed frame: reply flag missing on type ",
+            unsigned(type));
+    type = static_cast<uint8_t>(type & ~kReplyFlag);
+    if (type < static_cast<uint8_t>(MsgType::Open) ||
+        type > static_cast<uint8_t>(MsgType::Close))
+        return Status::corrupt("malformed frame: unknown reply type ",
+                               unsigned(type));
+    out.type = static_cast<MsgType>(type);
+    out.status = static_cast<WireStatus>(status);
+    return out;
+}
+
+StatusOr<OpenReply>
+parseOpenReplyPayload(const uint8_t *payload, size_t size)
+{
+    Cursor cur(payload, size);
+    OpenReply out;
+    if (!cur.u32(out.archive) || !cur.u64(out.readCount) ||
+        !cur.u64(out.chunkCount))
+        return malformed("OPEN reply short");
+    return out;
+}
+
+StatusOr<std::vector<Read>>
+parseReadReplyPayload(const uint8_t *payload, size_t size)
+{
+    Cursor cur(payload, size);
+    uint32_t count = 0;
+    if (!cur.u32(count))
+        return malformed("READ reply short");
+    // A count can promise at most the remaining bytes (each read costs
+    // at least its 10-byte descriptor); reject before reserving.
+    if (count > cur.remaining() / 10 + 1)
+        return Status::corrupt(
+            "malformed frame: read count ", count,
+            " exceeds payload capacity");
+    std::vector<Read> reads;
+    reads.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+        uint16_t header_len = 0;
+        uint32_t bases_len = 0, quals_len = 0;
+        if (!cur.u16(header_len) || !cur.u32(bases_len) ||
+            !cur.u32(quals_len))
+            return malformed("read descriptor short");
+        Read read;
+        if (!cur.str(read.header, header_len) ||
+            !cur.str(read.bases, bases_len) ||
+            !cur.str(read.quals, quals_len))
+            return malformed("read body short");
+        reads.push_back(std::move(read));
+    }
+    if (cur.remaining() != 0)
+        return Status::corrupt("malformed frame: ", cur.remaining(),
+                               " trailing bytes");
+    return reads;
+}
+
+StatusOr<WireServerStats>
+parseStatReplyPayload(const uint8_t *payload, size_t size)
+{
+    Cursor cur(payload, size);
+    WireServerStats out;
+    if (!cur.u32(out.openArchives) || !cur.u32(out.knownArchives) ||
+        !cur.u64(out.opens) || !cur.u64(out.reopens) ||
+        !cur.u64(out.evictions) || !cur.u64(out.admitted) ||
+        !cur.u64(out.overloaded) || !cur.u64(out.readsServed) ||
+        !cur.u64(out.bytesServed) ||
+        !cur.u64(out.cacheBytesReserved) ||
+        !cur.u64(out.cacheBudgetBytes) || !cur.u64(out.queueDepth))
+        return malformed("STAT reply short");
+    return out;
+}
+
+StatusOr<std::string>
+parseErrorMessage(const uint8_t *payload, size_t size)
+{
+    Cursor cur(payload, size);
+    uint16_t len = 0;
+    if (!cur.u16(len))
+        return malformed("error reply short");
+    std::string message;
+    if (!cur.str(message, len))
+        return malformed("error message short");
+    return message;
+}
+
+} // namespace net
+} // namespace sage

@@ -1,0 +1,630 @@
+#include "net/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace sage {
+namespace net {
+
+namespace {
+
+/** epoll user-data tags of the two non-connection descriptors. */
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+/** recv() granularity. */
+constexpr size_t kRecvChunkBytes = 64 * 1024;
+
+/** Compact the rx buffer once this much dead prefix accumulates. */
+constexpr size_t kRxCompactBytes = 256 * 1024;
+
+std::string
+errnoText()
+{
+    return std::strerror(errno);
+}
+
+uint32_t
+loadLe32(const uint8_t *bytes)
+{
+    return static_cast<uint32_t>(bytes[0]) |
+           static_cast<uint32_t>(bytes[1]) << 8 |
+           static_cast<uint32_t>(bytes[2]) << 16 |
+           static_cast<uint32_t>(bytes[3]) << 24;
+}
+
+} // namespace
+
+Server::Server(MultiArchiveService &service, ServerOptions options)
+    : service_(service), options_(std::move(options))
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+Status
+Server::start()
+{
+    sage_assert(!running_.load(), "start() on a running server");
+
+    listenFd_ = ::socket(AF_INET,
+                         SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                         0);
+    if (listenFd_ < 0)
+        return Status::ioError("socket: ", errnoText());
+
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        stop();
+        return Status::ioError("bad bind address ",
+                               options_.bindAddress);
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        Status status = Status::ioError(
+            "bind ", options_.bindAddress, ":", options_.port, ": ",
+            errnoText());
+        stop();
+        return status;
+    }
+    if (::listen(listenFd_, options_.backlog) != 0) {
+        Status status = Status::ioError("listen: ", errnoText());
+        stop();
+        return status;
+    }
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0) {
+        Status status = Status::ioError("getsockname: ", errnoText());
+        stop();
+        return status;
+    }
+    port_ = ntohs(addr.sin_port);
+
+    epollFd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wakeFd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (epollFd_ < 0 || wakeFd_ < 0) {
+        Status status =
+            Status::ioError("epoll/eventfd: ", errnoText());
+        stop();
+        return status;
+    }
+
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.u64 = kListenerTag;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev) != 0) {
+        Status status = Status::ioError("epoll_ctl: ", errnoText());
+        stop();
+        return status;
+    }
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakeFd_, &ev) != 0) {
+        Status status = Status::ioError("epoll_ctl: ", errnoText());
+        stop();
+        return status;
+    }
+
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    thread_ = std::thread([this] { eventLoop(); });
+    return Status();
+}
+
+void
+Server::stop()
+{
+    if (running_.load(std::memory_order_acquire)) {
+        stopping_.store(true, std::memory_order_release);
+        wakeLoop();
+        if (thread_.joinable())
+            thread_.join();
+        // Admitted requests may still be serializing replies on
+        // worker threads; their pushCompletion touches the completion
+        // queue and wakeFd_, so both must survive until the count
+        // drains.
+        std::unique_lock<std::mutex> lock(callbackMutex_);
+        callbackCv_.wait(lock, [&] {
+            return pendingCallbacks_.load(
+                       std::memory_order_acquire) == 0;
+        });
+        running_.store(false, std::memory_order_release);
+    }
+    for (auto &conn : conns_)
+        ::close(conn.second->fd);
+    conns_.clear();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (epollFd_ >= 0)
+        ::close(epollFd_);
+    if (wakeFd_ >= 0)
+        ::close(wakeFd_);
+    listenFd_ = epollFd_ = wakeFd_ = -1;
+}
+
+ServerNetStats
+Server::netStats() const
+{
+    ServerNetStats out;
+    out.accepted = accepted_.load(std::memory_order_relaxed);
+    out.closed = closed_.load(std::memory_order_relaxed);
+    out.activeConnections = out.accepted - out.closed;
+    out.framesIn = framesIn_.load(std::memory_order_relaxed);
+    out.repliesOut = repliesOut_.load(std::memory_order_relaxed);
+    out.protocolErrors =
+        protocolErrors_.load(std::memory_order_relaxed);
+    out.bytesIn = bytesIn_.load(std::memory_order_relaxed);
+    out.bytesOut = bytesOut_.load(std::memory_order_relaxed);
+    out.txPauses = txPauses_.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Server::wakeLoop()
+{
+    const uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a pending
+    // wake; any other failure means teardown is racing us.
+    (void)!::write(wakeFd_, &one, sizeof(one));
+}
+
+void
+Server::drainWakeFd()
+{
+    uint64_t value = 0;
+    while (::read(wakeFd_, &value, sizeof(value)) > 0) {
+    }
+}
+
+void
+Server::eventLoop()
+{
+    std::vector<epoll_event> events(64);
+    while (!stopping_.load(std::memory_order_acquire)) {
+        const int ready = ::epoll_wait(epollFd_, events.data(),
+                                       static_cast<int>(events.size()),
+                                       -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        for (int i = 0; i < ready; i++) {
+            if (stopping_.load(std::memory_order_acquire))
+                break;
+            const uint64_t tag = events[i].data.u64;
+            if (tag == kListenerTag) {
+                acceptAll();
+                continue;
+            }
+            if (tag == kWakeTag) {
+                drainWakeFd();
+                flushCompletions();
+                continue;
+            }
+            auto it = conns_.find(tag);
+            if (it == conns_.end())
+                continue;
+            Conn &conn = *it->second;
+            if (events[i].events & (EPOLLHUP | EPOLLERR | EPOLLRDHUP))
+                closeConn(conn);
+            if (!conn.dead && (events[i].events & EPOLLOUT))
+                flushTx(conn);
+            if (!conn.dead && (events[i].events & EPOLLIN))
+                onReadable(conn);
+            if (conn.dead) {
+                ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd,
+                            nullptr);
+                ::close(conn.fd);
+                conns_.erase(tag);
+                closed_.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void
+Server::acceptAll()
+{
+    while (true) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            // EAGAIN: drained. Anything else (EMFILE, aborted
+            // handshake) is also best handled by returning to the
+            // loop.
+            return;
+        }
+        if (conns_.size() >= options_.maxConnections) {
+            ::close(fd);
+            continue;
+        }
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_unique<Conn>();
+        conn->id = nextConnId_++;
+        conn->fd = fd;
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+        ev.data.u64 = conn->id;
+        if (::epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        conns_.emplace(conn->id, std::move(conn));
+    }
+}
+
+void
+Server::closeConn(Conn &conn)
+{
+    conn.dead = true;
+}
+
+void
+Server::onReadable(Conn &conn)
+{
+    while (!conn.dead) {
+        // A paused connection keeps at most one max-size frame
+        // buffered; further inbound bytes wait in the socket (and,
+        // transitively, in the peer's send queue) until the transmit
+        // backlog drains.
+        if (conn.paused &&
+            conn.rx.size() - conn.rxOff >=
+                options_.maxRequestFrameBytes + kLenBytes) {
+            conn.rxStalled = true;
+            return;
+        }
+        const size_t old = conn.rx.size();
+        conn.rx.resize(old + kRecvChunkBytes);
+        const ssize_t got = ::recv(conn.fd, conn.rx.data() + old,
+                                   kRecvChunkBytes, 0);
+        if (got > 0) {
+            conn.rx.resize(old + static_cast<size_t>(got));
+            bytesIn_.fetch_add(static_cast<uint64_t>(got),
+                               std::memory_order_relaxed);
+            processRx(conn);
+            continue;
+        }
+        conn.rx.resize(old);
+        if (got == 0) {
+            closeConn(conn);
+            return;
+        }
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return;
+        if (errno == EINTR)
+            continue;
+        closeConn(conn);
+        return;
+    }
+}
+
+void
+Server::processRx(Conn &conn)
+{
+    while (!conn.dead && !conn.paused && !conn.closeAfterFlush) {
+        const size_t avail = conn.rx.size() - conn.rxOff;
+        if (avail < kLenBytes)
+            break;
+        const uint32_t len = loadLe32(conn.rx.data() + conn.rxOff);
+        if (len < kRequestHeaderBytes ||
+            len > options_.maxRequestFrameBytes) {
+            protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+            std::vector<uint8_t> reply;
+            appendErrorReply(reply, MsgType::Open, 0,
+                             WireStatus::ProtocolError,
+                             "bad frame length");
+            // Set before queueReply: its flush is what notices a
+            // drained closeAfterFlush connection and retires it.
+            conn.closeAfterFlush = true;
+            queueReply(conn, std::move(reply));
+            break;
+        }
+        if (avail < kLenBytes + len)
+            break;
+        handleFrame(conn, conn.rx.data() + conn.rxOff + kLenBytes,
+                    len);
+        conn.rxOff += kLenBytes + len;
+    }
+    if (conn.rxOff == conn.rx.size()) {
+        conn.rx.clear();
+        conn.rxOff = 0;
+    } else if (conn.rxOff >= kRxCompactBytes) {
+        conn.rx.erase(conn.rx.begin(),
+                      conn.rx.begin() +
+                          static_cast<ptrdiff_t>(conn.rxOff));
+        conn.rxOff = 0;
+    }
+}
+
+void
+Server::handleFrame(Conn &conn, const uint8_t *frame, size_t size)
+{
+    framesIn_.fetch_add(1, std::memory_order_relaxed);
+    auto parsed = parseRequestFrame(frame, size);
+    if (!parsed.ok()) {
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<uint8_t> reply;
+        appendErrorReply(reply, MsgType::Open, 0,
+                         WireStatus::ProtocolError,
+                         parsed.status().toString());
+        conn.closeAfterFlush = true;
+        queueReply(conn, std::move(reply));
+        return;
+    }
+    const RequestFrame &request = parsed.value();
+    std::vector<uint8_t> reply;
+    switch (request.type) {
+    case MsgType::Open: {
+        auto meta = service_.open(request.name);
+        if (meta.ok()) {
+            OpenReply ok;
+            ok.archive = meta->id;
+            ok.readCount = meta->readCount;
+            ok.chunkCount = meta->chunkCount;
+            appendOpenReply(reply, request.requestId, MsgType::Open,
+                            ok);
+        } else {
+            // Bad bytes keep their code across the wire; everything
+            // else (missing file, hostile name) is simply an archive
+            // this server does not have.
+            WireStatus status =
+                wireStatusFromStatus(meta.status());
+            if (status != WireStatus::Corrupt &&
+                status != WireStatus::Truncated)
+                status = WireStatus::UnknownArchive;
+            appendErrorReply(reply, MsgType::Open, request.requestId,
+                             status, meta.status().toString());
+        }
+        break;
+    }
+    case MsgType::Stat: {
+        if (request.archive == kStatServer) {
+            const MultiArchiveStats stats = service_.stats();
+            WireServerStats wire;
+            wire.openArchives = stats.openArchives;
+            wire.knownArchives = stats.knownArchives;
+            wire.opens = stats.opens;
+            wire.reopens = stats.reopens;
+            wire.evictions = stats.evictions;
+            wire.admitted = stats.admitted;
+            wire.overloaded = stats.overloaded;
+            wire.readsServed = stats.readsServed;
+            wire.bytesServed = stats.bytesServed;
+            wire.cacheBytesReserved = stats.cacheBytesReserved;
+            wire.cacheBudgetBytes = stats.cacheBudgetBytes;
+            wire.queueDepth = stats.queueDepth;
+            appendStatReply(reply, request.requestId, wire);
+        } else {
+            auto meta = service_.describe(request.archive);
+            if (meta.ok()) {
+                OpenReply ok;
+                ok.archive = meta->id;
+                ok.readCount = meta->readCount;
+                ok.chunkCount = meta->chunkCount;
+                appendOpenReply(reply, request.requestId,
+                                MsgType::Stat, ok);
+            } else {
+                appendErrorReply(reply, MsgType::Stat,
+                                 request.requestId,
+                                 WireStatus::UnknownArchive,
+                                 meta.status().toString());
+            }
+        }
+        break;
+    }
+    case MsgType::Close: {
+        Status status = service_.closeArchive(request.archive);
+        if (status.ok())
+            appendCloseReply(reply, request.requestId);
+        else
+            appendErrorReply(reply, MsgType::Close, request.requestId,
+                             WireStatus::UnknownArchive,
+                             status.toString());
+        break;
+    }
+    case MsgType::ReadRange:
+    case MsgType::ReadChunk:
+        handleRead(conn, request);
+        return;
+    }
+    queueReply(conn, std::move(reply));
+}
+
+void
+Server::handleRead(Conn &conn, const RequestFrame &request)
+{
+    if (request.type == MsgType::ReadRange &&
+        request.count > options_.maxReadsPerRequest) {
+        std::vector<uint8_t> reply;
+        appendErrorReply(reply, request.type, request.requestId,
+                         WireStatus::BadRequest,
+                         "count exceeds the per-request limit");
+        queueReply(conn, std::move(reply));
+        return;
+    }
+
+    RequestOptions qos;
+    qos.priority = request.priority;
+    if (request.deadlineMs != 0)
+        qos.deadline =
+            RequestOptions::deadlineIn(request.deadlineMs / 1000.0);
+
+    pendingCallbacks_.fetch_add(1, std::memory_order_acq_rel);
+    auto complete = [this, conn_id = conn.id,
+                     request_id = request.requestId,
+                     type = request.type](ReadResult result) {
+        std::vector<uint8_t> frame;
+        if (result.status == RequestStatus::Ok) {
+            appendReadReply(frame, type, request_id, result.reads);
+        } else {
+            const std::string detail =
+                result.error.ok() ? requestStatusName(result.status)
+                                  : result.error.toString();
+            appendErrorReply(
+                frame, type, request_id,
+                wireStatusFromRequest(result.status, result.error),
+                detail);
+        }
+        pushCompletion(conn_id, std::move(frame));
+    };
+
+    Status reject;
+    const Admission admission =
+        request.type == MsgType::ReadRange
+            ? service_.readRange(request.archive, request.first,
+                                 request.count, qos,
+                                 std::move(complete), &reject)
+            : service_.readChunk(request.archive, request.chunk, qos,
+                                 std::move(complete), &reject);
+    if (admission == Admission::Admitted)
+        return;
+
+    // The callback will never run; balance its barrier count.
+    pendingCallbacks_.fetch_sub(1, std::memory_order_acq_rel);
+    WireStatus status = WireStatus::BadRequest;
+    switch (admission) {
+    case Admission::Overloaded:
+        status = WireStatus::Overloaded;
+        break;
+    case Admission::UnknownArchive:
+        status = WireStatus::UnknownArchive;
+        break;
+    case Admission::BadRange:
+        status = WireStatus::OutOfRange;
+        break;
+    case Admission::Admitted:
+        break;
+    }
+    std::vector<uint8_t> reply;
+    appendErrorReply(reply, request.type, request.requestId, status,
+                     reject.toString());
+    queueReply(conn, std::move(reply));
+}
+
+void
+Server::pushCompletion(uint64_t conn_id, std::vector<uint8_t> &&frame)
+{
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        completions_.push_back(Completion{conn_id, std::move(frame)});
+    }
+    wakeLoop();
+    // Last touch of server state: once this count reaches zero the
+    // destructor may proceed to close descriptors.
+    std::lock_guard<std::mutex> lock(callbackMutex_);
+    if (pendingCallbacks_.fetch_sub(1, std::memory_order_acq_rel) ==
+        1)
+        callbackCv_.notify_all();
+}
+
+void
+Server::flushCompletions()
+{
+    std::vector<Completion> batch;
+    {
+        std::lock_guard<std::mutex> lock(completionMutex_);
+        batch.swap(completions_);
+    }
+    for (Completion &completion : batch) {
+        auto it = conns_.find(completion.connId);
+        if (it == conns_.end())
+            continue;
+        Conn &conn = *it->second;
+        if (conn.dead)
+            continue;
+        queueReply(conn, std::move(completion.frame));
+        if (conn.dead) {
+            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+            ::close(conn.fd);
+            conns_.erase(completion.connId);
+            closed_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+Server::queueReply(Conn &conn, std::vector<uint8_t> &&frame)
+{
+    repliesOut_.fetch_add(1, std::memory_order_relaxed);
+    conn.txBytes += frame.size();
+    conn.tx.push_back(std::move(frame));
+    // Edge-triggered EPOLLOUT only fires on a not-writable →
+    // writable transition, so always attempt the write here and rely
+    // on the event only after a genuine EAGAIN.
+    flushTx(conn);
+    if (!conn.dead && !conn.paused &&
+        conn.txBytes > options_.txHighWaterBytes) {
+        conn.paused = true;
+        txPauses_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void
+Server::flushTx(Conn &conn)
+{
+    while (!conn.tx.empty()) {
+        const std::vector<uint8_t> &front = conn.tx.front();
+        const ssize_t sent =
+            ::send(conn.fd, front.data() + conn.txOff,
+                   front.size() - conn.txOff, MSG_NOSIGNAL);
+        if (sent > 0) {
+            bytesOut_.fetch_add(static_cast<uint64_t>(sent),
+                                std::memory_order_relaxed);
+            conn.txOff += static_cast<size_t>(sent);
+            conn.txBytes -= static_cast<uint64_t>(sent);
+            if (conn.txOff == front.size()) {
+                conn.tx.pop_front();
+                conn.txOff = 0;
+            }
+            continue;
+        }
+        if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (sent < 0 && errno == EINTR)
+            continue;
+        closeConn(conn);
+        return;
+    }
+    if (conn.paused &&
+        conn.txBytes <= options_.txHighWaterBytes / 2) {
+        conn.paused = false;
+        // Frames that arrived while paused are still buffered; parse
+        // them now, then resume recv() if backpressure stalled it
+        // (edge-triggered readiness will not re-announce old bytes).
+        processRx(conn);
+        if (!conn.dead && conn.rxStalled) {
+            conn.rxStalled = false;
+            onReadable(conn);
+        }
+    }
+    if (!conn.dead && conn.closeAfterFlush && conn.tx.empty())
+        conn.dead = true;
+}
+
+} // namespace net
+} // namespace sage

@@ -49,6 +49,20 @@ SageArchiveService::SageArchiveService(const std::string &path,
     init();
 }
 
+SageArchiveService::SageArchiveService(
+    std::unique_ptr<SageDecoder> decoder,
+    std::unique_ptr<ByteSource> owned_source, ServiceOptions options)
+    : file_(std::move(owned_source)),
+      decoder_(std::move(decoder)),
+      options_(options),
+      pool_(options.pool),
+      cache_(options.cacheBudgetBytes, options.cacheShards)
+{
+    sage_assert(decoder_ != nullptr,
+                "service constructed without a decoder");
+    init();
+}
+
 void
 SageArchiveService::init()
 {
@@ -83,8 +97,14 @@ SageArchiveService::enqueue(RequestPriority priority,
         std::lock_guard<std::mutex> lock(schedMutex_);
         queues_[static_cast<size_t>(priority)].push_back(
             std::move(work));
-        queued_++;
-        maxQueueDepth_ = std::max(maxQueueDepth_, queued_);
+        // queued_/maxQueueDepth_ are written only under schedMutex_;
+        // the atomics exist for queueDepth()'s lock-free readers, so
+        // relaxed ordering suffices on this side too.
+        const uint64_t depth =
+            queued_.load(std::memory_order_relaxed) + 1;
+        queued_.store(depth, std::memory_order_relaxed);
+        if (depth > maxQueueDepth_.load(std::memory_order_relaxed))
+            maxQueueDepth_.store(depth, std::memory_order_relaxed);
     }
     // The pool task is a generic "run the best queued request"
     // trampoline: the pool drains FIFO, but each trampoline re-picks
@@ -109,7 +129,8 @@ SageArchiveService::runOne()
         }
         sage_assert(work != nullptr,
                     "scheduler trampoline found no queued request");
-        queued_--;
+        queued_.store(queued_.load(std::memory_order_relaxed) - 1,
+                      std::memory_order_relaxed);
         executing_++;
     }
     // A throwing request (std::bad_alloc while assembling reads) must

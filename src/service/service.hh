@@ -252,6 +252,15 @@ class SageArchiveService
     explicit SageArchiveService(const std::string &path,
                                 ServiceOptions options = {});
 
+    /** Serve a pre-opened decoder (and optionally the source it reads
+     *  from). This is the recoverable-open path: callers that must not
+     *  die on a bad archive — the network front end in particular —
+     *  open via SageDecoder::tryOpen() and hand the result here.
+     *  ServiceOptions::dnaOnly is ignored (decided at tryOpen time). */
+    SageArchiveService(std::unique_ptr<SageDecoder> decoder,
+                       std::unique_ptr<ByteSource> owned_source,
+                       ServiceOptions options = {});
+
     /** Drains outstanding requests before tearing down. */
     ~SageArchiveService();
 
@@ -263,6 +272,20 @@ class SageArchiveService
     const ArchiveInfo &info() const { return decoder_->info(); }
     size_t chunkCount() const { return decoder_->chunkCount(); }
     uint64_t readCount() const { return info().params.numReads; }
+
+    /** Stored-order index of chunk @p chunk's first read. */
+    uint64_t
+    chunkFirstRead(size_t chunk) const
+    {
+        return decoder_->chunkFirstRead(chunk);
+    }
+
+    /** Number of reads stored in chunk @p chunk. */
+    uint64_t
+    chunkReadCount(size_t chunk) const
+    {
+        return decoder_->chunkReadCount(chunk);
+    }
 
     // ---- synchronous API (blocks the calling client thread) ----------
 
@@ -369,6 +392,27 @@ class SageArchiveService
     /** The worker pool requests execute on. */
     ThreadPool &pool() { return *pool_; }
 
+    /**
+     * Requests enqueued but not yet started, as a single relaxed
+     * atomic load. The admission-control hot path (net/ front end)
+     * polls this per incoming request, so it must not contend with the
+     * scheduler or stats locks the way a full stats() snapshot does.
+     * The value is exact under schedMutex_ and momentarily stale
+     * without it — fine for a high-water-mark comparison.
+     */
+    uint64_t
+    queueDepth() const
+    {
+        return queued_.load(std::memory_order_relaxed);
+    }
+
+    /** Queue-depth high-water mark (same relaxed-read contract). */
+    uint64_t
+    queueDepthHighWater() const
+    {
+        return maxQueueDepth_.load(std::memory_order_relaxed);
+    }
+
   private:
     friend class ServiceSession;
 
@@ -424,7 +468,8 @@ class SageArchiveService
                        double seconds,
                        const std::vector<Read> &served);
 
-    std::unique_ptr<FileSource> file_;  ///< Owned for the path ctor.
+    /** Owned for the path and pre-opened-decoder ctors. */
+    std::unique_ptr<ByteSource> file_;
     std::unique_ptr<SageDecoder> decoder_;
     ServiceOptions options_;
     std::unique_ptr<ThreadPool> ownedPool_;
@@ -439,9 +484,11 @@ class SageArchiveService
     std::condition_variable schedIdle_;
     std::array<std::deque<std::function<void()>>, kRequestPriorityCount>
         queues_;
-    uint64_t queued_ = 0;       ///< Requests enqueued, not yet started.
+    /** Requests enqueued, not yet started. Mutated only under
+     *  schedMutex_; atomic so queueDepth() can read it lock-free. */
+    std::atomic<uint64_t> queued_{0};
     uint64_t executing_ = 0;    ///< Requests currently running.
-    uint64_t maxQueueDepth_ = 0;
+    std::atomic<uint64_t> maxQueueDepth_{0};
 
     // Counter state (separate lock: hot request completions must not
     // contend with scheduling; stats() alone takes both locks at once

@@ -1,0 +1,964 @@
+/**
+ * @file
+ * Tests for the network front end (src/net/): wire-protocol encode /
+ * decode round trips and malformed-frame rejection, the
+ * MultiArchiveService registry (byte identity across archives, LRU
+ * eviction past the open cap with transparent reopen, admission
+ * control shed, server-side fault injection), and the epoll server
+ * over real loopback sockets — multi-connection byte identity vs a
+ * sequential SageReader, Overloaded / Expired / error replies that
+ * leave the connection usable, corrupt-archive isolation between
+ * connections, and hostile-bytes handling. Runs under the ASan/UBSan
+ * and TSan presets in CI.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <thread>
+
+#include "core/sage.hh"
+#include "simgen/synthesize.hh"
+#include "util/thread_pool.hh"
+
+namespace sage {
+namespace {
+
+using net::Client;
+using net::MsgType;
+using net::OpenReply;
+using net::ReplyHeader;
+using net::RequestFrame;
+using net::Server;
+using net::ServerOptions;
+using net::WireServerStats;
+using net::WireStatus;
+
+/** Scratch path unique to the running test: ctest runs every test as
+ *  its own parallel process, so fixture files must not collide. */
+std::string
+perTestScratchPath(const std::string &suffix)
+{
+    const auto *info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    return ::testing::TempDir() + "sage_net_" +
+        std::string(info->test_suite_name()) + "_" + info->name() +
+        "_" + suffix;
+}
+
+/** Element-wise equality including headers. */
+void
+expectSameReads(const std::vector<Read> &a, const std::vector<Read> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        ASSERT_EQ(a[i].bases, b[i].bases) << "read " << i;
+        ASSERT_EQ(a[i].quals, b[i].quals) << "read " << i;
+        ASSERT_EQ(a[i].header, b[i].header) << "read " << i;
+    }
+}
+
+/** One archive of a synthetic corpus plus its stored-order truth. */
+struct CorpusArchive
+{
+    std::string name;
+    std::vector<Read> expected;
+    size_t chunks = 0;
+};
+
+/** Synthesize @p count distinct archives under @p dir (created here)
+ *  with many small chunks each, returning per-archive ground truth
+ *  from a plain sequential reader. */
+std::vector<CorpusArchive>
+makeCorpus(const std::string &dir, size_t count)
+{
+    ::mkdir(dir.c_str(), 0755);
+    std::vector<CorpusArchive> corpus;
+    for (size_t i = 0; i < count; i++) {
+        DatasetSpec spec = makeTinySpec(false);
+        spec.seed += 17 * (i + 1);  // Distinct reads per archive.
+        const SimulatedDataset ds = synthesizeDataset(spec);
+        SageConfig config;
+        config.chunkReads = 64;  // Many small chunks.
+        config.preserveOrder = false;
+        const SageArchive archive =
+            sageCompress(ds.readSet, ds.reference, config);
+
+        CorpusArchive entry;
+        entry.name = "rs" + std::to_string(i) + ".sage";
+        const std::string path = dir + "/" + entry.name;
+        {
+            FileSink sink(path);
+            sink.writeBytes(archive.bytes);
+        }
+        SageReader reader(path);
+        entry.chunks = reader.chunkCount();
+        for (size_t c = 0; c < entry.chunks; c++) {
+            const std::vector<Read> reads = reader.readChunk(c);
+            entry.expected.insert(entry.expected.end(), reads.begin(),
+                                  reads.end());
+        }
+        corpus.push_back(std::move(entry));
+    }
+    return corpus;
+}
+
+void
+removeCorpus(const std::string &dir,
+             const std::vector<CorpusArchive> &corpus)
+{
+    for (const CorpusArchive &entry : corpus)
+        std::remove((dir + "/" + entry.name).c_str());
+    ::rmdir(dir.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Protocol round trips
+// ---------------------------------------------------------------------
+
+/** Parse @p frame skipping its length prefix, asserting the prefix
+ *  matches the body size. */
+StatusOr<RequestFrame>
+parseRequest(const std::vector<uint8_t> &frame)
+{
+    EXPECT_GE(frame.size(), net::kLenBytes);
+    uint32_t len = 0;
+    std::memcpy(&len, frame.data(), sizeof len);
+    EXPECT_EQ(static_cast<size_t>(len) + net::kLenBytes, frame.size());
+    return net::parseRequestFrame(frame.data() + net::kLenBytes,
+                                  frame.size() - net::kLenBytes);
+}
+
+TEST(NetProtocol, OpenRequestRoundTrip)
+{
+    std::vector<uint8_t> frame;
+    net::appendOpenRequest(frame, 42, "dir/reads.sage",
+                           RequestPriority::Interactive, 250);
+    const StatusOr<RequestFrame> parsed = parseRequest(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->type, MsgType::Open);
+    EXPECT_EQ(parsed->priority, RequestPriority::Interactive);
+    EXPECT_EQ(parsed->requestId, 42u);
+    EXPECT_EQ(parsed->deadlineMs, 250u);
+    EXPECT_EQ(parsed->name, "dir/reads.sage");
+}
+
+TEST(NetProtocol, ReadRequestsRoundTrip)
+{
+    std::vector<uint8_t> frame;
+    net::appendReadRangeRequest(frame, 7, 3, 1000, 64,
+                                RequestPriority::Background, 0);
+    StatusOr<RequestFrame> parsed = parseRequest(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->type, MsgType::ReadRange);
+    EXPECT_EQ(parsed->priority, RequestPriority::Background);
+    EXPECT_EQ(parsed->requestId, 7u);
+    EXPECT_EQ(parsed->archive, 3u);
+    EXPECT_EQ(parsed->first, 1000u);
+    EXPECT_EQ(parsed->count, 64u);
+
+    frame.clear();
+    net::appendReadChunkRequest(frame, 8, 2, 5,
+                                RequestPriority::Normal, 10);
+    parsed = parseRequest(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->type, MsgType::ReadChunk);
+    EXPECT_EQ(parsed->archive, 2u);
+    EXPECT_EQ(parsed->chunk, 5u);
+    EXPECT_EQ(parsed->deadlineMs, 10u);
+
+    frame.clear();
+    net::appendStatRequest(frame, 9, net::kStatServer);
+    parsed = parseRequest(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->type, MsgType::Stat);
+    EXPECT_EQ(parsed->archive, net::kStatServer);
+
+    frame.clear();
+    net::appendCloseRequest(frame, 10, 1);
+    parsed = parseRequest(frame);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().toString();
+    EXPECT_EQ(parsed->type, MsgType::Close);
+    EXPECT_EQ(parsed->archive, 1u);
+}
+
+TEST(NetProtocol, ReadReplyRoundTrip)
+{
+    std::vector<Read> reads(3);
+    reads[0].header = "@r0";
+    reads[0].bases = "ACGTACGT";
+    reads[0].quals = "IIIIIIII";
+    reads[1].bases = "GGGG";  // No header, no quality.
+    reads[2].header = "@r2 with spaces";
+    reads[2].bases = std::string(1000, 'A');
+    reads[2].quals = std::string(1000, '#');
+
+    std::vector<uint8_t> frame;
+    net::appendReadReply(frame, MsgType::ReadRange, 77, reads);
+
+    const StatusOr<ReplyHeader> header = net::parseReplyHeader(
+        frame.data() + net::kLenBytes, frame.size() - net::kLenBytes);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->type, MsgType::ReadRange);
+    EXPECT_EQ(header->status, WireStatus::Ok);
+    EXPECT_EQ(header->requestId, 77u);
+
+    const size_t skip = net::kLenBytes + net::kReplyHeaderBytes;
+    const StatusOr<std::vector<Read>> back =
+        net::parseReadReplyPayload(frame.data() + skip,
+                                   frame.size() - skip);
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    expectSameReads(*back, reads);
+}
+
+TEST(NetProtocol, OpenStatErrorRepliesRoundTrip)
+{
+    OpenReply meta;
+    meta.archive = 5;
+    meta.readCount = 12345;
+    meta.chunkCount = 77;
+    std::vector<uint8_t> frame;
+    net::appendOpenReply(frame, 11, MsgType::Open, meta);
+    const size_t skip = net::kLenBytes + net::kReplyHeaderBytes;
+    StatusOr<OpenReply> open = net::parseOpenReplyPayload(
+        frame.data() + skip, frame.size() - skip);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+    EXPECT_EQ(open->archive, 5u);
+    EXPECT_EQ(open->readCount, 12345u);
+    EXPECT_EQ(open->chunkCount, 77u);
+
+    WireServerStats stats;
+    stats.openArchives = 2;
+    stats.knownArchives = 9;
+    stats.opens = 10;
+    stats.reopens = 3;
+    stats.evictions = 4;
+    stats.admitted = 1000;
+    stats.overloaded = 17;
+    stats.readsServed = 123456;
+    stats.bytesServed = 1ull << 33;
+    stats.cacheBytesReserved = 1 << 20;
+    stats.cacheBudgetBytes = 1 << 24;
+    stats.queueDepth = 6;
+    frame.clear();
+    net::appendStatReply(frame, 12, stats);
+    const StatusOr<WireServerStats> back = net::parseStatReplyPayload(
+        frame.data() + skip, frame.size() - skip);
+    ASSERT_TRUE(back.ok()) << back.status().toString();
+    EXPECT_EQ(back->knownArchives, 9u);
+    EXPECT_EQ(back->reopens, 3u);
+    EXPECT_EQ(back->overloaded, 17u);
+    EXPECT_EQ(back->bytesServed, 1ull << 33);
+    EXPECT_EQ(back->queueDepth, 6u);
+
+    frame.clear();
+    net::appendErrorReply(frame, MsgType::ReadRange, 13,
+                          WireStatus::Overloaded, "queue full");
+    const StatusOr<ReplyHeader> header = net::parseReplyHeader(
+        frame.data() + net::kLenBytes, frame.size() - net::kLenBytes);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->status, WireStatus::Overloaded);
+    const StatusOr<std::string> message = net::parseErrorMessage(
+        frame.data() + skip, frame.size() - skip);
+    ASSERT_TRUE(message.ok()) << message.status().toString();
+    EXPECT_EQ(*message, "queue full");
+}
+
+TEST(NetProtocol, MalformedRequestsRejected)
+{
+    // Every strict prefix of a valid frame must fail cleanly.
+    std::vector<uint8_t> frame;
+    net::appendReadRangeRequest(frame, 1, 0, 0, 4,
+                                RequestPriority::Normal, 0);
+    const uint8_t *body = frame.data() + net::kLenBytes;
+    const size_t size = frame.size() - net::kLenBytes;
+    for (size_t cut = 0; cut < size; cut++)
+        EXPECT_FALSE(net::parseRequestFrame(body, cut).ok())
+            << "prefix of " << cut << " bytes parsed";
+
+    // Trailing garbage is rejected, not ignored.
+    std::vector<uint8_t> padded(body, body + size);
+    padded.push_back(0);
+    EXPECT_FALSE(
+        net::parseRequestFrame(padded.data(), padded.size()).ok());
+
+    // Unknown message type.
+    std::vector<uint8_t> bad(body, body + size);
+    bad[0] = 0;
+    EXPECT_FALSE(net::parseRequestFrame(bad.data(), bad.size()).ok());
+    bad[0] = 99;
+    EXPECT_FALSE(net::parseRequestFrame(bad.data(), bad.size()).ok());
+
+    // Out-of-range priority class.
+    bad = std::vector<uint8_t>(body, body + size);
+    bad[1] = static_cast<uint8_t>(kRequestPriorityCount);
+    EXPECT_FALSE(net::parseRequestFrame(bad.data(), bad.size()).ok());
+
+    // OPEN whose name length field exceeds the actual bytes.
+    frame.clear();
+    net::appendOpenRequest(frame, 2, "abc", RequestPriority::Normal, 0);
+    std::vector<uint8_t> lying(frame.begin() + net::kLenBytes,
+                               frame.end());
+    lying[net::kRequestHeaderBytes] = 200;  // nameLen u16 low byte.
+    EXPECT_FALSE(
+        net::parseRequestFrame(lying.data(), lying.size()).ok());
+}
+
+TEST(NetProtocol, HostileReadReplyCountRejected)
+{
+    // A reply claiming 2^32-1 reads in a 12-byte payload must fail
+    // before any allocation, not OOM.
+    std::vector<uint8_t> payload(12, 0xFF);
+    EXPECT_FALSE(
+        net::parseReadReplyPayload(payload.data(), payload.size())
+            .ok());
+}
+
+TEST(NetProtocol, WireStatusMapsLosslessly)
+{
+    EXPECT_EQ(net::wireStatusFromStatus(Status()), WireStatus::Ok);
+    EXPECT_EQ(net::wireStatusFromStatus(Status::corrupt("x")),
+              WireStatus::Corrupt);
+    EXPECT_EQ(net::wireStatusFromStatus(Status::truncated("x")),
+              WireStatus::Truncated);
+    EXPECT_EQ(net::wireStatusFromStatus(Status::outOfRange("x")),
+              WireStatus::OutOfRange);
+    EXPECT_EQ(net::wireStatusFromRequest(RequestStatus::Expired,
+                                         Status()),
+              WireStatus::Expired);
+    EXPECT_EQ(net::wireStatusFromRequest(RequestStatus::Cancelled,
+                                         Status()),
+              WireStatus::Cancelled);
+    EXPECT_EQ(net::wireStatusFromRequest(RequestStatus::Error,
+                                         Status::ioError("disk")),
+              WireStatus::IoError);
+    EXPECT_TRUE(
+        net::statusFromWire(WireStatus::Ok, "").ok());
+    EXPECT_FALSE(
+        net::statusFromWire(WireStatus::Overloaded, "shed").ok());
+}
+
+// ---------------------------------------------------------------------
+// MultiArchiveService
+// ---------------------------------------------------------------------
+
+TEST(NetMultiArchive, ByteIdenticalAcrossArchives)
+{
+    const std::string dir = perTestScratchPath("corpus");
+    const std::vector<CorpusArchive> corpus = makeCorpus(dir, 3);
+
+    {
+        MultiArchiveOptions options;
+        options.globalCacheBudgetBytes = 8 << 20;
+        options.ownedPoolThreads = 2;
+        MultiArchiveService service(dir, options);
+
+        for (const CorpusArchive &entry : corpus) {
+            const StatusOr<ArchiveMeta> meta = service.open(entry.name);
+            ASSERT_TRUE(meta.ok()) << meta.status().toString();
+            EXPECT_EQ(meta->readCount, entry.expected.size());
+            EXPECT_EQ(meta->chunkCount, entry.chunks);
+
+            // Whole archive, then unaligned spans, then one chunk.
+            MultiArchiveService::SyncOutcome all =
+                service.readRangeSync(meta->id, 0,
+                                      meta->readCount);
+            ASSERT_EQ(all.admission, Admission::Admitted);
+            ASSERT_TRUE(all.result.ok())
+                << all.result.error.toString();
+            expectSameReads(all.result.reads, entry.expected);
+
+            MultiArchiveService::SyncOutcome span =
+                service.readRangeSync(meta->id, 63, 130);
+            ASSERT_EQ(span.admission, Admission::Admitted);
+            ASSERT_TRUE(span.result.ok());
+            expectSameReads(
+                span.result.reads,
+                std::vector<Read>(entry.expected.begin() + 63,
+                                  entry.expected.begin() + 193));
+
+            MultiArchiveService::SyncOutcome chunk =
+                service.readChunkSync(meta->id, 1);
+            ASSERT_EQ(chunk.admission, Admission::Admitted);
+            ASSERT_TRUE(chunk.result.ok());
+            expectSameReads(
+                chunk.result.reads,
+                std::vector<Read>(entry.expected.begin() + 64,
+                                  entry.expected.begin() + 128));
+
+            const StatusOr<ArchiveMeta> described =
+                service.describe(meta->id);
+            ASSERT_TRUE(described.ok());
+            EXPECT_EQ(described->readCount, meta->readCount);
+        }
+
+        const MultiArchiveStats stats = service.stats();
+        EXPECT_EQ(stats.opens, corpus.size());
+        EXPECT_EQ(stats.reopens, 0u);
+        EXPECT_EQ(stats.knownArchives, corpus.size());
+        EXPECT_GT(stats.readsServed, 0u);
+        EXPECT_GT(stats.cacheBytesReserved, 0u);
+
+        // Out-of-range spans and chunks are rejected up front.
+        Status reject;
+        EXPECT_EQ(service.readRangeSync(0, 0,
+                                        corpus[0].expected.size() + 1)
+                      .admission,
+                  Admission::BadRange);
+        EXPECT_EQ(service.readChunkSync(0, corpus[0].chunks).admission,
+                  Admission::BadRange);
+        EXPECT_EQ(service
+                      .readRange(99, 0, 1, RequestOptions(),
+                                 [](ReadResult) { FAIL(); }, &reject)
+                      ,
+                  Admission::UnknownArchive);
+        EXPECT_FALSE(reject.ok());
+    }
+    removeCorpus(dir, corpus);
+}
+
+TEST(NetMultiArchive, HostileNamesAndMissingFilesAreRecoverable)
+{
+    const std::string dir = perTestScratchPath("corpus");
+    const std::vector<CorpusArchive> corpus = makeCorpus(dir, 1);
+    {
+        MultiArchiveOptions options;
+        options.ownedPoolThreads = 1;
+        MultiArchiveService service(dir, options);
+
+        EXPECT_FALSE(service.open("").ok());
+        EXPECT_FALSE(service.open("../etc/passwd").ok());
+        EXPECT_FALSE(service.open("a/../../b.sage").ok());
+        EXPECT_FALSE(service.open("/abs/path.sage").ok());
+        EXPECT_FALSE(service.open(std::string("x", 1) + '\0').ok());
+        EXPECT_FALSE(service.open("missing.sage").ok());
+        EXPECT_FALSE(service.describe(12).ok());
+        EXPECT_FALSE(service.closeArchive(12).ok());
+
+        // Failed opens leave no registry residue (a hostile OPEN
+        // flood cannot grow memory), and the service still works.
+        EXPECT_EQ(service.stats().knownArchives, 0u);
+        const StatusOr<ArchiveMeta> meta = service.open(corpus[0].name);
+        ASSERT_TRUE(meta.ok()) << meta.status().toString();
+        EXPECT_EQ(service.stats().knownArchives, 1u);
+        EXPECT_TRUE(
+            service.readRangeSync(meta->id, 0, 1).result.ok());
+    }
+    removeCorpus(dir, corpus);
+}
+
+/** Satellite: eviction past the LRU cap releases the partition's
+ *  cache bytes and a later read transparently reopens. */
+TEST(NetMultiArchive, EvictionPastCapReopensTransparently)
+{
+    const std::string dir = perTestScratchPath("corpus");
+    const std::vector<CorpusArchive> corpus = makeCorpus(dir, 3);
+    {
+        MultiArchiveOptions options;
+        options.globalCacheBudgetBytes = 8 << 20;
+        options.maxOpenArchives = 2;
+        options.ownedPoolThreads = 2;
+        MultiArchiveService service(dir, options);
+        EXPECT_EQ(service.partitionBytes(), (8ull << 20) / 2);
+
+        const StatusOr<ArchiveMeta> a = service.open(corpus[0].name);
+        const StatusOr<ArchiveMeta> b = service.open(corpus[1].name);
+        ASSERT_TRUE(a.ok() && b.ok());
+        ASSERT_TRUE(service.readRangeSync(a->id, 0, 64)
+                        .result.ok());
+        ASSERT_TRUE(service.readRangeSync(b->id, 0, 64)
+                        .result.ok());
+        // Touch b so a is the LRU victim, then open c past the cap.
+        // (The touch may decode another chunk of b, so snapshot the
+        // warm byte count after it — between here and the eviction no
+        // new decode runs.)
+        ASSERT_TRUE(service.readRangeSync(b->id, 64, 1)
+                        .result.ok());
+        const uint64_t warm = service.stats().cacheBytesReserved;
+        EXPECT_GT(warm, 0u);
+        const StatusOr<ArchiveMeta> c = service.open(corpus[2].name);
+        ASSERT_TRUE(c.ok()) << c.status().toString();
+
+        MultiArchiveStats stats = service.stats();
+        EXPECT_EQ(stats.evictions, 1u);
+        EXPECT_EQ(stats.openArchives, 2u);
+        EXPECT_EQ(stats.knownArchives, 3u);
+        EXPECT_EQ(stats.opens, 3u);
+        EXPECT_EQ(stats.reopens, 0u);
+        // a's partition released its decoded bytes; c is still cold.
+        EXPECT_LT(stats.cacheBytesReserved, warm);
+
+        // Reading the evicted archive reopens it under the same id,
+        // byte-identical, and evicts the new victim (b).
+        MultiArchiveService::SyncOutcome again =
+            service.readRangeSync(a->id, 0,
+                                  corpus[0].expected.size());
+        ASSERT_EQ(again.admission, Admission::Admitted);
+        ASSERT_TRUE(again.result.ok())
+            << again.result.error.toString();
+        expectSameReads(again.result.reads, corpus[0].expected);
+
+        stats = service.stats();
+        EXPECT_EQ(stats.reopens, 1u);
+        EXPECT_EQ(stats.evictions, 2u);
+        EXPECT_EQ(stats.openArchives, 2u);
+
+        // Same name maps to the same stable id.
+        const StatusOr<ArchiveMeta> a2 = service.open(corpus[0].name);
+        ASSERT_TRUE(a2.ok());
+        EXPECT_EQ(a2->id, a->id);
+    }
+    removeCorpus(dir, corpus);
+}
+
+/** Satellite: the admission probe is a relaxed atomic read and sheds
+ *  deterministically at the high-water mark. */
+TEST(NetMultiArchive, AdmissionControlShedsAtHighWater)
+{
+    const std::string dir = perTestScratchPath("corpus");
+    const std::vector<CorpusArchive> corpus = makeCorpus(dir, 1);
+    {
+        ThreadPool pool(1);
+        MultiArchiveOptions options;
+        options.pool = &pool;
+        options.admissionHighWater = 1;
+        MultiArchiveService service(dir, options);
+
+        const StatusOr<ArchiveMeta> meta = service.open(corpus[0].name);
+        ASSERT_TRUE(meta.ok()) << meta.status().toString();
+
+        // Block the only worker so admitted requests stay queued.
+        std::promise<void> release;
+        std::shared_future<void> released =
+            release.get_future().share();
+        pool.submit([released] { released.wait(); });
+
+        std::promise<ReadResult> first_done;
+        ASSERT_EQ(service.readRange(
+                      meta->id, 0, 64, RequestOptions(),
+                      [&](ReadResult result) {
+                          first_done.set_value(std::move(result));
+                      }),
+                  Admission::Admitted);
+        EXPECT_GE(service.queueDepth(), 1u);
+
+        // Queue depth >= high water: the next request is shed before
+        // enqueue, its callback never runs.
+        Status reject;
+        ASSERT_EQ(service.readRange(meta->id, 0, 64,
+                                    RequestOptions(),
+                                    [](ReadResult) { FAIL(); },
+                                    &reject),
+                  Admission::Overloaded);
+        EXPECT_EQ(reject.code(), StatusCode::Exhausted);
+
+        release.set_value();
+        const ReadResult result = first_done.get_future().get();
+        ASSERT_TRUE(result.ok()) << result.error.toString();
+        expectSameReads(result.reads,
+                        std::vector<Read>(corpus[0].expected.begin(),
+                                          corpus[0].expected.begin() +
+                                              64));
+
+        const MultiArchiveStats stats = service.stats();
+        EXPECT_EQ(stats.admitted, 1u);
+        EXPECT_EQ(stats.overloaded, 1u);
+        EXPECT_EQ(stats.queueDepth, 0u);
+    }
+    removeCorpus(dir, corpus);
+}
+
+/** Satellite: server-side fault injection (sage_cli serve
+ *  --fault-rate) — opens survive (the container parse is disarmed),
+ *  reads surface recoverable Error results, the file is undamaged. */
+TEST(NetMultiArchive, FaultInjectionErrorsAreRecoverable)
+{
+    const std::string dir = perTestScratchPath("corpus");
+    const std::vector<CorpusArchive> corpus = makeCorpus(dir, 1);
+    {
+        MultiArchiveOptions options;
+        options.ownedPoolThreads = 1;
+        options.faultRate = 1.0;  // Every armed read faults.
+        options.faultSeed = 7;
+        options.decodeRetries = 1;
+        MultiArchiveService service(dir, options);
+
+        const StatusOr<ArchiveMeta> meta = service.open(corpus[0].name);
+        ASSERT_TRUE(meta.ok()) << meta.status().toString();
+
+        MultiArchiveService::SyncOutcome outcome =
+            service.readRangeSync(meta->id, 0, 64);
+        ASSERT_EQ(outcome.admission, Admission::Admitted);
+        EXPECT_EQ(outcome.result.status, RequestStatus::Error);
+        EXPECT_FALSE(outcome.result.error.ok());
+        EXPECT_TRUE(outcome.result.reads.empty());
+        EXPECT_GE(service.stats().errored, 1u);
+    }
+    {
+        // The same files read back clean without injection.
+        MultiArchiveOptions options;
+        options.ownedPoolThreads = 1;
+        MultiArchiveService service(dir, options);
+        const StatusOr<ArchiveMeta> meta = service.open(corpus[0].name);
+        ASSERT_TRUE(meta.ok());
+        MultiArchiveService::SyncOutcome outcome =
+            service.readRangeSync(meta->id, 0,
+                                  corpus[0].expected.size());
+        ASSERT_TRUE(outcome.result.ok());
+        expectSameReads(outcome.result.reads, corpus[0].expected);
+    }
+    removeCorpus(dir, corpus);
+}
+
+// ---------------------------------------------------------------------
+// Server over loopback sockets
+// ---------------------------------------------------------------------
+
+class NetServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = perTestScratchPath("corpus");
+        corpus_ = makeCorpus(dir_, 3);
+    }
+
+    void
+    TearDown() override
+    {
+        removeCorpus(dir_, corpus_);
+    }
+
+    std::string dir_;
+    std::vector<CorpusArchive> corpus_;
+};
+
+TEST_F(NetServerTest, MultiConnectionByteIdentity)
+{
+    MultiArchiveOptions options;
+    options.globalCacheBudgetBytes = 8 << 20;
+    options.ownedPoolThreads = 2;
+    MultiArchiveService service(dir_, options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+    ASSERT_NE(server.port(), 0);
+
+    // One connection per archive, all walking concurrently in small
+    // batches; every byte must match the sequential reader's truth.
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (size_t i = 0; i < corpus_.size(); i++) {
+        threads.emplace_back([&, i] {
+            StatusOr<std::unique_ptr<Client>> client =
+                Client::connect("127.0.0.1", server.port());
+            if (!client.ok()) {
+                failures++;
+                return;
+            }
+            const StatusOr<OpenReply> open =
+                (*client)->open(corpus_[i].name);
+            if (!open.ok() ||
+                open->readCount != corpus_[i].expected.size()) {
+                failures++;
+                return;
+            }
+            std::vector<Read> got;
+            for (uint64_t first = 0; first < open->readCount;) {
+                const uint64_t batch =
+                    std::min<uint64_t>(100, open->readCount - first);
+                const StatusOr<net::ReadReply> reply =
+                    (*client)->readRange(open->archive, first, batch);
+                if (!reply.ok() || !reply->ok()) {
+                    failures++;
+                    return;
+                }
+                got.insert(got.end(), reply->reads.begin(),
+                           reply->reads.end());
+                first += batch;
+            }
+            expectSameReads(got, corpus_[i].expected);
+
+            // Chunk-addressed read of chunk 1.
+            const StatusOr<net::ReadReply> chunk =
+                (*client)->readChunk(open->archive, 1);
+            if (!chunk.ok() || !chunk->ok()) {
+                failures++;
+                return;
+            }
+            expectSameReads(
+                chunk->reads,
+                std::vector<Read>(corpus_[i].expected.begin() + 64,
+                                  corpus_[i].expected.begin() + 128));
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Server-wide STAT reflects the work.
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    const StatusOr<WireServerStats> stats = (*client)->statServer();
+    ASSERT_TRUE(stats.ok()) << stats.status().toString();
+    EXPECT_EQ(stats->knownArchives, corpus_.size());
+    EXPECT_GT(stats->readsServed, 0u);
+    EXPECT_EQ(stats->overloaded, 0u);
+
+    const net::ServerNetStats net_stats = server.netStats();
+    EXPECT_EQ(net_stats.accepted, corpus_.size() + 1);
+    EXPECT_EQ(net_stats.protocolErrors, 0u);
+    EXPECT_GT(net_stats.repliesOut, 0u);
+
+    server.stop();
+    server.stop();  // Idempotent.
+    EXPECT_FALSE(server.running());
+}
+
+TEST_F(NetServerTest, ErrorRepliesLeaveConnectionUsable)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 2;
+    MultiArchiveService service(dir_, service_options);
+    ServerOptions server_options;
+    server_options.maxReadsPerRequest = 100;
+    Server server(service, server_options);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+
+    // Unknown archive name: error reply, connection stays up.
+    EXPECT_FALSE((*client)->open("missing.sage").ok());
+
+    const StatusOr<OpenReply> open = (*client)->open(corpus_[0].name);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+
+    // Count above the server's per-request ceiling: BadRequest.
+    StatusOr<net::ReadReply> reply =
+        (*client)->readRange(open->archive, 0, 101);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply->status, WireStatus::BadRequest);
+
+    // Span past the end: OutOfRange, in-band.
+    reply = (*client)->readRange(open->archive,
+                                 corpus_[0].expected.size(), 1);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->status, WireStatus::OutOfRange);
+
+    // Unknown archive id.
+    reply = (*client)->readRange(42, 0, 1);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->status, WireStatus::UnknownArchive);
+
+    // The connection survived every error and still serves data.
+    reply = (*client)->readRange(open->archive, 0, 100);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok()) << reply->message;
+    expectSameReads(reply->reads,
+                    std::vector<Read>(corpus_[0].expected.begin(),
+                                      corpus_[0].expected.begin() +
+                                          100));
+
+    // Explicit CLOSE drops the server's open; a later read reopens.
+    EXPECT_TRUE((*client)->closeArchive(open->archive).ok());
+    reply = (*client)->readRange(open->archive, 0, 1);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_TRUE(reply->ok());
+    const StatusOr<WireServerStats> stats = (*client)->statServer();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->reopens, 1u);
+}
+
+TEST_F(NetServerTest, OverloadProducesOverloadedRepliesNotDrops)
+{
+    ThreadPool pool(1);
+    MultiArchiveOptions service_options;
+    service_options.pool = &pool;
+    service_options.admissionHighWater = 1;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<std::unique_ptr<Client>> stuck =
+        Client::connect("127.0.0.1", server.port());
+    StatusOr<std::unique_ptr<Client>> shed =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(stuck.ok() && shed.ok());
+    const StatusOr<OpenReply> open = (*stuck)->open(corpus_[0].name);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+
+    // Block the only worker, then park one admitted request in the
+    // queue from a second thread (the blocking client waits for it).
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    pool.submit([released] { released.wait(); });
+
+    std::thread waiter([&] {
+        const StatusOr<net::ReadReply> reply =
+            (*stuck)->readRange(open->archive, 0, 64);
+        EXPECT_TRUE(reply.ok() && reply->ok());
+    });
+    const auto give_up = std::chrono::steady_clock::now() +
+        std::chrono::seconds(10);
+    while (service.queueDepth() < 1 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(service.queueDepth(), 1u);
+
+    // The second connection's read is shed with an explicit
+    // Overloaded reply — not a dropped connection, not a stall.
+    const StatusOr<net::ReadReply> reply =
+        (*shed)->readRange(open->archive, 0, 64);
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply->status, WireStatus::Overloaded);
+
+    release.set_value();
+    waiter.join();
+
+    // Both connections remain usable after the shed.
+    const StatusOr<WireServerStats> stats = (*shed)->statServer();
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->overloaded, 1u);
+    EXPECT_EQ(stats->admitted, 1u);
+}
+
+TEST_F(NetServerTest, DeadlineExpiresInQueue)
+{
+    ThreadPool pool(1);
+    MultiArchiveOptions service_options;
+    service_options.pool = &pool;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    const StatusOr<OpenReply> open = (*client)->open(corpus_[0].name);
+    ASSERT_TRUE(open.ok());
+
+    // Hold the worker past the request's 1 ms deadline; the dequeue
+    // check abandons it with an Expired reply.
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    pool.submit([released] { released.wait(); });
+    std::thread unblock([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        release.set_value();
+    });
+    const StatusOr<net::ReadReply> reply =
+        (*client)->readRange(open->archive, 0, 64,
+                             RequestPriority::Normal,
+                             /*deadline_ms=*/1);
+    unblock.join();
+    ASSERT_TRUE(reply.ok()) << reply.status().toString();
+    EXPECT_EQ(reply->status, WireStatus::Expired);
+
+    // The expired request cost nothing and the connection still works.
+    const StatusOr<net::ReadReply> again =
+        (*client)->readRange(open->archive, 0, 64);
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(again->ok());
+}
+
+/** Satellite: a corrupt archive errors its own connection's replies
+ *  and leaves every other connection's data path untouched. */
+TEST_F(NetServerTest, CorruptArchiveIsolatedToItsConnection)
+{
+    // Truncate archive 1's file mid-container before any open.
+    const std::string victim = dir_ + "/" + corpus_[1].name;
+    struct stat st;
+    ASSERT_EQ(::stat(victim.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(victim.c_str(), st.st_size / 2), 0);
+
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 2;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<std::unique_ptr<Client>> healthy =
+        Client::connect("127.0.0.1", server.port());
+    StatusOr<std::unique_ptr<Client>> broken =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(healthy.ok() && broken.ok());
+
+    // The corrupt archive fails its OPEN with a decode-side status;
+    // the connection that asked survives.
+    const StatusOr<OpenReply> bad = (*broken)->open(corpus_[1].name);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_TRUE((*broken)->statServer().ok());
+
+    // The other connection reads its archive byte-identically.
+    const StatusOr<OpenReply> good = (*healthy)->open(corpus_[0].name);
+    ASSERT_TRUE(good.ok()) << good.status().toString();
+    const StatusOr<net::ReadReply> reply =
+        (*healthy)->readRange(good->archive, 0, good->readCount);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok()) << reply->message;
+    expectSameReads(reply->reads, corpus_[0].expected);
+}
+
+TEST_F(NetServerTest, HostileLengthPrefixGetsProtocolErrorThenClose)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 1;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    // Raw socket: claim a 4 GiB frame. The server must answer with a
+    // ProtocolError reply and close — never allocate the claim.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof addr),
+              0);
+    const uint8_t hostile[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    ASSERT_EQ(::send(fd, hostile, sizeof hostile, 0),
+              static_cast<ssize_t>(sizeof hostile));
+
+    // Read until EOF; the bytes before it must parse as a
+    // ProtocolError reply.
+    std::vector<uint8_t> got;
+    uint8_t buf[512];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        got.insert(got.end(), buf, buf + n);
+    }
+    ::close(fd);
+    ASSERT_GT(got.size(), net::kLenBytes + net::kReplyHeaderBytes);
+    const StatusOr<ReplyHeader> header = net::parseReplyHeader(
+        got.data() + net::kLenBytes, got.size() - net::kLenBytes);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->status, WireStatus::ProtocolError);
+    EXPECT_GE(server.netStats().protocolErrors, 1u);
+
+    // The server shrugged it off: a well-formed client still works.
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE((*client)->statServer().ok());
+}
+
+} // namespace
+} // namespace sage
