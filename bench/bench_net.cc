@@ -356,6 +356,8 @@ main(int argc, char **argv)
     }
     std::fprintf(json, "{\n");
     std::fprintf(json, "  \"bench\": \"net\",\n");
+    std::fprintf(json, "  \"protocolVersion\": %u,\n",
+                 unsigned(net::kProtocolVersion));
     std::fprintf(json, "  \"host\": %s,\n",
                  bench::hostMetaJson().c_str());
     std::fprintf(json, "  \"archives\": %zu,\n", corpus.size());

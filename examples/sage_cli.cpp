@@ -15,8 +15,17 @@
  *   sage_cli serve        <dir> [--port P] [--budget-mb M] [--max-open N]
  *                         [--high-water H] [--threads N]
  *                         [--fault-rate R] [--fault-seed S]
+ *                         [--drain-seconds D]
  *   sage_cli net-get      <host:port> <archive-name> <out.fastq>
+ *   sage_cli chaos-proxy  <upstream-host:port> [--seed S] [--reset-rate R]
+ *                         [--corrupt-rate R] [--stall-rate R]
+ *                         [--stall-ms N] [--split-rate R]
  *   sage_cli demo         <workdir>    (generates inputs, runs all of the above)
+ *
+ * `serve` and `chaos-proxy` print a machine-parseable "PORT <n>" line
+ * on stdout once listening (the ephemeral port when --port is 0), and
+ * both drain gracefully on SIGTERM/SIGINT. net-get exits 75
+ * (EX_TEMPFAIL) when the server is draining, so wrappers can retry.
  *
  * The reference file is plain text of A/C/G/T (one consensus sequence).
  * Built on the streaming session API (io/session.hh): compression
@@ -282,10 +291,14 @@ parseHostPort(const std::string &spec, std::string &host,
 
 /**
  * serve-stress --connect: the same fleet walk, but through the
- * socket path against a live `sage_cli serve`. The positional
- * argument names the archive on the server; deadlines ride in the
- * protocol's per-request deadline-ms field, while cancel tokens and
- * fault injection stay in-process concerns (the server owns those).
+ * socket path against a live `sage_cli serve` — every walker on a
+ * ResilientClient (net/resilient_client.hh), so connection resets,
+ * stalls and corrupted frames from a chaos proxy in the path are
+ * absorbed by reconnect + retry instead of failing the walk. A read
+ * the resilience layer still cannot deliver is a *lost read* and
+ * fails the run (non-zero exit): under chaos the contract is "slower,
+ * never wrong, never silently short". Per-client resilience costs
+ * (reconnects, retries, backoff time) are reported at the end.
  */
 int
 serveStressConnect(const std::string &connect,
@@ -317,19 +330,20 @@ serveStressConnect(const std::string &connect,
 
     std::atomic<uint64_t> total_bytes{0}, total_reads{0};
     std::atomic<uint64_t> overloaded{0}, expired{0}, errors{0};
-    std::atomic<uint64_t> incomplete_walks{0}, failures{0};
+    std::atomic<uint64_t> lost_reads{0}, failures{0};
+    std::vector<net::ResilientClientStats> costs(clients);
     Stopwatch clock;
     std::vector<std::thread> fleet;
     for (unsigned c = 0; c < clients; c++) {
         fleet.emplace_back([&, c] {
-            auto connected = net::Client::connect(host, port);
-            if (!connected.ok()) {
-                std::fprintf(stderr, "client %u: %s\n", c,
-                             connected.status().toString().c_str());
-                failures.fetch_add(1, std::memory_order_relaxed);
-                return;
-            }
-            net::Client &client = *connected.value();
+            net::ResilientClientOptions options;
+            options.retry.seed = 0x5a6e0000u + c;
+            options.retry.maxAttempts = 64;
+            // A corrupted length prefix can leave a recv waiting for
+            // bytes that never come; keep that bounded so the retry
+            // loop (not the socket) owns recovery time.
+            options.client.ioTimeoutSeconds = 5.0;
+            net::ResilientClient client(host, port, options);
             auto opened = client.open(archive_name);
             if (!opened.ok()) {
                 std::fprintf(stderr, "client %u open: %s\n", c,
@@ -341,7 +355,6 @@ serveStressConnect(const std::string &connect,
             for (unsigned pass = 0; pass < std::max(1u, passes);
                  pass++) {
                 uint64_t delivered = 0, at = 0;
-                uint64_t retries_left = 100000;
                 bool abandoned = false;
                 while (at < expect) {
                     const uint64_t batch =
@@ -357,15 +370,6 @@ serveStressConnect(const std::string &connect,
                                            std::memory_order_relaxed);
                         return;
                     }
-                    if (reply->status == net::WireStatus::Overloaded) {
-                        overloaded.fetch_add(
-                            1, std::memory_order_relaxed);
-                        if (retries_left-- == 0)
-                            break;
-                        std::this_thread::sleep_for(
-                            std::chrono::milliseconds(2));
-                        continue;
-                    }
                     if (reply->status == net::WireStatus::Expired ||
                         reply->status == net::WireStatus::Cancelled) {
                         expired.fetch_add(1,
@@ -373,11 +377,19 @@ serveStressConnect(const std::string &connect,
                         abandoned = true;
                         break;
                     }
+                    if (reply->status ==
+                        net::WireStatus::Overloaded) {
+                        // Retry budget exhausted while shed; the
+                        // walk is short but the outcome was honest.
+                        overloaded.fetch_add(
+                            1, std::memory_order_relaxed);
+                        abandoned = true;
+                        break;
+                    }
                     if (!reply->ok()) {
                         errors.fetch_add(1, std::memory_order_relaxed);
-                        if (retries_left-- == 0)
-                            break;
-                        continue;
+                        abandoned = true;
+                        break;
                     }
                     for (const Read &read : reply->reads)
                         total_bytes.fetch_add(
@@ -389,11 +401,12 @@ serveStressConnect(const std::string &connect,
                     at += batch;
                 }
                 // Deadline walks may legitimately stop short; a
-                // plain walk must deliver everything.
+                // plain walk must deliver everything it asked for.
                 if (!deadline_ms && !abandoned && delivered != expect)
-                    incomplete_walks.fetch_add(
-                        1, std::memory_order_relaxed);
+                    lost_reads.fetch_add(expect - delivered,
+                                         std::memory_order_relaxed);
             }
+            costs[c] = client.stats();
         });
     }
     for (auto &client : fleet)
@@ -412,13 +425,31 @@ serveStressConnect(const std::string &connect,
                 static_cast<unsigned long long>(overloaded.load()),
                 static_cast<unsigned long long>(expired.load()),
                 static_cast<unsigned long long>(errors.load()));
-    if (failures.load() != 0 || incomplete_walks.load() != 0) {
+    net::ResilientClientStats sum;
+    for (const net::ResilientClientStats &cost : costs) {
+        sum.connects += cost.connects;
+        sum.reconnects += cost.reconnects;
+        sum.retries += cost.retries;
+        sum.transportRetries += cost.transportRetries;
+        sum.overloadedRetries += cost.overloadedRetries;
+        sum.backoffSeconds += cost.backoffSeconds;
+    }
+    std::printf("  resilience:  %llu reconnects, %llu retries "
+                "(%llu transport, %llu in-band), %.3fs backoff "
+                "across %u clients\n",
+                static_cast<unsigned long long>(sum.reconnects),
+                static_cast<unsigned long long>(sum.retries),
+                static_cast<unsigned long long>(sum.transportRetries),
+                static_cast<unsigned long long>(
+                    sum.overloadedRetries),
+                sum.backoffSeconds, clients);
+    if (failures.load() != 0 || lost_reads.load() != 0) {
         std::fprintf(stderr,
-                     "FAILED: %llu client failures, %llu incomplete "
-                     "walks\n",
+                     "FAILED: %llu client failures, %llu lost "
+                     "reads\n",
                      static_cast<unsigned long long>(failures.load()),
                      static_cast<unsigned long long>(
-                         incomplete_walks.load()));
+                         lost_reads.load()));
         return 1;
     }
     return 0;
@@ -763,8 +794,12 @@ onServeSignal(int)
  * and --high-water sheds reads as Overloaded once the summed queue
  * depth crosses it. --fault-rate/--fault-seed wrap every archive
  * open in a FaultInjectionSource (server-side chaos: remote clients
- * see Error replies, never a dead server). SIGINT/SIGTERM shut down
- * cleanly, printing the service and socket counters.
+ * see Error replies, never a dead server). SIGINT/SIGTERM start a
+ * graceful drain (Server::beginDrain): the listener closes, new
+ * requests get ShuttingDown, in-flight replies flush, and the
+ * process exits 0 within --drain-seconds. Once listening, a
+ * machine-parseable "PORT <n>" line goes to stdout so wrappers can
+ * use --port 0 (ephemeral) instead of racing for a fixed port.
  */
 int
 cmdServe(int argc, char **argv)
@@ -774,11 +809,12 @@ cmdServe(int argc, char **argv)
                      "usage: sage_cli serve <dir> [--port P] "
                      "[--budget-mb M] [--max-open N] "
                      "[--high-water H] [--threads N] "
-                     "[--fault-rate R] [--fault-seed S]\n");
+                     "[--fault-rate R] [--fault-seed S] "
+                     "[--drain-seconds D]\n");
         return 1;
     }
     unsigned port = 0, budget_mb = 256, max_open = 8, high_water = 0;
-    unsigned threads = 0, fault_seed = 1;
+    unsigned threads = 0, fault_seed = 1, drain_seconds = 5;
     double fault_rate = 0.0;
     bool bad_value = false;
     for (int i = 3; i < argc; i++) {
@@ -814,6 +850,7 @@ cmdServe(int argc, char **argv)
             !uintArg("--high-water", high_water, 1 << 20) &&
             !uintArg("--threads", threads, 1024) &&
             !uintArg("--fault-seed", fault_seed, 1 << 30) &&
+            !uintArg("--drain-seconds", drain_seconds, 3600) &&
             !rateArg("--fault-rate", fault_rate)) {
             std::fprintf(stderr, "unknown option: %s\n", argv[i]);
             return 1;
@@ -834,6 +871,8 @@ cmdServe(int argc, char **argv)
 
     net::ServerOptions server_options;
     server_options.port = static_cast<uint16_t>(port);
+    server_options.drainDeadlineSeconds =
+        static_cast<double>(drain_seconds);
     net::Server server(service, server_options);
     const Status started = server.start();
     if (!started.ok()) {
@@ -849,12 +888,17 @@ cmdServe(int argc, char **argv)
                 argv[2], budget_mb, std::max(1u, max_open),
                 high_water ? ", admission high-water set" : "",
                 fault_rate > 0.0 ? ", fault injection armed" : "");
+    std::printf("PORT %u\n", server.port());
     std::fflush(stdout);
     while (!g_serveStop) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
-    std::printf("shutting down ...\n");
-    server.stop();
+    std::printf("draining (deadline %us) ...\n", drain_seconds);
+    std::fflush(stdout);
+    server.beginDrain();
+    const bool drained_cleanly = server.drainWait();
+    std::printf("drain %s\n",
+                drained_cleanly ? "complete" : "deadline forced");
 
     const MultiArchiveStats stats = service.stats();
     const net::ServerNetStats socket_stats = server.netStats();
@@ -868,6 +912,19 @@ cmdServe(int argc, char **argv)
                     socket_stats.repliesOut),
                 static_cast<unsigned long long>(
                     socket_stats.protocolErrors));
+    std::printf("  hygiene:     %llu timed out, %llu shed at cap, "
+                "%llu CRC + %llu version rejects, %llu drain "
+                "rejects\n",
+                static_cast<unsigned long long>(
+                    socket_stats.timedOutConnections),
+                static_cast<unsigned long long>(
+                    socket_stats.shedConnections),
+                static_cast<unsigned long long>(
+                    socket_stats.crcMismatches),
+                static_cast<unsigned long long>(
+                    socket_stats.versionMismatches),
+                static_cast<unsigned long long>(
+                    socket_stats.drainRejects));
     std::printf("  archives:    %u known, %llu opens + %llu reopens, "
                 "%llu evictions\n",
                 stats.knownArchives,
@@ -936,6 +993,15 @@ cmdNetGet(int argc, char **argv)
                 std::chrono::milliseconds(5));
             continue;
         }
+        if (reply->status == net::WireStatus::ShuttingDown) {
+            // EX_TEMPFAIL: the server is draining; a wrapper should
+            // retry against a live replica rather than treat this as
+            // data loss.
+            std::fprintf(stderr,
+                         "net-get: server is draining; retry "
+                         "elsewhere\n");
+            return 75;
+        }
         if (!reply->ok()) {
             std::fprintf(stderr, "net-get read [%llu, +%llu): %s: "
                          "%s\n",
@@ -953,6 +1019,112 @@ cmdNetGet(int argc, char **argv)
     std::printf("fetched %zu reads from %s:%u/%s into %s\n",
                 rs.reads.size(), host.c_str(), port, argv[3],
                 argv[4]);
+    return 0;
+}
+
+/**
+ * Stand up a ChaosProxy (net/chaos_proxy.hh) in front of an upstream
+ * server and keep it running until SIGINT/SIGTERM — the fault
+ * injection side of a resilience smoke: point serve-stress --connect
+ * at the printed PORT and every byte flows through deterministic
+ * resets/corruption/stalls/splits. Seeded like serve --fault-seed, so
+ * a failing run replays.
+ */
+int
+cmdChaosProxy(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: sage_cli chaos-proxy "
+                     "<upstream-host:port> [--seed S] "
+                     "[--reset-rate R] [--corrupt-rate R] "
+                     "[--stall-rate R] [--stall-ms N] "
+                     "[--split-rate R]\n");
+        return 1;
+    }
+    std::string host;
+    uint16_t port = 0;
+    if (!parseHostPort(argv[2], host, port))
+        return 1;
+
+    net::ChaosConfig config;
+    unsigned seed = 1, stall_ms = 200;
+    bool bad_value = false;
+    for (int i = 3; i < argc; i++) {
+        const auto uintArg = [&](const char *flag, unsigned &out,
+                                 int max) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                const int n = std::atoi(argv[++i]);
+                if (n < 0 || n > max) {
+                    std::fprintf(stderr, "%s must be in [0, %d]\n",
+                                 flag, max);
+                    bad_value = true;
+                }
+                out = static_cast<unsigned>(n);
+                return true;
+            }
+            return false;
+        };
+        const auto rateArg = [&](const char *flag, double &out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                out = std::atof(argv[++i]);
+                if (out < 0.0 || out > 1.0) {
+                    std::fprintf(stderr, "%s must be in [0, 1]\n",
+                                 flag);
+                    bad_value = true;
+                }
+                return true;
+            }
+            return false;
+        };
+        if (!uintArg("--seed", seed, 1 << 30) &&
+            !uintArg("--stall-ms", stall_ms, 60000) &&
+            !rateArg("--reset-rate", config.resetRate) &&
+            !rateArg("--corrupt-rate", config.corruptRate) &&
+            !rateArg("--stall-rate", config.stallRate) &&
+            !rateArg("--split-rate", config.splitRate)) {
+            std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+            return 1;
+        }
+    }
+    if (bad_value)
+        return 1;
+    config.seed = seed;
+    config.stallMs = stall_ms;
+
+    net::ChaosProxy proxy(host, port, config);
+    const Status started = proxy.start();
+    if (!started.ok()) {
+        std::fprintf(stderr, "chaos-proxy: %s\n",
+                     started.toString().c_str());
+        return 1;
+    }
+    std::printf("proxying 127.0.0.1:%u -> %s:%u (reset %.3f, "
+                "corrupt %.3f, stall %.3f/%ums, split %.3f, "
+                "seed %u)\n",
+                proxy.port(), host.c_str(), port, config.resetRate,
+                config.corruptRate, config.stallRate, config.stallMs,
+                config.splitRate, seed);
+    std::printf("PORT %u\n", proxy.port());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onServeSignal);
+    std::signal(SIGTERM, onServeSignal);
+    while (!g_serveStop) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    proxy.stop();
+    const net::ChaosProxyStats stats = proxy.stats();
+    std::printf("chaos: %llu connections, %llu buffers / %.1f MB "
+                "forwarded; %llu resets, %llu corrupted, %llu "
+                "stalls, %llu splits\n",
+                static_cast<unsigned long long>(stats.connections),
+                static_cast<unsigned long long>(stats.buffers),
+                static_cast<double>(stats.bytes) / 1e6,
+                static_cast<unsigned long long>(stats.resets),
+                static_cast<unsigned long long>(stats.corrupted),
+                static_cast<unsigned long long>(stats.stalls),
+                static_cast<unsigned long long>(stats.splits));
     return 0;
 }
 
@@ -1025,7 +1197,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: sage_cli "
                      "<compress|decompress|range|inspect|verify|"
-                     "serve-stress|serve|net-get|demo> ...\n");
+                     "serve-stress|serve|net-get|chaos-proxy|demo> "
+                     "...\n");
         return 1;
     }
     if (std::strcmp(argv[1], "compress") == 0)
@@ -1044,6 +1217,8 @@ main(int argc, char **argv)
         return cmdServe(argc, argv);
     if (std::strcmp(argv[1], "net-get") == 0)
         return cmdNetGet(argc, argv);
+    if (std::strcmp(argv[1], "chaos-proxy") == 0)
+        return cmdChaosProxy(argc, argv);
     if (std::strcmp(argv[1], "demo") == 0)
         return cmdDemo(argc, argv);
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);

@@ -46,8 +46,10 @@
 #include "core/tuned_array.hh"
 #include "core/version.hh"
 #include "io/session.hh"
+#include "net/chaos_proxy.hh"
 #include "net/client.hh"
 #include "net/multi_archive.hh"
+#include "net/resilient_client.hh"
 #include "net/server.hh"
 #include "service/service.hh"
 

@@ -7,6 +7,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -35,6 +36,39 @@ setIoTimeout(int fd, double seconds)
     ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
+/** connect(2) that survives EINTR: once interrupted, the connect
+ *  keeps going asynchronously, so poll for writability and read the
+ *  final outcome from SO_ERROR instead of calling connect() again
+ *  (which would return EALREADY). Returns 0 or -1 with errno set. */
+int
+connectRetryIntr(int fd, const sockaddr *addr, socklen_t len)
+{
+    if (::connect(fd, addr, len) == 0)
+        return 0;
+    if (errno != EINTR)
+        return -1;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    for (;;) {
+        const int rc = ::poll(&pfd, 1, -1);
+        if (rc > 0)
+            break;
+        if (rc < 0 && errno == EINTR)
+            continue;
+        return -1;
+    }
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) < 0)
+        return -1;
+    if (soerr != 0) {
+        errno = soerr;
+        return -1;
+    }
+    return 0;
+}
+
 } // namespace
 
 StatusOr<std::unique_ptr<Client>>
@@ -61,7 +95,7 @@ Client::connect(const std::string &host, uint16_t port,
             last_error = errnoText();
             continue;
         }
-        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+        if (connectRetryIntr(fd, ai->ai_addr, ai->ai_addrlen) == 0)
             break;
         last_error = errnoText();
         ::close(fd);
@@ -85,6 +119,13 @@ Client::~Client()
 }
 
 Status
+Client::transportError(Status status)
+{
+    broken_ = true;
+    return status;
+}
+
+Status
 Client::sendAll(const std::vector<uint8_t> &bytes)
 {
     size_t sent = 0;
@@ -98,7 +139,11 @@ Client::sendAll(const std::vector<uint8_t> &bytes)
         }
         if (n < 0 && errno == EINTR)
             continue;
-        return Status::ioError("send: ", errnoText());
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            return transportError(Status::ioError(
+                "send: timed out after ", options_.ioTimeoutSeconds,
+                "s"));
+        return transportError(Status::ioError("send: ", errnoText()));
     }
     return Status();
 }
@@ -116,17 +161,25 @@ Client::recvFrame()
             continue;
         }
         if (n == 0)
-            return Status::ioError("connection closed by server");
+            return transportError(
+                Status::ioError("connection closed by server"));
         if (errno == EINTR)
             continue;
-        return Status::ioError("recv: ", errnoText());
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return transportError(Status::ioError(
+                "recv: timed out after ", options_.ioTimeoutSeconds,
+                "s waiting for a reply"));
+        return transportError(Status::ioError("recv: ", errnoText()));
     }
     const uint32_t len = static_cast<uint32_t>(prefix[0]) |
                          static_cast<uint32_t>(prefix[1]) << 8 |
                          static_cast<uint32_t>(prefix[2]) << 16 |
                          static_cast<uint32_t>(prefix[3]) << 24;
+    // A bad length means framing is lost (most likely wire damage):
+    // a transport failure, not trusted data saying "corrupt".
     if (len < kReplyHeaderBytes || len > options_.maxReplyFrameBytes)
-        return Status::corrupt("bad reply frame length ", len);
+        return transportError(
+            Status::ioError("bad reply frame length ", len));
     std::vector<uint8_t> frame(len);
     have = 0;
     while (have < len) {
@@ -137,12 +190,16 @@ Client::recvFrame()
             continue;
         }
         if (n == 0)
-            return Status::truncated(
+            return transportError(Status::ioError(
                 "connection closed mid-frame (", have, " of ", len,
-                " bytes)");
+                " bytes)"));
         if (errno == EINTR)
             continue;
-        return Status::ioError("recv: ", errnoText());
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return transportError(Status::ioError(
+                "recv: timed out after ", options_.ioTimeoutSeconds,
+                "s mid-frame (", have, " of ", len, " bytes)"));
+        return transportError(Status::ioError("recv: ", errnoText()));
     }
     return frame;
 }
@@ -151,21 +208,43 @@ StatusOr<std::vector<uint8_t>>
 Client::transact(const std::vector<uint8_t> &request,
                  uint64_t request_id, ReplyHeader &header)
 {
+    if (broken_)
+        return Status::ioError(
+            "connection broken by an earlier transport failure");
     Status sent = sendAll(request);
     if (!sent.ok())
         return sent;
     auto frame = recvFrame();
     if (!frame.ok())
         return frame.status();
+    size_t body_size = 0;
+    switch (verifyFrame(frame->data(), frame->size(), &body_size)) {
+    case FrameVerdict::Ok:
+        frame->resize(body_size);
+        break;
+    case FrameVerdict::VersionMismatch:
+        // The server speaks another protocol revision — terminal, a
+        // reconnect cannot help.
+        broken_ = true;
+        return Status::corrupt(
+            "server speaks protocol version ", unsigned((*frame)[2]),
+            ", this client speaks ", unsigned(kProtocolVersion));
+    case FrameVerdict::TooShort:
+    case FrameVerdict::CrcMismatch:
+        return transportError(Status::ioError(
+            "reply frame failed integrity check (CRC mismatch): "
+            "bits flipped on the wire"));
+    }
     auto parsed = parseReplyHeader(frame->data(), frame->size());
     if (!parsed.ok())
-        return parsed.status();
+        return transportError(parsed.status());
     header = parsed.value();
     // One outstanding request per connection: replies cannot reorder.
     if (header.requestId != request_id)
-        return Status::corrupt("reply id ", header.requestId,
-                               " does not match request ",
-                               request_id);
+        return transportError(Status::ioError(
+            "reply id ", header.requestId,
+            " does not match request ", request_id,
+            " (stream desynced)"));
     return frame;
 }
 

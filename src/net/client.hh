@@ -5,12 +5,16 @@
  * One TCP connection, one outstanding request at a time: every call
  * writes a frame, blocks for the reply, and returns it decoded.
  * Transport failures (connect/send/recv/timeout, malformed reply
- * bytes) surface as the outer Status of a StatusOr; application
- * failures the server reported (Overloaded, UnknownArchive, an
- * expired deadline, a corrupt chunk) arrive in-band as
- * ReadReply::status so callers can distinguish "retry later" from
- * "this connection is broken". Not thread-safe — one Client per
- * thread, any number of Clients per server.
+ * bytes, a frame-CRC mismatch) surface as the outer Status of a
+ * StatusOr; application failures the server reported (Overloaded,
+ * UnknownArchive, an expired deadline, a corrupt chunk) arrive
+ * in-band as ReadReply::status so callers can distinguish "retry
+ * later" from "this connection is broken". Any transport failure
+ * marks the connection broken() — the byte stream may be desynced,
+ * so every later call fails fast and the caller should reconnect
+ * (ResilientClient in resilient_client.hh does exactly that).
+ * Not thread-safe — one Client per thread, any number of Clients
+ * per server.
  */
 
 #ifndef SAGE_NET_CLIENT_HH
@@ -81,10 +85,17 @@ class Client
     /** CLOSE an archive id (drops the server's cached open). */
     Status closeArchive(uint32_t archive);
 
+    /** True once any transport failure desynced the byte stream; the
+     *  connection is useless and the caller should reconnect. */
+    bool broken() const { return broken_; }
+
   private:
     Client(int fd, ClientOptions options)
         : fd_(fd), options_(options)
     {}
+
+    /** Record + return a transport failure (marks broken()). */
+    Status transportError(Status status);
 
     Status sendAll(const std::vector<uint8_t> &bytes);
     /** One whole reply frame, length prefix stripped. */
@@ -97,6 +108,7 @@ class Client
     int fd_ = -1;
     ClientOptions options_;
     uint64_t nextRequestId_ = 1;
+    bool broken_ = false;
 };
 
 } // namespace net

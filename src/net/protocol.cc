@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/crc32.hh"
+
 namespace sage {
 namespace net {
 
@@ -125,7 +127,7 @@ beginFrame(std::vector<uint8_t> &out)
 }
 
 void
-endFrame(std::vector<uint8_t> &out, size_t at)
+patchFrameLength(std::vector<uint8_t> &out, size_t at)
 {
     const uint32_t len =
         static_cast<uint32_t>(out.size() - at - kLenBytes);
@@ -135,6 +137,23 @@ endFrame(std::vector<uint8_t> &out, size_t at)
     out[at + 3] = static_cast<uint8_t>(len >> 24);
 }
 
+/** Append the frame CRC over the body built since beginFrame(), then
+ *  backpatch the length prefix (which counts the CRC too). */
+void
+endFrame(std::vector<uint8_t> &out, size_t at)
+{
+    const size_t body = at + kLenBytes;
+    putU32(out, Crc32::of(out.data() + body, out.size() - body));
+    patchFrameLength(out, at);
+}
+
+/** v1-shaped frames (version-mismatch rejections) carry no CRC. */
+void
+endFrameLegacy(std::vector<uint8_t> &out, size_t at)
+{
+    patchFrameLength(out, at);
+}
+
 void
 putRequestHeader(std::vector<uint8_t> &out, MsgType type,
                  RequestPriority priority, uint64_t request_id,
@@ -142,18 +161,21 @@ putRequestHeader(std::vector<uint8_t> &out, MsgType type,
 {
     putU8(out, static_cast<uint8_t>(type));
     putU8(out, static_cast<uint8_t>(priority));
-    putU16(out, 0);
+    putU8(out, kProtocolVersion);
+    putU8(out, 0);
     putU64(out, request_id);
     putU32(out, deadline_ms);
 }
 
 void
 putReplyHeader(std::vector<uint8_t> &out, MsgType request_type,
-               WireStatus status, uint64_t request_id)
+               WireStatus status, uint64_t request_id,
+               uint8_t version = kProtocolVersion)
 {
     putU8(out, static_cast<uint8_t>(request_type) | kReplyFlag);
     putU8(out, static_cast<uint8_t>(status));
-    putU16(out, 0);
+    putU8(out, version);
+    putU8(out, 0);
     putU64(out, request_id);
 }
 
@@ -181,8 +203,24 @@ wireStatusName(WireStatus status)
     case WireStatus::BadRequest: return "BadRequest";
     case WireStatus::UnknownArchive: return "UnknownArchive";
     case WireStatus::ProtocolError: return "ProtocolError";
+    case WireStatus::ShuttingDown: return "ShuttingDown";
+    case WireStatus::VersionMismatch: return "VersionMismatch";
     }
     return "Unknown";
+}
+
+bool
+wireStatusRetryable(WireStatus status)
+{
+    switch (status) {
+    case WireStatus::IoError:
+    case WireStatus::Exhausted:
+    case WireStatus::Overloaded:
+    case WireStatus::ShuttingDown:
+        return true;
+    default:
+        return false;
+    }
 }
 
 WireStatus
@@ -228,6 +266,8 @@ statusFromWire(WireStatus status, const std::string &message)
     case WireStatus::BadRequest:
         return Status::outOfRange(wireStatusName(status), ": ",
                                   message);
+    case WireStatus::VersionMismatch:
+        return Status::corrupt(wireStatusName(status), ": ", message);
     default:
         return Status::exhausted(wireStatusName(status), ": ",
                                  message);
@@ -316,6 +356,20 @@ appendErrorReply(std::vector<uint8_t> &out, MsgType request_type,
 }
 
 void
+appendLegacyErrorReply(std::vector<uint8_t> &out, MsgType request_type,
+                       uint64_t request_id, WireStatus status,
+                       const std::string &message)
+{
+    const size_t at = beginFrame(out);
+    putReplyHeader(out, request_type, status, request_id,
+                   /*version=*/0);
+    const size_t len = std::min(message.size(), kMaxErrorMessageBytes);
+    putU16(out, static_cast<uint16_t>(len));
+    putBytes(out, message.data(), len);
+    endFrameLegacy(out, at);
+}
+
+void
 appendOpenReply(std::vector<uint8_t> &out, uint64_t request_id,
                 MsgType request_type, const OpenReply &reply)
 {
@@ -375,6 +429,39 @@ appendCloseReply(std::vector<uint8_t> &out, uint64_t request_id)
 }
 
 // ---- parsers --------------------------------------------------------
+
+const char *
+frameVerdictName(FrameVerdict verdict)
+{
+    switch (verdict) {
+    case FrameVerdict::Ok: return "Ok";
+    case FrameVerdict::TooShort: return "TooShort";
+    case FrameVerdict::VersionMismatch: return "VersionMismatch";
+    case FrameVerdict::CrcMismatch: return "CrcMismatch";
+    }
+    return "Unknown";
+}
+
+FrameVerdict
+verifyFrame(const uint8_t *frame, size_t size, size_t *body_size)
+{
+    // The version byte sits at offset 2 in both header layouts.
+    if (size < 3)
+        return FrameVerdict::TooShort;
+    if (frame[2] != kProtocolVersion)
+        return FrameVerdict::VersionMismatch;
+    if (size < kReplyHeaderBytes + kFrameCrcBytes)
+        return FrameVerdict::TooShort;
+    const size_t body = size - kFrameCrcBytes;
+    uint32_t stored = 0;
+    for (int i = 0; i < 4; i++)
+        stored |= static_cast<uint32_t>(frame[body + i]) << (8 * i);
+    if (Crc32::of(frame, body) != stored)
+        return FrameVerdict::CrcMismatch;
+    if (body_size != nullptr)
+        *body_size = body;
+    return FrameVerdict::Ok;
+}
 
 StatusOr<RequestFrame>
 parseRequestFrame(const uint8_t *frame, size_t size)

@@ -13,23 +13,38 @@
  * (Expired/Cancelled) and admission-level (Overloaded, BadRequest,
  * UnknownArchive, ProtocolError) outcomes.
  *
+ * Protocol version 2 (this build) makes every frame self-checking:
+ * byte 2 of the fixed header carries kProtocolVersion and the body
+ * ends with a u32 CRC-32 (util/crc32.hh, the container's polynomial)
+ * over everything between the length prefix and the CRC itself. Both
+ * ends call verifyFrame() before parsing; a flipped bit on the wire
+ * surfaces as a CrcMismatch verdict (ProtocolError + connection
+ * close), never as decoded garbage. Version-1 peers wrote 0 in that
+ * byte, so an old client is detected on its first frame and answered
+ * with a WireStatus::VersionMismatch error encoded in the v1 shape
+ * (no CRC) that its parser still understands cleanly.
+ *
  * Request frame (after the u32 length):
  *
  *   u8  type        MsgType
  *   u8  priority    RequestPriority (0 Interactive, 1 Normal, 2 Background)
- *   u16 reserved    must be 0
+ *   u8  version     kProtocolVersion (v1 peers wrote 0 here)
+ *   u8  reserved    must be 0
  *   u64 requestId   opaque, echoed in the reply
  *   u32 deadlineMs  0 = no deadline, else relative to arrival
  *   ... payload     per type, see the append*Request encoders
+ *   u32 frameCrc    CRC-32 of header + payload
  *
  * Reply frame (after the u32 length):
  *
  *   u8  type        request's MsgType with kReplyFlag set
  *   u8  status      WireStatus
- *   u16 reserved    0
+ *   u8  version     kProtocolVersion
+ *   u8  reserved    0
  *   u64 requestId   echoed
  *   ... payload     OPEN: archive id + counts; READ_*: packed reads;
  *                   STAT: WireServerStats; errors: u16-length message
+ *   u32 frameCrc    CRC-32 of header + payload
  *
  * Read payloads pack each read as u16 headerLen, u32 basesLen,
  * u32 qualsLen followed by the three byte strings — enough for the
@@ -54,9 +69,17 @@ namespace net {
 /** Bytes of the length prefix itself. */
 constexpr size_t kLenBytes = 4;
 
+/** Wire protocol version carried in byte 2 of every frame header.
+ *  Version 1 wrote 0 there (the old reserved field) and had no frame
+ *  CRC, which is exactly how a v1 peer is detected. */
+constexpr uint8_t kProtocolVersion = 2;
+
 /** Fixed request/reply header bytes after the length prefix. */
 constexpr size_t kRequestHeaderBytes = 16;
 constexpr size_t kReplyHeaderBytes = 12;
+
+/** Trailing CRC-32 appended to every v2 frame body. */
+constexpr size_t kFrameCrcBytes = 4;
 
 /** Encoder-side bounds; the server additionally enforces
  *  ServerOptions::maxRequestFrameBytes on whole frames. */
@@ -98,9 +121,24 @@ enum class WireStatus : uint8_t {
     BadRequest = 65,      ///< Frame parsed but the arguments are bad.
     UnknownArchive = 66,  ///< No such archive name/id on this server.
     ProtocolError = 67,   ///< Malformed frame; connection closes.
+    ShuttingDown = 68,    ///< Server is draining; retry elsewhere.
+    VersionMismatch = 69, ///< Peer speaks another protocol version.
 };
 
 const char *wireStatusName(WireStatus status);
+
+/** Retryable-vs-terminal classification for resilient callers.
+ *
+ *  Retryable (another attempt can succeed): Overloaded (admission
+ *  shed), ShuttingDown (this server is draining; a fresh connection —
+ *  in production, another replica — can serve it), IoError and
+ *  Exhausted (transient decode-side resource failures the server
+ *  itself retries). Everything else is terminal: the data really is
+ *  Corrupt/Truncated, the request really is malformed
+ *  (BadRequest/OutOfRange/UnknownArchive/ProtocolError/
+ *  VersionMismatch), or the caller's own deadline/cancel fired
+ *  (Expired/Cancelled). */
+bool wireStatusRetryable(WireStatus status);
 
 /** StatusCode → WireStatus (decode failures cross losslessly). */
 WireStatus wireStatusFromStatus(const Status &status);
@@ -191,6 +229,14 @@ void appendErrorReply(std::vector<uint8_t> &out, MsgType request_type,
                       uint64_t request_id, WireStatus status,
                       const std::string &message);
 
+/** Error reply in the version-1 frame shape (version byte 0, no
+ *  trailing CRC), so a v1 peer that just got VersionMismatch can
+ *  still parse the rejection it is being sent. */
+void appendLegacyErrorReply(std::vector<uint8_t> &out,
+                            MsgType request_type, uint64_t request_id,
+                            WireStatus status,
+                            const std::string &message);
+
 void appendOpenReply(std::vector<uint8_t> &out, uint64_t request_id,
                      MsgType request_type, const OpenReply &reply);
 
@@ -204,6 +250,24 @@ void appendStatReply(std::vector<uint8_t> &out, uint64_t request_id,
 void appendCloseReply(std::vector<uint8_t> &out, uint64_t request_id);
 
 // ---- parsing: @p frame/@p payload exclude the u32 length prefix ----
+
+/** Outcome of verifyFrame(): integrity of a whole received frame. */
+enum class FrameVerdict : uint8_t {
+    Ok = 0,           ///< Version and CRC check out; parse the body.
+    TooShort = 1,     ///< Too small to even carry version + CRC.
+    VersionMismatch = 2,  ///< Peer wrote a different version byte.
+    CrcMismatch = 3,  ///< Bits flipped between the endpoints.
+};
+
+const char *frameVerdictName(FrameVerdict verdict);
+
+/** Check a received frame's version byte and trailing CRC-32 before
+ *  parsing. On Ok, @p body_size is set to @p size minus the CRC — the
+ *  byte count to hand to parseRequestFrame()/parseReplyHeader().
+ *  Version is checked before the CRC so a v1 peer (version byte 0,
+ *  no CRC at all) is reported as VersionMismatch, not corruption. */
+FrameVerdict verifyFrame(const uint8_t *frame, size_t size,
+                         size_t *body_size);
 
 /** Corrupt/Truncated on malformed frames (never throws/aborts on
  *  attacker-controlled bytes). */

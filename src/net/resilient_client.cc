@@ -1,0 +1,319 @@
+#include "net/resilient_client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace sage {
+namespace net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Transport-level Status codes a reconnect can cure. Corrupt is
+ *  deliberately absent: the client only reports it for a protocol
+ *  version mismatch (terminal) — wire damage already surfaces as
+ *  IoError there. */
+bool
+transportRetryable(const Status &status)
+{
+    return status.code() == StatusCode::IoError ||
+           status.code() == StatusCode::Truncated;
+}
+
+} // namespace
+
+ResilientClient::ResilientClient(std::string host, uint16_t port,
+                                 ResilientClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options)
+{}
+
+double
+ResilientClient::uniform01()
+{
+    const uint64_t bits =
+        splitmix64(options_.retry.seed ^
+                   (0xd1342543de82ef95ull * ++rngCounter_));
+    return static_cast<double>(bits >> 11) *
+           (1.0 / 9007199254740992.0);  // 2^-53
+}
+
+bool
+ResilientClient::backoff(double remaining_seconds)
+{
+    if (remaining_seconds <= 0.0)
+        return false;
+    const RetryPolicy &policy = options_.retry;
+    // Decorrelated jitter: sleep ~ U[base, 3 * previous], capped.
+    const double lo = policy.baseBackoffSeconds;
+    const double hi =
+        std::max(lo, 3.0 * (prevSleepSeconds_ > 0.0
+                                ? prevSleepSeconds_
+                                : policy.baseBackoffSeconds));
+    double sleep = lo + (hi - lo) * uniform01();
+    sleep = std::min(sleep, policy.maxBackoffSeconds);
+    sleep = std::min(sleep, remaining_seconds);
+    prevSleepSeconds_ = sleep;
+    if (sleep > 0.0) {
+        stats_.backoffSeconds += sleep;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep));
+    }
+    return true;
+}
+
+Status
+ResilientClient::ensureConnected(uint32_t archive)
+{
+    if (client_ != nullptr && client_->broken())
+        client_.reset();
+    const bool fresh = client_ == nullptr;
+    if (fresh) {
+        auto connected =
+            Client::connect(host_, port_, options_.client);
+        if (!connected.ok())
+            return connected.status();
+        client_ = std::move(connected.value());
+        if (stats_.connects > 0)
+            stats_.reconnects++;
+        stats_.connects++;
+    }
+    if (!fresh || archive == 0)
+        return Status();
+    // A fresh connection: re-OPEN the archive this call addresses so
+    // its id stays valid. Ids are stable per name on one server, so
+    // a changed id means we reconnected to something else entirely.
+    auto named = openedNames_.find(archive);
+    if (named == openedNames_.end())
+        return Status();
+    auto reopened = client_->open(named->second);
+    if (!reopened.ok())
+        return reopened.status();
+    if (reopened->archive != archive)
+        return Status::corrupt(
+            "archive \"", named->second, "\" changed id across a "
+            "reconnect (", archive, " -> ", reopened->archive,
+            "); refusing to read from a different server");
+    return Status();
+}
+
+StatusOr<ReadReply>
+ResilientClient::retryRead(
+    uint32_t archive, uint32_t deadline_ms,
+    const std::function<StatusOr<ReadReply>(Client &, uint32_t)>
+        &attempt)
+{
+    const RetryPolicy &policy = options_.retry;
+    const double budget_seconds =
+        deadline_ms != 0 ? deadline_ms / 1000.0
+                         : policy.callTimeoutSeconds;
+    const Clock::time_point start = Clock::now();
+    const bool bounded = budget_seconds > 0.0;
+
+    Status last_error;
+    StatusOr<ReadReply> last_reply = Status::exhausted("never ran");
+    bool have_reply = false;
+    for (unsigned tries = 0;
+         tries < std::max(policy.maxAttempts, 1u); tries++) {
+        double remaining = 0.0;
+        uint32_t remaining_ms = deadline_ms;
+        if (bounded) {
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            remaining = budget_seconds - elapsed;
+            if (remaining <= 0.0)
+                break;
+            if (deadline_ms != 0)
+                remaining_ms = static_cast<uint32_t>(std::max(
+                    1.0, remaining * 1000.0));
+        }
+        if (tries > 0) {
+            stats_.retries++;
+            if (!backoff(bounded ? remaining : 1e9))
+                break;
+        }
+
+        Status conn = ensureConnected(archive);
+        if (!conn.ok()) {
+            last_error = conn;
+            have_reply = false;
+            stats_.transportRetries++;
+            continue;
+        }
+        StatusOr<ReadReply> reply = attempt(*client_, remaining_ms);
+        if (!reply.ok()) {
+            if (!transportRetryable(reply.status()))
+                return reply.status();  // Terminal (e.g. version).
+            last_error = reply.status();
+            have_reply = false;
+            stats_.transportRetries++;
+            client_.reset();  // Stream is desynced; reconnect.
+            continue;
+        }
+        if (reply->status == WireStatus::ProtocolError) {
+            // The server rejected our frame's integrity (and closes
+            // the connection right after): the request was damaged
+            // in transit, so the stream is untrustworthy. Reads are
+            // idempotent — reconnect and retry. A genuine protocol
+            // bug just re-fails and surfaces once attempts run out.
+            last_reply = std::move(reply);
+            have_reply = true;
+            stats_.transportRetries++;
+            client_.reset();
+            continue;
+        }
+        if (!wireStatusRetryable(reply->status))
+            return reply;  // Ok, or a terminal in-band outcome.
+        last_reply = std::move(reply);
+        have_reply = true;
+        stats_.overloadedRetries++;
+        if (last_reply.value().status == WireStatus::ShuttingDown) {
+            // This server is draining; a retry only helps on a new
+            // connection (in production: a different replica).
+            client_.reset();
+        }
+    }
+    // Budget or attempts exhausted: surface the last honest outcome.
+    if (have_reply)
+        return last_reply;
+    if (!last_error.ok())
+        return Status::ioError(
+            "retries exhausted; last transport error: ",
+            last_error.toString());
+    return Status::exhausted("retry budget exhausted before any "
+                             "attempt completed");
+}
+
+StatusOr<OpenReply>
+ResilientClient::open(const std::string &name)
+{
+    const RetryPolicy &policy = options_.retry;
+    const double budget_seconds = policy.callTimeoutSeconds;
+    const Clock::time_point start = Clock::now();
+    const bool bounded = budget_seconds > 0.0;
+
+    Status last_error = Status::exhausted("never ran");
+    for (unsigned tries = 0;
+         tries < std::max(policy.maxAttempts, 1u); tries++) {
+        double remaining = 1e9;
+        if (bounded) {
+            const double elapsed =
+                std::chrono::duration<double>(Clock::now() - start)
+                    .count();
+            remaining = budget_seconds - elapsed;
+            if (remaining <= 0.0)
+                break;
+        }
+        if (tries > 0) {
+            stats_.retries++;
+            if (!backoff(remaining))
+                break;
+        }
+        Status conn = ensureConnected(0);
+        if (!conn.ok()) {
+            last_error = conn;
+            stats_.transportRetries++;
+            continue;
+        }
+        auto reply = client_->open(name);
+        if (reply.ok()) {
+            openedNames_[reply->archive] = name;
+            return reply;
+        }
+        last_error = reply.status();
+        if (transportRetryable(last_error)) {
+            stats_.transportRetries++;
+            client_.reset();
+            continue;
+        }
+        // In-band outcomes cross as Exhausted ("Overloaded: ...",
+        // "ShuttingDown: ...") — retryable on a live connection.
+        if (last_error.code() == StatusCode::Exhausted) {
+            stats_.overloadedRetries++;
+            continue;
+        }
+        return last_error;  // Terminal: unknown archive, corrupt...
+    }
+    return last_error;
+}
+
+StatusOr<ReadReply>
+ResilientClient::readRange(uint32_t archive, uint64_t first,
+                           uint64_t count, RequestPriority priority,
+                           uint32_t deadline_ms)
+{
+    return retryRead(
+        archive, deadline_ms,
+        [&](Client &client, uint32_t remaining_ms) {
+            return client.readRange(archive, first, count, priority,
+                                    remaining_ms);
+        });
+}
+
+StatusOr<ReadReply>
+ResilientClient::readChunk(uint32_t archive, uint64_t chunk,
+                           RequestPriority priority,
+                           uint32_t deadline_ms)
+{
+    return retryRead(
+        archive, deadline_ms,
+        [&](Client &client, uint32_t remaining_ms) {
+            return client.readChunk(archive, chunk, priority,
+                                    remaining_ms);
+        });
+}
+
+StatusOr<WireServerStats>
+ResilientClient::statServer()
+{
+    const RetryPolicy &policy = options_.retry;
+    Status last_error = Status::exhausted("never ran");
+    for (unsigned tries = 0;
+         tries < std::max(policy.maxAttempts, 1u); tries++) {
+        if (tries > 0) {
+            stats_.retries++;
+            if (!backoff(policy.callTimeoutSeconds > 0.0
+                             ? policy.callTimeoutSeconds
+                             : 1e9))
+                break;
+        }
+        Status conn = ensureConnected(0);
+        if (!conn.ok()) {
+            last_error = conn;
+            stats_.transportRetries++;
+            continue;
+        }
+        auto reply = client_->statServer();
+        if (reply.ok())
+            return reply;
+        last_error = reply.status();
+        if (!transportRetryable(last_error))
+            return last_error;
+        stats_.transportRetries++;
+        client_.reset();
+    }
+    return last_error;
+}
+
+Status
+ResilientClient::closeArchive(uint32_t archive)
+{
+    openedNames_.erase(archive);
+    if (client_ == nullptr || client_->broken())
+        return Status();  // Nothing open on the server side to drop.
+    return client_->closeArchive(archive);
+}
+
+} // namespace net
+} // namespace sage

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Self-healing wrapper over the blocking net::Client.
+ *
+ * A plain Client dies with its TCP connection: any transport failure
+ * (reset, timeout, a frame that fails its CRC) leaves it broken() and
+ * every later call failing. ResilientClient owns the connect loop
+ * instead: it classifies each outcome as retryable or terminal
+ * (net/protocol.hh wireStatusRetryable — retry Overloaded and
+ * transport failures, never server-reported Corrupt/BadRequest),
+ * reconnects on transport damage, re-OPENs the archives the caller
+ * is using so their ids stay valid across the new connection, and
+ * spaces attempts with exponential backoff plus decorrelated jitter.
+ *
+ * The retry budget is derived from the request deadline: a read
+ * carrying deadline_ms never burns retries (or sleeps) past that
+ * point, so the caller's latency bound holds across any number of
+ * reconnects. Calls without a deadline fall back to
+ * RetryPolicy::callTimeoutSeconds and the attempt cap.
+ *
+ * Jitter is deterministic per client (RetryPolicy::seed feeds a
+ * splitmix64 sequence, the FaultInjectionSource convention), so a
+ * chaos run that fails replays identically. Not thread-safe — one
+ * ResilientClient per thread, like the Client it wraps.
+ */
+
+#ifndef SAGE_NET_RESILIENT_CLIENT_HH
+#define SAGE_NET_RESILIENT_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "net/client.hh"
+#include "net/protocol.hh"
+
+namespace sage {
+namespace net {
+
+struct RetryPolicy
+{
+    /** Attempt ceiling per call (first try included). */
+    unsigned maxAttempts = 8;
+
+    /** First backoff; later sleeps draw uniformly from
+     *  [base, 3 * previous] (decorrelated jitter), capped below. */
+    double baseBackoffSeconds = 0.002;
+    double maxBackoffSeconds = 0.250;
+
+    /** Retry budget for calls that carry no deadline_ms of their
+     *  own; 0 leaves only the attempt cap. */
+    double callTimeoutSeconds = 0.0;
+
+    /** Seed of the deterministic jitter sequence. */
+    uint64_t seed = 1;
+};
+
+struct ResilientClientOptions
+{
+    ClientOptions client;
+    RetryPolicy retry;
+};
+
+/** What resilience cost: exposed so harnesses (serve-stress) can
+ *  report reconnects/retries/backoff per walker. */
+struct ResilientClientStats
+{
+    uint64_t connects = 0;    ///< Successful connects, first included.
+    uint64_t reconnects = 0;  ///< Connects after the first.
+    uint64_t retries = 0;          ///< Re-issued calls, any cause.
+    uint64_t transportRetries = 0; ///< ... after reset/timeout/CRC.
+    uint64_t overloadedRetries = 0;  ///< ... after in-band sheds.
+    double backoffSeconds = 0.0;   ///< Total time slept.
+};
+
+class ResilientClient
+{
+  public:
+    ResilientClient(std::string host, uint16_t port,
+                    ResilientClientOptions options = {});
+
+    /** OPEN @p name, remembering it so the id survives reconnects. */
+    StatusOr<OpenReply> open(const std::string &name);
+
+    /** READ_RANGE with reconnect/backoff. The outer Status only
+     *  fails terminally (or with the last transport error once the
+     *  budget is spent); retryable in-band statuses are retried and
+     *  the last one is returned if the budget runs out. */
+    StatusOr<ReadReply>
+    readRange(uint32_t archive, uint64_t first, uint64_t count,
+              RequestPriority priority = RequestPriority::Normal,
+              uint32_t deadline_ms = 0);
+
+    StatusOr<ReadReply>
+    readChunk(uint32_t archive, uint64_t chunk,
+              RequestPriority priority = RequestPriority::Normal,
+              uint32_t deadline_ms = 0);
+
+    StatusOr<WireServerStats> statServer();
+
+    Status closeArchive(uint32_t archive);
+
+    const ResilientClientStats &stats() const { return stats_; }
+
+    bool
+    connected() const
+    {
+        return client_ != nullptr && !client_->broken();
+    }
+
+  private:
+    /** One retry loop around @p attempt. @p archive (0 = none) is
+     *  re-OPENed after every reconnect; @p deadline_ms bounds the
+     *  whole loop, sleeps included. Each attempt receives the budget
+     *  still remaining as its own wire deadline. */
+    StatusOr<ReadReply>
+    retryRead(uint32_t archive, uint32_t deadline_ms,
+              const std::function<StatusOr<ReadReply>(
+                  Client &, uint32_t remaining_ms)> &attempt);
+
+    /** Connect if there is no healthy connection; re-OPEN
+     *  @p archive's name on a fresh connection. */
+    Status ensureConnected(uint32_t archive);
+
+    /** Decorrelated-jitter sleep bounded by @p remaining_seconds;
+     *  false when the budget is already gone. */
+    bool backoff(double remaining_seconds);
+
+    double uniform01();
+
+    std::string host_;
+    uint16_t port_;
+    ResilientClientOptions options_;
+    std::unique_ptr<Client> client_;
+    /** Archive id -> name, for transparent re-OPEN on reconnect. */
+    std::unordered_map<uint32_t, std::string> openedNames_;
+    ResilientClientStats stats_;
+    double prevSleepSeconds_ = 0.0;
+    uint64_t rngCounter_ = 0;
+};
+
+} // namespace net
+} // namespace sage
+
+#endif // SAGE_NET_RESILIENT_CLIENT_HH

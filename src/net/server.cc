@@ -1,5 +1,6 @@
 #include "net/server.hh"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
@@ -23,6 +24,9 @@ namespace {
 constexpr uint64_t kListenerTag = 0;
 constexpr uint64_t kWakeTag = 1;
 
+/** Timer-wheel id of the drain deadline (no Conn ever has id 0). */
+constexpr uint64_t kDrainTimerTag = 0;
+
 /** recv() granularity. */
 constexpr size_t kRecvChunkBytes = 64 * 1024;
 
@@ -42,6 +46,20 @@ loadLe32(const uint8_t *bytes)
            static_cast<uint32_t>(bytes[1]) << 8 |
            static_cast<uint32_t>(bytes[2]) << 16 |
            static_cast<uint32_t>(bytes[3]) << 24;
+}
+
+uint64_t
+loadLe64(const uint8_t *bytes)
+{
+    return static_cast<uint64_t>(loadLe32(bytes)) |
+           static_cast<uint64_t>(loadLe32(bytes + 4)) << 32;
+}
+
+uint64_t
+secondsToMs(double seconds)
+{
+    return seconds <= 0.0 ? 0
+                          : static_cast<uint64_t>(seconds * 1000.0);
 }
 
 } // namespace
@@ -125,10 +143,64 @@ Server::start()
         return status;
     }
 
+    loopEpoch_ = std::chrono::steady_clock::now();
+    wheel_ = TimerWheel();
+    dueTimers_.clear();
+    draining_.store(false, std::memory_order_release);
+    drainStarted_ = false;
+    drainDeadlineMs_ = 0;
+    drainCancel_ = CancelSource();
+    drainedCleanly_.store(false, std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(loopExitMutex_);
+        loopExited_ = false;
+    }
+
     stopping_.store(false, std::memory_order_release);
     running_.store(true, std::memory_order_release);
     thread_ = std::thread([this] { eventLoop(); });
     return Status();
+}
+
+uint64_t
+Server::loopNowMs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - loopEpoch_)
+            .count());
+}
+
+void
+Server::beginDrain()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    draining_.store(true, std::memory_order_release);
+    wakeLoop();
+}
+
+bool
+Server::drainWait()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return true;
+    // The loop enforces drainDeadlineSeconds itself; the grace here
+    // only covers scheduling hiccups around the forced exit.
+    const auto give_up =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(
+                options_.drainDeadlineSeconds + 2.0));
+    {
+        std::unique_lock<std::mutex> lock(loopExitMutex_);
+        loopExitCv_.wait_until(lock, give_up,
+                               [&] { return loopExited_; });
+    }
+    const bool clean = drainedCleanly_.load(std::memory_order_acquire);
+    stop();
+    return clean;
 }
 
 void
@@ -176,6 +248,14 @@ Server::netStats() const
     out.bytesIn = bytesIn_.load(std::memory_order_relaxed);
     out.bytesOut = bytesOut_.load(std::memory_order_relaxed);
     out.txPauses = txPauses_.load(std::memory_order_relaxed);
+    out.timedOutConnections =
+        timedOutConnections_.load(std::memory_order_relaxed);
+    out.shedConnections =
+        shedConnections_.load(std::memory_order_relaxed);
+    out.crcMismatches = crcMismatches_.load(std::memory_order_relaxed);
+    out.versionMismatches =
+        versionMismatches_.load(std::memory_order_relaxed);
+    out.drainRejects = drainRejects_.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -201,9 +281,22 @@ Server::eventLoop()
 {
     std::vector<epoll_event> events(64);
     while (!stopping_.load(std::memory_order_acquire)) {
+        if (draining_.load(std::memory_order_acquire) &&
+            !drainStarted_)
+            drainStart();
+        if (drainStarted_ && drainComplete()) {
+            drainedCleanly_.store(true, std::memory_order_release);
+            break;
+        }
+        // Sleep forever only while there is nothing to time out; any
+        // connection (or an armed drain deadline) bounds the wait to
+        // one wheel tick.
+        const int timeout = (conns_.empty() && !drainStarted_)
+                                ? -1
+                                : static_cast<int>(wheel_.tickMs());
         const int ready = ::epoll_wait(epollFd_, events.data(),
                                        static_cast<int>(events.size()),
-                                       -1);
+                                       timeout);
         if (ready < 0) {
             if (errno == EINTR)
                 continue;
@@ -232,15 +325,139 @@ Server::eventLoop()
                 flushTx(conn);
             if (!conn.dead && (events[i].events & EPOLLIN))
                 onReadable(conn);
-            if (conn.dead) {
-                ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd,
-                            nullptr);
-                ::close(conn.fd);
-                conns_.erase(tag);
-                closed_.fetch_add(1, std::memory_order_relaxed);
+            if (conn.dead)
+                destroyConn(tag);
+        }
+        runTimers();
+    }
+    {
+        std::lock_guard<std::mutex> lock(loopExitMutex_);
+        loopExited_ = true;
+    }
+    loopExitCv_.notify_all();
+}
+
+void
+Server::runTimers()
+{
+    const uint64_t now = loopNowMs();
+    dueTimers_.clear();
+    wheel_.advanceTo(now, dueTimers_);
+    const uint64_t idle_ms = secondsToMs(options_.idleTimeoutSeconds);
+    const uint64_t header_ms =
+        secondsToMs(options_.headerReadTimeoutSeconds);
+    for (const uint64_t id : dueTimers_) {
+        if (id == kDrainTimerTag) {
+            if (drainStarted_ && now >= drainDeadlineMs_) {
+                // Deadline breached: abandon still-queued service
+                // work so the worker pool frees up immediately, and
+                // force the loop out. drainedCleanly_ stays false.
+                drainCancel_.cancel();
+                stopping_.store(true, std::memory_order_release);
             }
+            continue;
+        }
+        auto it = conns_.find(id);
+        if (it == conns_.end())
+            continue;
+        Conn &conn = *it->second;
+        bool timed_out = false;
+        if (header_ms != 0 && conn.partialFrame && !conn.paused &&
+            now - conn.frameStartMs >= header_ms)
+            timed_out = true;  // Slow-loris drip.
+        else if (idle_ms != 0 && !conn.partialFrame &&
+                 conn.tx.empty() && conn.inFlight == 0 &&
+                 now - conn.lastRxMs >= idle_ms)
+            timed_out = true;  // Nothing received, nothing owed.
+        if (timed_out) {
+            timedOutConnections_.fetch_add(1,
+                                           std::memory_order_relaxed);
+            destroyConn(id);
+        } else {
+            scheduleConnCheck(conn);
         }
     }
+}
+
+void
+Server::scheduleConnCheck(Conn &conn)
+{
+    const uint64_t now = loopNowMs();
+    const uint64_t idle_ms = secondsToMs(options_.idleTimeoutSeconds);
+    const uint64_t header_ms =
+        secondsToMs(options_.headerReadTimeoutSeconds);
+    uint64_t delay = UINT64_MAX;
+    if (header_ms != 0 && conn.partialFrame) {
+        const uint64_t due = conn.frameStartMs + header_ms;
+        delay = std::min(delay, due > now ? due - now : 0);
+    }
+    if (idle_ms != 0) {
+        // A busy connection (queued tx, in-flight reads) cannot be
+        // idle-closed; check again a full period later.
+        const bool busy = !conn.tx.empty() || conn.inFlight != 0;
+        const uint64_t due =
+            (busy ? now : conn.lastRxMs) + idle_ms;
+        delay = std::min(delay, due > now ? due - now : 0);
+    }
+    if (delay != UINT64_MAX)
+        wheel_.schedule(conn.id, delay);
+}
+
+void
+Server::destroyConn(uint64_t conn_id)
+{
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end())
+        return;
+    ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+    ::close(it->second->fd);
+    conns_.erase(it);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Server::drainStart()
+{
+    drainStarted_ = true;
+    // Stop accepting: release the port immediately so a replacement
+    // process can bind while we flush.
+    if (listenFd_ >= 0) {
+        ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    const uint64_t deadline_ms =
+        secondsToMs(options_.drainDeadlineSeconds);
+    drainDeadlineMs_ = loopNowMs() + deadline_ms;
+    wheel_.schedule(kDrainTimerTag, deadline_ms);
+    // Connections owed nothing retire straight away.
+    std::vector<uint64_t> idle;
+    for (const auto &entry : conns_) {
+        const Conn &conn = *entry.second;
+        if (conn.tx.empty() && conn.inFlight == 0)
+            idle.push_back(entry.first);
+    }
+    for (const uint64_t id : idle)
+        destroyConn(id);
+}
+
+void
+Server::maybeRetireDraining(Conn &conn)
+{
+    if (drainStarted_ && !conn.dead && conn.tx.empty() &&
+        conn.inFlight == 0)
+        conn.dead = true;
+}
+
+bool
+Server::drainComplete()
+{
+    if (!conns_.empty())
+        return false;
+    if (pendingCallbacks_.load(std::memory_order_acquire) != 0)
+        return false;
+    std::lock_guard<std::mutex> lock(completionMutex_);
+    return completions_.empty();
 }
 
 void
@@ -258,6 +475,18 @@ Server::acceptAll()
             return;
         }
         if (conns_.size() >= options_.maxConnections) {
+            // Shed explicitly: a fresh socket's send buffer always
+            // has room for one tiny error frame, so the peer learns
+            // why instead of watching an accept-stall time out.
+            std::vector<uint8_t> reply;
+            appendErrorReply(reply, MsgType::Open, 0,
+                             WireStatus::Overloaded,
+                             "connection limit reached; retry later");
+            // Count before the close: an observer who saw our EOF
+            // must already find the shed in netStats().
+            shedConnections_.fetch_add(1, std::memory_order_relaxed);
+            (void)!::send(fd, reply.data(), reply.size(),
+                          MSG_NOSIGNAL);
             ::close(fd);
             continue;
         }
@@ -266,6 +495,7 @@ Server::acceptAll()
         auto conn = std::make_unique<Conn>();
         conn->id = nextConnId_++;
         conn->fd = fd;
+        conn->lastRxMs = loopNowMs();
         epoll_event ev{};
         ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
         ev.data.u64 = conn->id;
@@ -274,7 +504,9 @@ Server::acceptAll()
             continue;
         }
         accepted_.fetch_add(1, std::memory_order_relaxed);
-        conns_.emplace(conn->id, std::move(conn));
+        Conn &ref = *conn;
+        conns_.emplace(ref.id, std::move(conn));
+        scheduleConnCheck(ref);
     }
 }
 
@@ -304,6 +536,7 @@ Server::onReadable(Conn &conn)
                                    kRecvChunkBytes, 0);
         if (got > 0) {
             conn.rx.resize(old + static_cast<size_t>(got));
+            conn.lastRxMs = loopNowMs();
             bytesIn_.fetch_add(static_cast<uint64_t>(got),
                                std::memory_order_relaxed);
             processRx(conn);
@@ -326,10 +559,13 @@ Server::onReadable(Conn &conn)
 void
 Server::processRx(Conn &conn)
 {
+    bool incomplete = false;
     while (!conn.dead && !conn.paused && !conn.closeAfterFlush) {
         const size_t avail = conn.rx.size() - conn.rxOff;
-        if (avail < kLenBytes)
+        if (avail < kLenBytes) {
+            incomplete = avail != 0;
             break;
+        }
         const uint32_t len = loadLe32(conn.rx.data() + conn.rxOff);
         if (len < kRequestHeaderBytes ||
             len > options_.maxRequestFrameBytes) {
@@ -344,11 +580,28 @@ Server::processRx(Conn &conn)
             queueReply(conn, std::move(reply));
             break;
         }
-        if (avail < kLenBytes + len)
+        if (avail < kLenBytes + len) {
+            incomplete = true;
             break;
+        }
         handleFrame(conn, conn.rx.data() + conn.rxOff + kLenBytes,
                     len);
         conn.rxOff += kLenBytes + len;
+    }
+    // Slow-loris bookkeeping: time the life of an incomplete frame.
+    // Paused connections are excluded — their bytes sit unparsed by
+    // our own backpressure choice, not the peer's dripping.
+    if (!conn.dead && !conn.paused && !conn.closeAfterFlush) {
+        if (!incomplete) {
+            conn.partialFrame = false;
+        } else if (!conn.partialFrame) {
+            conn.partialFrame = true;
+            conn.frameStartMs = loopNowMs();
+            const uint64_t header_ms =
+                secondsToMs(options_.headerReadTimeoutSeconds);
+            if (header_ms != 0)
+                wheel_.schedule(conn.id, header_ms);
+        }
     }
     if (conn.rxOff == conn.rx.size()) {
         conn.rx.clear();
@@ -365,7 +618,46 @@ void
 Server::handleFrame(Conn &conn, const uint8_t *frame, size_t size)
 {
     framesIn_.fetch_add(1, std::memory_order_relaxed);
-    auto parsed = parseRequestFrame(frame, size);
+    size_t body_size = size;
+    switch (verifyFrame(frame, size, &body_size)) {
+    case FrameVerdict::Ok:
+        break;
+    case FrameVerdict::VersionMismatch: {
+        versionMismatches_.fetch_add(1, std::memory_order_relaxed);
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        // The v1 header layout matches ours through the request id
+        // (processRx guarantees >= kRequestHeaderBytes), so echo the
+        // type and id, and shape the reply so a v1 parser reads it.
+        uint8_t type = frame[0];
+        if (type < static_cast<uint8_t>(MsgType::Open) ||
+            type > static_cast<uint8_t>(MsgType::Close))
+            type = static_cast<uint8_t>(MsgType::Open);
+        std::vector<uint8_t> reply;
+        appendLegacyErrorReply(
+            reply, static_cast<MsgType>(type), loadLe64(frame + 4),
+            WireStatus::VersionMismatch,
+            std::string("server speaks protocol version ") +
+                std::to_string(unsigned(kProtocolVersion)) +
+                ", client sent version " +
+                std::to_string(unsigned(frame[2])));
+        conn.closeAfterFlush = true;
+        queueReply(conn, std::move(reply));
+        return;
+    }
+    case FrameVerdict::TooShort:
+    case FrameVerdict::CrcMismatch: {
+        crcMismatches_.fetch_add(1, std::memory_order_relaxed);
+        protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<uint8_t> reply;
+        appendErrorReply(reply, MsgType::Open, 0,
+                         WireStatus::ProtocolError,
+                         "frame failed its CRC-32 integrity check");
+        conn.closeAfterFlush = true;
+        queueReply(conn, std::move(reply));
+        return;
+    }
+    }
+    auto parsed = parseRequestFrame(frame, body_size);
     if (!parsed.ok()) {
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
         std::vector<uint8_t> reply;
@@ -377,6 +669,17 @@ Server::handleFrame(Conn &conn, const uint8_t *frame, size_t size)
         return;
     }
     const RequestFrame &request = parsed.value();
+    if (drainStarted_) {
+        // The listener is gone; connections live only to collect
+        // in-flight replies. New work is told to go elsewhere.
+        drainRejects_.fetch_add(1, std::memory_order_relaxed);
+        std::vector<uint8_t> reply;
+        appendErrorReply(reply, request.type, request.requestId,
+                         WireStatus::ShuttingDown,
+                         "server is draining");
+        queueReply(conn, std::move(reply));
+        return;
+    }
     std::vector<uint8_t> reply;
     switch (request.type) {
     case MsgType::Open: {
@@ -473,6 +776,9 @@ Server::handleRead(Conn &conn, const RequestFrame &request)
     if (request.deadlineMs != 0)
         qos.deadline =
             RequestOptions::deadlineIn(request.deadlineMs / 1000.0);
+    // Every admitted request can be abandoned wholesale when a drain
+    // deadline fires — queued work must not hold shutdown hostage.
+    qos.cancel = drainCancel_.token();
 
     pendingCallbacks_.fetch_add(1, std::memory_order_acq_rel);
     auto complete = [this, conn_id = conn.id,
@@ -501,8 +807,10 @@ Server::handleRead(Conn &conn, const RequestFrame &request)
                                  std::move(complete), &reject)
             : service_.readChunk(request.archive, request.chunk, qos,
                                  std::move(complete), &reject);
-    if (admission == Admission::Admitted)
+    if (admission == Admission::Admitted) {
+        conn.inFlight++;
         return;
+    }
 
     // The callback will never run; balance its barrier count.
     pendingCallbacks_.fetch_sub(1, std::memory_order_acq_rel);
@@ -555,15 +863,13 @@ Server::flushCompletions()
         if (it == conns_.end())
             continue;
         Conn &conn = *it->second;
+        if (conn.inFlight > 0)
+            conn.inFlight--;
         if (conn.dead)
             continue;
         queueReply(conn, std::move(completion.frame));
-        if (conn.dead) {
-            ::epoll_ctl(epollFd_, EPOLL_CTL_DEL, conn.fd, nullptr);
-            ::close(conn.fd);
-            conns_.erase(completion.connId);
-            closed_.fetch_add(1, std::memory_order_relaxed);
-        }
+        if (conn.dead)
+            destroyConn(completion.connId);
     }
 }
 
@@ -624,6 +930,7 @@ Server::flushTx(Conn &conn)
     }
     if (!conn.dead && conn.closeAfterFlush && conn.tx.empty())
         conn.dead = true;
+    maybeRetireDraining(conn);
 }
 
 } // namespace net

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hashed timer wheel for the epoll event loop (server.cc).
+ *
+ * Deadlines here are coarse connection hygiene — idle timeouts,
+ * header-read (slow-loris) timeouts, the drain deadline — so the
+ * wheel trades precision for O(1) schedule/expire: time is bucketed
+ * into fixed ticks, each slot holds the ids due that tick, and an
+ * entry whose due tick lies beyond one wheel revolution is simply
+ * re-inserted when its slot comes around (classic lazy cascading).
+ *
+ * The wheel stores opaque u64 ids and never cancels: the owner is
+ * expected to re-validate on expiry ("is this connection still here,
+ * and is its deadline actually breached?") and reschedule if not.
+ * Duplicate entries for one id are therefore harmless — expiry checks
+ * are idempotent. Single-threaded by design; only the event loop
+ * touches it.
+ */
+
+#ifndef SAGE_NET_TIMER_WHEEL_HH
+#define SAGE_NET_TIMER_WHEEL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace sage {
+namespace net {
+
+class TimerWheel
+{
+  public:
+    explicit TimerWheel(uint32_t tick_ms = 100, size_t slots = 512)
+        : tickMs_(tick_ms ? tick_ms : 1), slots_(slots ? slots : 1)
+    {}
+
+    uint32_t tickMs() const { return tickMs_; }
+
+    bool
+    empty() const
+    {
+        return scheduled_ == 0;
+    }
+
+    /** Fire @p id roughly @p delay_ms from the current position
+     *  (never earlier than the next tick). */
+    void
+    schedule(uint64_t id, uint64_t delay_ms)
+    {
+        const uint64_t ticks = delay_ms / tickMs_ + 1;
+        const uint64_t due = currentTick_ + ticks;
+        slots_[due % slots_.size()].push_back(Entry{id, due});
+        scheduled_++;
+    }
+
+    /** Advance the wheel to @p now_ms (milliseconds on the caller's
+     *  monotonic clock; must not go backwards) and append every due
+     *  id to @p due. */
+    void
+    advanceTo(uint64_t now_ms, std::vector<uint64_t> &due)
+    {
+        const uint64_t target = now_ms / tickMs_;
+        while (currentTick_ < target) {
+            currentTick_++;
+            std::vector<Entry> &slot =
+                slots_[currentTick_ % slots_.size()];
+            size_t keep = 0;
+            for (size_t i = 0; i < slot.size(); i++) {
+                if (slot[i].dueTick <= currentTick_) {
+                    due.push_back(slot[i].id);
+                    scheduled_--;
+                } else {
+                    // A later revolution's entry: leave it in place.
+                    slot[keep++] = slot[i];
+                }
+            }
+            slot.resize(keep);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        uint64_t id;
+        uint64_t dueTick;
+    };
+
+    uint32_t tickMs_;
+    std::vector<std::vector<Entry>> slots_;
+    uint64_t currentTick_ = 0;
+    size_t scheduled_ = 0;
+};
+
+} // namespace net
+} // namespace sage
+
+#endif // SAGE_NET_TIMER_WHEEL_HH

@@ -10,6 +10,13 @@
  * leave the connection usable, corrupt-archive isolation between
  * connections, and hostile-bytes handling. Runs under the ASan/UBSan
  * and TSan presets in CI.
+ *
+ * The resilience layer rides the same fixtures: protocol-v2 frame
+ * integrity (version byte + CRC-32, verifyFrame), the timer wheel,
+ * connection hygiene (idle / header-read timeouts, max-connection
+ * shed), graceful drain, and the ResilientClient driven through a
+ * ChaosProxy — byte identity against the sequential reader must
+ * survive deterministic resets, corruption, stalls and splits.
  */
 
 #include <gtest/gtest.h>
@@ -34,11 +41,16 @@
 namespace sage {
 namespace {
 
+using net::ChaosConfig;
+using net::ChaosProxy;
 using net::Client;
+using net::ClientOptions;
 using net::MsgType;
 using net::OpenReply;
 using net::ReplyHeader;
 using net::RequestFrame;
+using net::ResilientClient;
+using net::ResilientClientOptions;
 using net::Server;
 using net::ServerOptions;
 using net::WireServerStats;
@@ -126,8 +138,22 @@ removeCorpus(const std::string &dir,
 // Protocol round trips
 // ---------------------------------------------------------------------
 
+/** Integrity-check @p frame (version byte + CRC, as both peers do)
+ *  and return the body size with the trailing CRC stripped. */
+size_t
+verifiedBodySize(const std::vector<uint8_t> &frame)
+{
+    size_t body = 0;
+    const net::FrameVerdict verdict = net::verifyFrame(
+        frame.data() + net::kLenBytes, frame.size() - net::kLenBytes,
+        &body);
+    EXPECT_EQ(verdict, net::FrameVerdict::Ok)
+        << net::frameVerdictName(verdict);
+    return body;
+}
+
 /** Parse @p frame skipping its length prefix, asserting the prefix
- *  matches the body size. */
+ *  matches the body size and the v2 CRC verifies. */
 StatusOr<RequestFrame>
 parseRequest(const std::vector<uint8_t> &frame)
 {
@@ -136,7 +162,7 @@ parseRequest(const std::vector<uint8_t> &frame)
     std::memcpy(&len, frame.data(), sizeof len);
     EXPECT_EQ(static_cast<size_t>(len) + net::kLenBytes, frame.size());
     return net::parseRequestFrame(frame.data() + net::kLenBytes,
-                                  frame.size() - net::kLenBytes);
+                                  verifiedBodySize(frame));
 }
 
 TEST(NetProtocol, OpenRequestRoundTrip)
@@ -206,8 +232,9 @@ TEST(NetProtocol, ReadReplyRoundTrip)
     std::vector<uint8_t> frame;
     net::appendReadReply(frame, MsgType::ReadRange, 77, reads);
 
+    const size_t body = verifiedBodySize(frame);
     const StatusOr<ReplyHeader> header = net::parseReplyHeader(
-        frame.data() + net::kLenBytes, frame.size() - net::kLenBytes);
+        frame.data() + net::kLenBytes, body);
     ASSERT_TRUE(header.ok()) << header.status().toString();
     EXPECT_EQ(header->type, MsgType::ReadRange);
     EXPECT_EQ(header->status, WireStatus::Ok);
@@ -216,7 +243,7 @@ TEST(NetProtocol, ReadReplyRoundTrip)
     const size_t skip = net::kLenBytes + net::kReplyHeaderBytes;
     const StatusOr<std::vector<Read>> back =
         net::parseReadReplyPayload(frame.data() + skip,
-                                   frame.size() - skip);
+                                   body - net::kReplyHeaderBytes);
     ASSERT_TRUE(back.ok()) << back.status().toString();
     expectSameReads(*back, reads);
 }
@@ -231,7 +258,8 @@ TEST(NetProtocol, OpenStatErrorRepliesRoundTrip)
     net::appendOpenReply(frame, 11, MsgType::Open, meta);
     const size_t skip = net::kLenBytes + net::kReplyHeaderBytes;
     StatusOr<OpenReply> open = net::parseOpenReplyPayload(
-        frame.data() + skip, frame.size() - skip);
+        frame.data() + skip,
+        verifiedBodySize(frame) - net::kReplyHeaderBytes);
     ASSERT_TRUE(open.ok()) << open.status().toString();
     EXPECT_EQ(open->archive, 5u);
     EXPECT_EQ(open->readCount, 12345u);
@@ -253,7 +281,8 @@ TEST(NetProtocol, OpenStatErrorRepliesRoundTrip)
     frame.clear();
     net::appendStatReply(frame, 12, stats);
     const StatusOr<WireServerStats> back = net::parseStatReplyPayload(
-        frame.data() + skip, frame.size() - skip);
+        frame.data() + skip,
+        verifiedBodySize(frame) - net::kReplyHeaderBytes);
     ASSERT_TRUE(back.ok()) << back.status().toString();
     EXPECT_EQ(back->knownArchives, 9u);
     EXPECT_EQ(back->reopens, 3u);
@@ -264,24 +293,28 @@ TEST(NetProtocol, OpenStatErrorRepliesRoundTrip)
     frame.clear();
     net::appendErrorReply(frame, MsgType::ReadRange, 13,
                           WireStatus::Overloaded, "queue full");
+    const size_t error_body = verifiedBodySize(frame);
     const StatusOr<ReplyHeader> header = net::parseReplyHeader(
-        frame.data() + net::kLenBytes, frame.size() - net::kLenBytes);
+        frame.data() + net::kLenBytes, error_body);
     ASSERT_TRUE(header.ok()) << header.status().toString();
     EXPECT_EQ(header->status, WireStatus::Overloaded);
     const StatusOr<std::string> message = net::parseErrorMessage(
-        frame.data() + skip, frame.size() - skip);
+        frame.data() + skip, error_body - net::kReplyHeaderBytes);
     ASSERT_TRUE(message.ok()) << message.status().toString();
     EXPECT_EQ(*message, "queue full");
 }
 
 TEST(NetProtocol, MalformedRequestsRejected)
 {
-    // Every strict prefix of a valid frame must fail cleanly.
+    // Every strict prefix of a valid frame must fail cleanly. The
+    // parsers run on CRC-stripped bodies (verifyFrame strips it),
+    // so drop the trailing CRC before slicing.
     std::vector<uint8_t> frame;
     net::appendReadRangeRequest(frame, 1, 0, 0, 4,
                                 RequestPriority::Normal, 0);
     const uint8_t *body = frame.data() + net::kLenBytes;
-    const size_t size = frame.size() - net::kLenBytes;
+    const size_t size =
+        frame.size() - net::kLenBytes - net::kFrameCrcBytes;
     for (size_t cut = 0; cut < size; cut++)
         EXPECT_FALSE(net::parseRequestFrame(body, cut).ok())
             << "prefix of " << cut << " bytes parsed";
@@ -308,7 +341,7 @@ TEST(NetProtocol, MalformedRequestsRejected)
     frame.clear();
     net::appendOpenRequest(frame, 2, "abc", RequestPriority::Normal, 0);
     std::vector<uint8_t> lying(frame.begin() + net::kLenBytes,
-                               frame.end());
+                               frame.end() - net::kFrameCrcBytes);
     lying[net::kRequestHeaderBytes] = 200;  // nameLen u16 low byte.
     EXPECT_FALSE(
         net::parseRequestFrame(lying.data(), lying.size()).ok());
@@ -346,6 +379,139 @@ TEST(NetProtocol, WireStatusMapsLosslessly)
         net::statusFromWire(WireStatus::Ok, "").ok());
     EXPECT_FALSE(
         net::statusFromWire(WireStatus::Overloaded, "shed").ok());
+}
+
+TEST(NetProtocol, FrameIntegrityVerdicts)
+{
+    std::vector<uint8_t> frame;
+    net::appendOpenRequest(frame, 42, "reads.sage",
+                           RequestPriority::Normal, 0);
+    const uint8_t *body = frame.data() + net::kLenBytes;
+    const size_t size = frame.size() - net::kLenBytes;
+
+    // Pristine frame: Ok, body size excludes the CRC.
+    size_t body_size = 0;
+    EXPECT_EQ(net::verifyFrame(body, size, &body_size),
+              net::FrameVerdict::Ok);
+    EXPECT_EQ(body_size, size - net::kFrameCrcBytes);
+
+    // Any single flipped bit anywhere — header, payload, or the CRC
+    // itself — must be caught.
+    for (size_t at = 0; at < size; at++) {
+        if (at == 2)
+            continue;  // The version byte reports VersionMismatch.
+        std::vector<uint8_t> damaged(body, body + size);
+        damaged[at] ^= 0x01;
+        EXPECT_EQ(net::verifyFrame(damaged.data(), damaged.size(),
+                                   nullptr),
+                  net::FrameVerdict::CrcMismatch)
+            << "flip at byte " << at;
+    }
+
+    // A v1 peer (version byte 0) is a version mismatch, never
+    // misreported as corruption — checked before the CRC.
+    std::vector<uint8_t> v1(body, body + size);
+    v1[2] = 0;
+    EXPECT_EQ(net::verifyFrame(v1.data(), v1.size(), nullptr),
+              net::FrameVerdict::VersionMismatch);
+
+    // Runts.
+    EXPECT_EQ(net::verifyFrame(body, 0, nullptr),
+              net::FrameVerdict::TooShort);
+    EXPECT_EQ(net::verifyFrame(body, 2, nullptr),
+              net::FrameVerdict::TooShort);
+    EXPECT_EQ(net::verifyFrame(body, net::kReplyHeaderBytes, nullptr),
+              net::FrameVerdict::TooShort);
+
+    // The legacy (v1-shaped) error reply a version-mismatched peer is
+    // sent: version byte 0, no trailing CRC, parseable by the v1
+    // header/message parsers.
+    std::vector<uint8_t> legacy;
+    net::appendLegacyErrorReply(legacy, MsgType::Open, 7,
+                                WireStatus::VersionMismatch,
+                                "speak v2");
+    const uint8_t *reply = legacy.data() + net::kLenBytes;
+    const size_t reply_size = legacy.size() - net::kLenBytes;
+    EXPECT_EQ(reply[2], 0);
+    EXPECT_EQ(net::verifyFrame(reply, reply_size, nullptr),
+              net::FrameVerdict::VersionMismatch);
+    const StatusOr<ReplyHeader> header =
+        net::parseReplyHeader(reply, reply_size);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->status, WireStatus::VersionMismatch);
+    EXPECT_EQ(header->requestId, 7u);
+    const StatusOr<std::string> message = net::parseErrorMessage(
+        reply + net::kReplyHeaderBytes,
+        reply_size - net::kReplyHeaderBytes);
+    ASSERT_TRUE(message.ok());
+    EXPECT_EQ(*message, "speak v2");
+}
+
+TEST(NetProtocol, RetryableStatusClassification)
+{
+    // Retryable: the server shed or the transport hiccuped — the
+    // same request can succeed on a retry / another connection.
+    EXPECT_TRUE(net::wireStatusRetryable(WireStatus::Overloaded));
+    EXPECT_TRUE(net::wireStatusRetryable(WireStatus::ShuttingDown));
+    EXPECT_TRUE(net::wireStatusRetryable(WireStatus::IoError));
+    EXPECT_TRUE(net::wireStatusRetryable(WireStatus::Exhausted));
+
+    // Terminal: retrying re-reads the same bad bytes or repeats the
+    // same bad request.
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::Ok));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::Corrupt));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::Truncated));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::BadRequest));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::OutOfRange));
+    EXPECT_FALSE(
+        net::wireStatusRetryable(WireStatus::UnknownArchive));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::Expired));
+    EXPECT_FALSE(net::wireStatusRetryable(WireStatus::Cancelled));
+    EXPECT_FALSE(
+        net::wireStatusRetryable(WireStatus::VersionMismatch));
+    EXPECT_FALSE(
+        net::wireStatusRetryable(WireStatus::ProtocolError));
+}
+
+// ---------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------
+
+TEST(NetTimerWheel, FiresNearDeadlineAndNeverEarly)
+{
+    net::TimerWheel wheel(/*tick_ms=*/10, /*slots=*/8);
+    EXPECT_TRUE(wheel.empty());
+
+    wheel.schedule(1, 0);    // Next tick.
+    wheel.schedule(2, 35);   // ~4 ticks out.
+    wheel.schedule(3, 200);  // Beyond one revolution (8 * 10 ms).
+    EXPECT_FALSE(wheel.empty());
+
+    std::vector<uint64_t> due;
+    wheel.advanceTo(9, due);  // Not a full tick yet.
+    EXPECT_TRUE(due.empty());
+
+    wheel.advanceTo(10, due);
+    EXPECT_EQ(due, std::vector<uint64_t>({1}));
+
+    // Advance in uneven jumps; id 2 fires in (35, 55], id 3 must sit
+    // through a full revolution without firing early.
+    due.clear();
+    wheel.advanceTo(55, due);
+    EXPECT_EQ(due, std::vector<uint64_t>({2}));
+    due.clear();
+    wheel.advanceTo(199, due);
+    EXPECT_TRUE(due.empty()) << "beyond-revolution entry fired early";
+    wheel.advanceTo(220, due);
+    EXPECT_EQ(due, std::vector<uint64_t>({3}));
+    EXPECT_TRUE(wheel.empty());
+
+    // Duplicates are allowed and all fire (owners re-validate).
+    wheel.schedule(9, 10);
+    wheel.schedule(9, 10);
+    due.clear();
+    wheel.advanceTo(250, due);
+    EXPECT_EQ(due.size(), 2u);
 }
 
 // ---------------------------------------------------------------------
@@ -958,6 +1124,524 @@ TEST_F(NetServerTest, HostileLengthPrefixGetsProtocolErrorThenClose)
         Client::connect("127.0.0.1", server.port());
     ASSERT_TRUE(client.ok());
     EXPECT_TRUE((*client)->statServer().ok());
+}
+
+// ---------------------------------------------------------------------
+// Resilience: wire integrity, hygiene, drain, retrying client, chaos
+// ---------------------------------------------------------------------
+
+/** Raw blocking TCP connect to 127.0.0.1:@p port (-1 on failure),
+ *  with a 10 s receive timeout so a buggy server cannot hang tests. */
+int
+rawConnect(uint16_t port)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    timeval patience = {};
+    patience.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &patience,
+                 sizeof(patience));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+/** recv() until EOF/error, returning everything received. */
+std::vector<uint8_t>
+recvAll(int fd)
+{
+    std::vector<uint8_t> got;
+    uint8_t buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        got.insert(got.end(), buf, buf + n);
+    }
+    return got;
+}
+
+TEST_F(NetServerTest, OldProtocolClientGetsCleanVersionMismatch)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 1;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    // Shape the OPEN exactly as a v1 client would have sent it:
+    // version byte 0, no trailing CRC, length prefix shortened to
+    // match.
+    std::vector<uint8_t> frame;
+    net::appendOpenRequest(frame, 99, corpus_[0].name,
+                           RequestPriority::Normal, 0);
+    frame.resize(frame.size() - net::kFrameCrcBytes);
+    frame[net::kLenBytes + 2] = 0;  // Version byte.
+    const uint32_t len =
+        static_cast<uint32_t>(frame.size() - net::kLenBytes);
+    std::memcpy(frame.data(), &len, sizeof len);
+
+    const int fd = rawConnect(server.port());
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), 0),
+              static_cast<ssize_t>(frame.size()));
+
+    // The reply must be v1-shaped (version 0, no CRC) so this old
+    // client's parser reads a clean VersionMismatch — not garbage,
+    // not a silent close.
+    const std::vector<uint8_t> got = recvAll(fd);
+    ::close(fd);
+    ASSERT_GT(got.size(), net::kLenBytes + net::kReplyHeaderBytes);
+    const uint8_t *reply = got.data() + net::kLenBytes;
+    const size_t reply_size = got.size() - net::kLenBytes;
+    EXPECT_EQ(reply[2], 0);
+    const StatusOr<ReplyHeader> header =
+        net::parseReplyHeader(reply, reply_size);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->status, WireStatus::VersionMismatch);
+    EXPECT_EQ(header->requestId, 99u);
+    const StatusOr<std::string> message = net::parseErrorMessage(
+        reply + net::kReplyHeaderBytes,
+        reply_size - net::kReplyHeaderBytes);
+    ASSERT_TRUE(message.ok());
+    EXPECT_NE(message->find("version"), std::string::npos);
+
+    const net::ServerNetStats stats = server.netStats();
+    EXPECT_EQ(stats.versionMismatches, 1u);
+    EXPECT_GE(stats.protocolErrors, 1u);
+
+    // A v2 client on the same server is untouched.
+    StatusOr<std::unique_ptr<Client>> v2 =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(v2.ok());
+    EXPECT_TRUE((*v2)->open(corpus_[0].name).ok());
+}
+
+TEST_F(NetServerTest, IdleAndSlowLorisConnectionsAreClosed)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 1;
+    MultiArchiveService service(dir_, service_options);
+    ServerOptions server_options;
+    server_options.idleTimeoutSeconds = 0.2;
+    server_options.headerReadTimeoutSeconds = 0.2;
+    Server server(service, server_options);
+    ASSERT_TRUE(server.start().ok());
+
+    // One connection that never says anything, one that drips two
+    // bytes of a length prefix and stalls (slow loris).
+    const int idle = rawConnect(server.port());
+    const int loris = rawConnect(server.port());
+    ASSERT_GE(idle, 0);
+    ASSERT_GE(loris, 0);
+    const uint8_t drip[2] = {0x10, 0x00};
+    ASSERT_EQ(::send(loris, drip, sizeof drip, 0), 2);
+
+    // Both must be closed by the server (EOF, not a test timeout;
+    // rawConnect arms a 10 s SO_RCVTIMEO backstop).
+    EXPECT_TRUE(recvAll(idle).empty());
+    EXPECT_TRUE(recvAll(loris).empty());
+    ::close(idle);
+    ::close(loris);
+    EXPECT_EQ(server.netStats().timedOutConnections, 2u);
+
+    // A working client with live traffic is not idle-closed.
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(client.ok());
+    EXPECT_TRUE((*client)->statServer().ok());
+}
+
+TEST_F(NetServerTest, ConnectionCapShedsWithOverloadedReply)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 1;
+    MultiArchiveService service(dir_, service_options);
+    ServerOptions server_options;
+    server_options.maxConnections = 1;
+    Server server(service, server_options);
+    ASSERT_TRUE(server.start().ok());
+
+    // Occupy the single slot (the STAT round trip guarantees the
+    // server registered the connection before we try the second).
+    StatusOr<std::unique_ptr<Client>> occupant =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(occupant.ok());
+    ASSERT_TRUE((*occupant)->statServer().ok());
+
+    // The connection past the cap is told why, then closed — never
+    // left to stall in the accept queue.
+    const int shed = rawConnect(server.port());
+    ASSERT_GE(shed, 0);
+    const std::vector<uint8_t> got = recvAll(shed);
+    ::close(shed);
+    ASSERT_GT(got.size(), net::kLenBytes);
+    size_t body = 0;
+    ASSERT_EQ(net::verifyFrame(got.data() + net::kLenBytes,
+                               got.size() - net::kLenBytes, &body),
+              net::FrameVerdict::Ok);
+    const StatusOr<ReplyHeader> header =
+        net::parseReplyHeader(got.data() + net::kLenBytes, body);
+    ASSERT_TRUE(header.ok()) << header.status().toString();
+    EXPECT_EQ(header->status, WireStatus::Overloaded);
+    EXPECT_EQ(server.netStats().shedConnections, 1u);
+
+    // The occupant is unaffected.
+    EXPECT_TRUE((*occupant)->statServer().ok());
+}
+
+/** recv exactly one length-prefixed frame from @p fd (the prefix is
+ *  stripped); empty on EOF/error. */
+std::vector<uint8_t>
+recvFrame(int fd)
+{
+    uint8_t prefix[net::kLenBytes];
+    size_t have = 0;
+    while (have < sizeof prefix) {
+        const ssize_t n =
+            ::recv(fd, prefix + have, sizeof prefix - have, 0);
+        if (n <= 0)
+            return {};
+        have += static_cast<size_t>(n);
+    }
+    uint32_t len = 0;
+    std::memcpy(&len, prefix, sizeof len);
+    std::vector<uint8_t> frame(len);
+    have = 0;
+    while (have < frame.size()) {
+        const ssize_t n =
+            ::recv(fd, frame.data() + have, frame.size() - have, 0);
+        if (n <= 0)
+            return {};
+        have += static_cast<size_t>(n);
+    }
+    return frame;
+}
+
+TEST_F(NetServerTest, GracefulDrainFlushesInFlightAndRejectsNew)
+{
+    ThreadPool pool(1);
+    MultiArchiveOptions service_options;
+    service_options.pool = &pool;
+    MultiArchiveService service(dir_, service_options);
+    ServerOptions server_options;
+    server_options.drainDeadlineSeconds = 30.0;  // Never forced here.
+    Server server(service, server_options);
+    ASSERT_TRUE(server.start().ok());
+
+    StatusOr<std::unique_ptr<Client>> inflight =
+        Client::connect("127.0.0.1", server.port());
+    ASSERT_TRUE(inflight.ok());
+    const StatusOr<OpenReply> open =
+        (*inflight)->open(corpus_[0].name);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+
+    // Park two admitted requests: the only worker is blocked, so
+    // both reads sit in the service queue when the drain begins.
+    // The second rides a raw socket so the same connection can
+    // pipeline another request mid-drain (a drain retires idle
+    // connections immediately — only one owed a reply stays up to
+    // receive the in-band rejection).
+    std::promise<void> release;
+    std::shared_future<void> released = release.get_future().share();
+    pool.submit([released] { released.wait(); });
+    std::thread reader([&] {
+        const StatusOr<net::ReadReply> reply =
+            (*inflight)->readRange(open->archive, 0, 64);
+        ASSERT_TRUE(reply.ok()) << reply.status().toString();
+        ASSERT_TRUE(reply->ok()) << reply->message;
+        expectSameReads(
+            reply->reads,
+            std::vector<Read>(corpus_[0].expected.begin(),
+                              corpus_[0].expected.begin() + 64));
+    });
+    const int pipelined = rawConnect(server.port());
+    ASSERT_GE(pipelined, 0);
+    {
+        std::vector<uint8_t> request;
+        net::appendReadRangeRequest(request, 1, open->archive, 0, 1,
+                                    RequestPriority::Normal, 0);
+        ASSERT_EQ(::send(pipelined, request.data(), request.size(), 0),
+                  static_cast<ssize_t>(request.size()));
+    }
+    const auto give_up = std::chrono::steady_clock::now() +
+        std::chrono::seconds(10);
+    while (service.queueDepth() < 2 &&
+           std::chrono::steady_clock::now() < give_up)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ASSERT_GE(service.queueDepth(), 2u);
+
+    server.beginDrain();
+    EXPECT_TRUE(server.draining());
+
+    // The listener closes: new connections are refused (poll until
+    // the event loop has acted on the flag).
+    bool refused = false;
+    while (!refused &&
+           std::chrono::steady_clock::now() < give_up) {
+        const int probe = rawConnect(server.port());
+        if (probe < 0) {
+            refused = true;
+        } else {
+            ::close(probe);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    }
+    EXPECT_TRUE(refused);
+
+    // New work on a connection that is still owed a reply is told the
+    // server is going away — in-band, retry-elsewhere semantics.
+    {
+        std::vector<uint8_t> request;
+        net::appendReadRangeRequest(request, 2, open->archive, 0, 1,
+                                    RequestPriority::Normal, 0);
+        ASSERT_EQ(::send(pipelined, request.data(), request.size(), 0),
+                  static_cast<ssize_t>(request.size()));
+    }
+    {
+        const std::vector<uint8_t> frame = recvFrame(pipelined);
+        ASSERT_FALSE(frame.empty());
+        size_t body = 0;
+        ASSERT_EQ(net::verifyFrame(frame.data(), frame.size(), &body),
+                  net::FrameVerdict::Ok);
+        const StatusOr<ReplyHeader> header =
+            net::parseReplyHeader(frame.data(), body);
+        ASSERT_TRUE(header.ok()) << header.status().toString();
+        EXPECT_EQ(header->status, WireStatus::ShuttingDown);
+        EXPECT_EQ(header->requestId, 2u);
+    }
+
+    // Unblock the worker: both parked replies must still be
+    // delivered — byte-identical — before the server exits.
+    release.set_value();
+    reader.join();
+    {
+        const std::vector<uint8_t> frame = recvFrame(pipelined);
+        ASSERT_FALSE(frame.empty());
+        size_t body = 0;
+        ASSERT_EQ(net::verifyFrame(frame.data(), frame.size(), &body),
+                  net::FrameVerdict::Ok);
+        const StatusOr<ReplyHeader> header =
+            net::parseReplyHeader(frame.data(), body);
+        ASSERT_TRUE(header.ok()) << header.status().toString();
+        EXPECT_EQ(header->status, WireStatus::Ok);
+        EXPECT_EQ(header->requestId, 1u);
+    }
+    // ... and once nothing more is owed, the connection retires.
+    EXPECT_TRUE(recvFrame(pipelined).empty());
+    ::close(pipelined);
+    EXPECT_TRUE(server.drainWait());
+    EXPECT_FALSE(server.running());
+    EXPECT_GE(server.netStats().drainRejects, 1u);
+}
+
+TEST(NetClient, IoTimeoutSurfacesAsRetryableIoError)
+{
+    // A listener whose backlog completes TCP handshakes but never
+    // accepts or replies: the client's blocking recv must time out.
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(lfd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    ASSERT_EQ(::listen(lfd, 4), 0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(
+                  lfd, reinterpret_cast<sockaddr *>(&addr), &len),
+              0);
+    const uint16_t port = ntohs(addr.sin_port);
+
+    ClientOptions options;
+    options.ioTimeoutSeconds = 0.5;
+    StatusOr<std::unique_ptr<Client>> client =
+        Client::connect("127.0.0.1", port, options);
+    ASSERT_TRUE(client.ok()) << client.status().toString();
+
+    const auto start = std::chrono::steady_clock::now();
+    const StatusOr<WireServerStats> reply = (*client)->statServer();
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_FALSE(reply.ok());
+    EXPECT_EQ(reply.status().code(), StatusCode::IoError);
+    EXPECT_NE(reply.status().message().find("timed out"),
+              std::string::npos)
+        << reply.status().toString();
+    EXPECT_GE(elapsed, 0.3);
+    EXPECT_LT(elapsed, 5.0);
+
+    // The timeout desynced the stream: the connection is marked
+    // broken and later calls fail fast instead of blocking again.
+    EXPECT_TRUE((*client)->broken());
+    const auto again = std::chrono::steady_clock::now();
+    EXPECT_FALSE((*client)->statServer().ok());
+    EXPECT_LT(std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - again)
+                  .count(),
+              0.3);
+    ::close(lfd);
+}
+
+TEST(NetResilientClient, RetryBudgetBoundedByRequestDeadline)
+{
+    // Reserve an ephemeral port, then close it: connects to it are
+    // refused fast, so the retry loop is pure backoff.
+    const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(probe, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::bind(probe, reinterpret_cast<sockaddr *>(&addr),
+                     sizeof(addr)),
+              0);
+    socklen_t len = sizeof(addr);
+    ASSERT_EQ(::getsockname(
+                  probe, reinterpret_cast<sockaddr *>(&addr), &len),
+              0);
+    const uint16_t dead_port = ntohs(addr.sin_port);
+    ::close(probe);
+
+    ResilientClientOptions options;
+    options.retry.maxAttempts = 1u << 20;  // Only the deadline stops it.
+    options.retry.baseBackoffSeconds = 0.005;
+    options.retry.maxBackoffSeconds = 0.05;
+    options.retry.seed = 5;
+    ResilientClient client("127.0.0.1", dead_port, options);
+
+    const auto start = std::chrono::steady_clock::now();
+    const StatusOr<net::ReadReply> reply = client.readRange(
+        1, 0, 1, RequestPriority::Normal, /*deadline_ms=*/400);
+    const double elapsed =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_FALSE(reply.ok());
+    // The loop used its budget (it did not give up after one try)
+    // and stopped once the deadline was spent, sleeps included.
+    EXPECT_GE(elapsed, 0.3);
+    EXPECT_LT(elapsed, 5.0);
+    EXPECT_GT(client.stats().retries, 0u);
+    EXPECT_GT(client.stats().backoffSeconds, 0.0);
+    EXPECT_LE(client.stats().backoffSeconds, 0.45);
+    EXPECT_FALSE(client.connected());
+}
+
+/** Walk the whole archive through @p client in small batches,
+ *  asserting byte identity against @p expected. */
+void
+walkArchive(ResilientClient &client, uint32_t archive,
+            const std::vector<Read> &expected)
+{
+    std::vector<Read> got;
+    for (uint64_t first = 0; first < expected.size();) {
+        const uint64_t batch =
+            std::min<uint64_t>(64, expected.size() - first);
+        const StatusOr<net::ReadReply> reply =
+            client.readRange(archive, first, batch);
+        ASSERT_TRUE(reply.ok()) << reply.status().toString();
+        ASSERT_TRUE(reply->ok()) << reply->message;
+        got.insert(got.end(), reply->reads.begin(),
+                   reply->reads.end());
+        first += batch;
+    }
+    expectSameReads(got, expected);
+}
+
+TEST_F(NetServerTest, ResilientClientSurvivesResetsByteIdentical)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 2;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    ChaosConfig chaos;
+    chaos.seed = 11;
+    chaos.resetRate = 0.03;
+    ChaosProxy proxy("127.0.0.1", server.port(), chaos);
+    ASSERT_TRUE(proxy.start().ok());
+
+    ResilientClientOptions options;
+    options.retry.maxAttempts = 64;
+    options.retry.seed = 3;
+    options.client.ioTimeoutSeconds = 5.0;
+    ResilientClient client("127.0.0.1", proxy.port(), options);
+    const StatusOr<OpenReply> open = client.open(corpus_[0].name);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+
+    // Walk until the proxy has actually fired at least one reset
+    // (decisions are per forwarded buffer, so a couple of passes is
+    // plenty at 3%), every pass byte-identical.
+    for (int pass = 0; pass < 10; pass++) {
+        walkArchive(client, open->archive, corpus_[0].expected);
+        if (proxy.stats().resets > 0 &&
+            client.stats().reconnects > 0)
+            break;
+    }
+    EXPECT_GT(proxy.stats().resets, 0u);
+    EXPECT_GT(client.stats().reconnects, 0u);
+    EXPECT_GT(client.stats().transportRetries, 0u);
+
+    proxy.stop();
+    server.stop();
+}
+
+TEST_F(NetServerTest, CorruptedFramesNeverYieldWrongBytes)
+{
+    MultiArchiveOptions service_options;
+    service_options.ownedPoolThreads = 2;
+    MultiArchiveService service(dir_, service_options);
+    Server server(service);
+    ASSERT_TRUE(server.start().ok());
+
+    // Aggressive bit-flipping plus splits (so flips land mid-frame
+    // on re-assembled boundaries too). Every read either arrives
+    // byte-identical or is retried — wrong bytes are the one
+    // forbidden outcome.
+    ChaosConfig chaos;
+    chaos.seed = 13;
+    chaos.corruptRate = 0.08;
+    chaos.splitRate = 0.25;
+    ChaosProxy proxy("127.0.0.1", server.port(), chaos);
+    ASSERT_TRUE(proxy.start().ok());
+
+    ResilientClientOptions options;
+    options.retry.maxAttempts = 64;
+    options.retry.seed = 9;
+    options.client.ioTimeoutSeconds = 5.0;
+    ResilientClient client("127.0.0.1", proxy.port(), options);
+    const StatusOr<OpenReply> open = client.open(corpus_[0].name);
+    ASSERT_TRUE(open.ok()) << open.status().toString();
+
+    for (int pass = 0; pass < 10; pass++) {
+        walkArchive(client, open->archive, corpus_[0].expected);
+        if (proxy.stats().corrupted > 0)
+            break;
+    }
+    EXPECT_GT(proxy.stats().corrupted, 0u);
+    // Every flip was caught by a CRC somewhere: client-side retries
+    // and/or server-side rejects, but never silent damage.
+    EXPECT_GT(client.stats().retries +
+                  server.netStats().crcMismatches,
+              0u);
+
+    proxy.stop();
+    server.stop();
 }
 
 } // namespace
